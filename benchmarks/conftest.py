@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures, prints
+the paper-like rendering, and writes it under ``benchmarks/out/`` so the
+results can be diffed against EXPERIMENTS.md. Runs are deterministic, so
+a single benchmark round is meaningful; the benchmark timer measures the
+full experiment (simulation + analysis).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def record_output(out_dir):
+    def _record(name: str, text: str) -> None:
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record

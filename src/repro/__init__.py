@@ -1,0 +1,17 @@
+"""FreeRide reproduction: harvesting bubbles in pipeline parallelism.
+
+Public API (stable):
+
+* :class:`repro.sim.Engine` — the discrete-event simulation clock.
+* :mod:`repro.gpu` — the simulated multi-GPU server substrate.
+* :mod:`repro.pipeline` — the DeepSpeed-like pipeline-training engine.
+* :mod:`repro.core` — the FreeRide middleware (the paper's contribution).
+* :mod:`repro.workloads` — the six evaluation side tasks.
+* :mod:`repro.baselines` — MPS / naive co-location and dedicated runs.
+* :mod:`repro.metrics` — time increase ``I`` and cost savings ``S``.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+See README.md for a quickstart and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,22 @@
+"""The paper's comparison points (section 6.1.2).
+
+* :mod:`repro.baselines.colocation` — **Nvidia MPS** co-location (training
+  at the highest priority, side tasks lower, kernels run concurrently) and
+  **naive** co-location (no MPS: the driver time-slices contexts). Both run
+  side tasks continuously, bubbles or not — they are not bubble-aware,
+  which is why Table 2 shows them with large time increases and negative
+  savings.
+* :mod:`repro.baselines.dedicated` — the side task alone on Server-II
+  (RTX 3080) or Server-CPU; the denominators of Table 1 and the pricing
+  basis of the cost model.
+"""
+
+from repro.baselines.colocation import ColocationResult, run_colocation
+from repro.baselines.dedicated import DedicatedResult, run_dedicated
+
+__all__ = [
+    "ColocationResult",
+    "DedicatedResult",
+    "run_colocation",
+    "run_dedicated",
+]

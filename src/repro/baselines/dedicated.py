@@ -1,0 +1,123 @@
+"""Dedicated side-task execution on Server-II and Server-CPU (Table 1).
+
+Runs the side task alone on the lower-tier platform: the per-step duration
+scales by the task's calibrated platform speed factor (an RTX 3080 or an
+8-core Xeon delivering a task-dependent fraction of Server-I throughput).
+These are the throughput denominators of Table 1 and the pricing basis of
+the cost-savings metric.
+
+``enforce_memory=True`` makes Server-II's 10 GB a hard constraint — used
+by the Figure 7(a,b) batch-size sweep, where the paper marks OOM cells
+because "the GPU in Server-II does not have enough GPU memory for the
+configuration, so the cost savings cannot be calculated".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import calibration
+from repro.core.interfaces import IterativeSideTask, SideTaskContext
+from repro.errors import GpuOutOfMemoryError
+from repro.gpu.cluster import Server, make_server_cpu, make_server_ii
+from repro.gpu.device import SimGPU
+from repro.gpu.kernel import Priority
+from repro.gpu.process import GPUProcess
+from repro.gpu.sharing import SharingMode
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+
+
+@dataclasses.dataclass
+class DedicatedResult:
+    platform: str
+    steps_done: int
+    units_done: float
+    duration_s: float
+    oom: bool = False
+
+    @property
+    def throughput(self) -> float:
+        """Units per second; 0 when the configuration OOMed."""
+        if self.oom or self.duration_s <= 0:
+            return 0.0
+        return self.units_done / self.duration_s
+
+
+def run_dedicated(
+    workload: IterativeSideTask,
+    platform: str = "server_ii",
+    duration_s: float = 60.0,
+    seed: int = 0,
+    enforce_memory: bool = False,
+) -> DedicatedResult:
+    """Run ``workload`` alone on the chosen platform for ``duration_s``."""
+    speeds = {
+        "server_ii": workload.perf.speed_server_ii,
+        "cpu": workload.perf.speed_cpu,
+    }
+    if platform not in speeds:
+        raise ValueError(
+            f"unknown platform {platform!r}; choose from {sorted(speeds)}"
+        )
+    sim = Engine()
+    server = _make_platform_server(sim, platform, speed=1.0)
+    gpu = server.gpus[0]
+    # The platform's speed scales the whole step (host and kernel alike:
+    # a slower machine is slower end to end), keeping the simulated
+    # throughput consistent with the analytic cost model.
+    workload.perf = dataclasses.replace(
+        workload.perf, step_time_s=workload.perf.step_time_s / speeds[platform]
+    )
+    if workload.perf.memory_gb > gpu.memory_gb:
+        if enforce_memory:
+            return DedicatedResult(
+                platform=platform, steps_done=0, units_done=0.0,
+                duration_s=duration_s, oom=True,
+            )
+        # The paper's Table 1 runs every task on Server-II, including ones
+        # whose Server-I profile exceeds 10 GB (a dedicated deployment can
+        # shrink its working set); model that by sizing the device to fit.
+        gpu.memory_gb = workload.perf.memory_gb * 1.2
+    proc = GPUProcess(sim, gpu, name=f"dedicated:{workload.name}",
+                      priority=Priority.SIDE)
+    ctx = SideTaskContext(sim, proc, RandomStreams(seed), workload.name)
+    workload.create_side_task()
+    try:
+        workload.init_side_task(ctx)
+    except GpuOutOfMemoryError:
+        return DedicatedResult(
+            platform=platform, steps_done=0, units_done=0.0,
+            duration_s=duration_s, oom=True,
+        )
+
+    def loop():
+        while not workload.is_finished and sim.now < duration_s:
+            yield from workload.run_next_step(ctx)
+
+    start_units = workload.units_done
+    start_steps = workload.steps_done
+    sim.run(until=sim.process(loop(), name="dedicated-loop"))
+    elapsed = min(sim.now, duration_s) or sim.now
+    return DedicatedResult(
+        platform=platform,
+        steps_done=workload.steps_done - start_steps,
+        units_done=workload.units_done - start_units,
+        duration_s=elapsed if elapsed > 0 else duration_s,
+    )
+
+
+def _make_platform_server(sim: Engine, platform: str, speed: float) -> Server:
+    if platform == "server_ii":
+        server = make_server_ii(sim)
+        server.gpus[0].speed_factor = speed
+        return server
+    server = make_server_cpu(sim)
+    # The CPU "device": system RAM is the capacity, the speed factor the
+    # task's calibrated CPU throughput fraction.
+    cpu_device = SimGPU(
+        sim, name="cpu0", memory_gb=64.0,
+        sharing=SharingMode.EXCLUSIVE, speed_factor=speed,
+    )
+    server.gpus.append(cpu_device)
+    return server

@@ -1,0 +1,292 @@
+"""Paper-derived calibration constants.
+
+Every number in this module is either quoted directly from the FreeRide
+paper (Middleware '25) or fitted to a number the paper reports, with the
+source noted inline. The rest of the library treats these as opaque model
+parameters; to re-calibrate against different hardware, edit only this file.
+
+The reproduction runs on a simulated substrate, so absolute values matter
+less than ratios and shapes (see DESIGN.md section 6); nonetheless we keep
+the absolute scales close to the paper so printed tables are comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+# ---------------------------------------------------------------------------
+# Servers and prices (paper section 6.1.1, prices as of June 2024)
+# ---------------------------------------------------------------------------
+
+#: Server-I: 4x RTX 6000 Ada, 48 GB each, $3.96/hour.
+SERVER_I_PRICE_PER_HOUR = 3.96
+SERVER_I_NUM_GPUS = 4
+SERVER_I_GPU_MEMORY_GB = 48.0
+
+#: Server-II: 1x RTX 3080, 10 GB, $0.18/hour.
+SERVER_II_PRICE_PER_HOUR = 0.18
+SERVER_II_GPU_MEMORY_GB = 10.0
+
+#: Server-CPU: 8 cores of a Xeon Platinum 8269Y. The paper quotes no price
+#: (it is not used in the cost-savings formula); we assume a typical
+#: community-cloud CPU instance price for completeness.
+SERVER_CPU_PRICE_PER_HOUR = 0.08
+
+# ---------------------------------------------------------------------------
+# Pipeline training (paper sections 2.2 and 6.1.3)
+# ---------------------------------------------------------------------------
+
+#: 4-stage pipeline, one GPU per stage.
+NUM_STAGES = 4
+
+#: Default number of micro-batches per epoch (Figures 1 and 2); the
+#: sensitivity study also uses 6 and 8 (Figure 7e,f).
+DEFAULT_MICRO_BATCHES = 4
+
+#: Backward propagation takes about twice as long as forward propagation
+#: ("BP operations typically take longer than FP operations", section 2.2.1,
+#: citing Alpa); 2.0 reproduces the paper's Type-C bubble duration equal to
+#: one FP time.
+BP_OVER_FP_RATIO = 2.0
+
+#: Per-micro-batch forward-propagation time (seconds) for each model size.
+#: Fitted so that (a) epoch times fall and (b) total per-stage bubble time
+#: falls as the model grows (Figure 2b) — the paper maximizes the
+#: micro-batch *size* before OOM, so larger models run smaller micro-batches
+#: and each op gets faster. The 3.6B value also reproduces the paper's
+#: bubble-duration range of roughly 0.22-1.04 s (section 2.2.1).
+FP_TIME_BY_MODEL_B = {1.2: 0.26, 3.6: 0.22, 6.0: 0.18}
+
+#: Per-epoch optimizer/synchronization time, seconds per billion parameters,
+#: applied on every stage concurrently at the end of an epoch. This busy
+#: (non-bubble) phase reproduces the gentle bubble-rate slope of Figure 2b:
+#: 42.4% at 1.2B falling to about 40.4% at 6B.
+OPTIMIZER_TIME_PER_BILLION = 0.049
+
+#: Bytes per parameter held on each stage for weights + gradients + Adam
+#: state (fp16 weights/grads plus fp32 moments and master copy, the
+#: DeepSpeed default mixed-precision layout).
+BYTES_PER_PARAM = 16
+
+#: Activation memory (GB) per in-flight micro-batch for each model size.
+#: Fitted so that, with the 1F1B in-flight rule min(M, S - stage), stage 0
+#: sits just below the 48 GB capacity ("we always maximize the micro-batch
+#: size until just before OOM", section 6.1.3) and available-per-bubble
+#: memory matches section 2.2: "<3 GB" at stage 0 to ">20 GB" at stage 3
+#: for the 3.6B model, with larger models leaving less available memory
+#: (Figure 2a).
+ACTIVATION_GB_PER_MICRO_BATCH = {1.2: 10.0, 3.6: 7.65, 6.0: 5.75}
+
+#: Relative jitter (lognormal sigma) applied to op durations; small, so the
+#: pipeline stays "stable and repetitive" (paper section 8) while profiling
+#: still has something to average over.
+OP_TIME_REL_JITTER = 0.01
+
+#: Time the instrumented training process spends reporting one bubble to the
+#: side-task manager (the "55 lines of code" hook plus the RPC). Fitted so
+#: the iterative interface lands near the paper's ~1% time increase.
+INSTRUMENTATION_OVERHEAD_S = 0.005
+
+# ---------------------------------------------------------------------------
+# FreeRide middleware timing
+# ---------------------------------------------------------------------------
+
+#: One-way RPC latency between manager, workers and tasks (gRPC on
+#: localhost is sub-millisecond to ~1 ms).
+RPC_LATENCY_S = 0.001
+
+#: Grace period of the framework-enforced mechanism before the worker
+#: SIGKILLs a task that failed to pause (section 4.5; fitted to the ~0.5 s
+#: gap visible in Figure 8a).
+GRACE_PERIOD_S = 0.5
+
+#: Polling interval of the side-task manager's Algorithm-2 loop.
+MANAGER_POLL_INTERVAL_S = 0.002
+
+#: Extra delay for a SIGTSTP to take effect on the imperative interface
+#: (signal delivery plus the Python-level handler), before counting any
+#: still-running CUDA kernels. Fitted to the imperative rows of Table 2.
+SIGNAL_PAUSE_LATENCY_S = 0.010
+
+#: Safety margin the program-directed mechanism adds on top of the profiled
+#: per-step duration when deciding whether a step still fits in the bubble.
+STEP_FIT_SAFETY_MARGIN = 0.10
+
+#: Per-step cost of the iterative interface itself: checking for pending
+#: state-transition RPCs and book-keeping between RunNextStep calls. This
+#: is part of the "FreeRide runtime" share of Figure 9 — proportionally
+#: largest for short-step tasks such as PageRank.
+ITERATIVE_STEP_OVERHEAD_S = 0.0005
+
+#: Latency between a StartSideTask transition landing on the task process
+#: and its first kernel reaching the GPU: Python interface dispatch, CUDA
+#: context reactivation, and scheduler warm-up. Charged once per bubble;
+#: together with the per-step overhead it reproduces the paper's Figure 9
+#: finding that a visible share of each bubble goes to FreeRide runtime
+#: rather than side-task execution.
+TASK_RESUME_LATENCY_S = 0.040
+
+#: Host-to-device transfer bandwidth used when InitSideTask loads the task
+#: context into GPU memory (PCIe 4.0 x16 practical throughput).
+H2D_BANDWIDTH_GB_S = 25.0
+
+# ---------------------------------------------------------------------------
+# Side-task profiles (sections 2.3, 6.1.4; Tables 1 and 2; Figure 9)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SideTaskProfile:
+    """Calibrated characteristics of one of the paper's six side tasks.
+
+    ``step_time_s`` and ``memory_gb`` play the role of the measurements the
+    automated profiler extracts in section 4.3; the speed factors place the
+    same workload on Server-II / Server-CPU (Table 1); the interference
+    coefficients reproduce the co-location overheads of Table 2 for the MPS
+    and naive baselines.
+    """
+
+    name: str
+    #: Seconds per step when running alone on a Server-I GPU.
+    step_time_s: float
+    #: GPU memory the task allocates once initialized (GB).
+    memory_gb: float
+    #: Work units per step ("iterations" in Table 1: images for the model
+    #: training tasks, algorithm iterations for the rest).
+    units_per_step: float
+    #: Fraction of wall time the task keeps kernels on the GPU when running
+    #: continuously (the rest is host-side work such as data loading).
+    gpu_duty: float
+    #: SM demand of the task's kernels (0..1], used for occupancy traces.
+    sm_demand: float
+    #: Server-II (RTX 3080) speed as a fraction of Server-I speed.
+    speed_server_ii: float
+    #: Server-CPU speed as a fraction of Server-I speed.
+    speed_cpu: float
+    #: Fractional slowdown imposed on an overlapping training op when
+    #: co-located under MPS (fitted to Table 2's MPS column).
+    mps_interference: float
+    #: Fractional slowdown under naive co-location, which time-slices
+    #: contexts instead of running kernels concurrently (Table 2, Naive).
+    naive_interference: float
+
+
+#: ResNet18, batch 64: "takes only 2.63 GB of GPU memory with each iteration
+#: taking only 30.4 ms on our platform" (section 2.3).
+RESNET18 = SideTaskProfile(
+    name="resnet18",
+    step_time_s=0.0304,
+    memory_gb=2.63,
+    units_per_step=64.0,
+    gpu_duty=0.75,
+    sm_demand=0.60,
+    speed_server_ii=0.89,
+    speed_cpu=0.0236,
+    mps_interference=0.2,
+    naive_interference=0.63,
+)
+
+RESNET50 = SideTaskProfile(
+    name="resnet50",
+    step_time_s=0.095,
+    memory_gb=6.2,
+    units_per_step=64.0,
+    gpu_duty=0.75,
+    sm_demand=0.75,
+    speed_server_ii=0.718,
+    speed_cpu=0.0166,
+    mps_interference=0.29,
+    naive_interference=0.98,
+)
+
+#: VGG19's memory footprint exceeds the bubbles of stages 0 and 1 at 3.6B
+#: ("the GPU memory consumption of VGG19 or the Image side task is larger
+#: than the GPU memory of bubbles in stages 0 and 1", section 6.5).
+VGG19 = SideTaskProfile(
+    name="vgg19",
+    step_time_s=0.210,
+    memory_gb=11.5,
+    units_per_step=64.0,
+    gpu_duty=0.75,
+    sm_demand=0.85,
+    speed_server_ii=0.479,
+    speed_cpu=0.0089,
+    mps_interference=0.38,
+    naive_interference=1.0,
+)
+
+#: PageRank on an Orkut-scale graph; short per-iteration steps give it the
+#: highest FreeRide-runtime share in Figure 9.
+PAGERANK = SideTaskProfile(
+    name="pagerank",
+    step_time_s=0.003,
+    memory_gb=2.8,
+    units_per_step=1.0,
+    gpu_duty=0.85,
+    sm_demand=0.70,
+    speed_server_ii=0.484,
+    speed_cpu=0.0425,
+    mps_interference=0.19,
+    naive_interference=0.51,
+)
+
+#: Graph SGD (matrix factorization); the paper singles it out for "high
+#: compute intensity" — 231% time increase under MPS (section 6.2).
+GRAPH_SGD = SideTaskProfile(
+    name="graph_sgd",
+    step_time_s=0.238,
+    memory_gb=9.5,
+    units_per_step=1.0,
+    gpu_duty=0.95,
+    sm_demand=0.95,
+    speed_server_ii=0.275,
+    speed_cpu=0.1099,
+    mps_interference=3.05,
+    naive_interference=0.79,
+)
+
+#: Image resize + watermark (nvJPEG sample); like VGG19 it does not fit the
+#: bubbles of stages 0 and 1 (section 6.5).
+IMAGE = SideTaskProfile(
+    name="image",
+    step_time_s=0.082,
+    memory_gb=11.0,
+    units_per_step=1.0,
+    gpu_duty=0.60,
+    sm_demand=0.50,
+    speed_server_ii=0.443,
+    speed_cpu=0.0909,
+    mps_interference=0.19,
+    naive_interference=1.06,
+)
+
+SIDE_TASK_PROFILES = {
+    profile.name: profile
+    for profile in (RESNET18, RESNET50, VGG19, PAGERANK, GRAPH_SGD, IMAGE)
+}
+
+#: The paper's mixed workload: "PageRank, ResNet18, Image, and VGG19, each
+#: in one worker corresponding to the GPU of stages 0-3" (section 6.2).
+MIXED_WORKLOAD_BY_STAGE = ("pagerank", "resnet18", "image", "vgg19")
+
+
+def scale_model_training_profile(
+    profile: SideTaskProfile, batch_size: int
+) -> SideTaskProfile:
+    """Re-profile a model-training task for a different batch size.
+
+    Step time and activation memory scale roughly linearly with batch size
+    around the paper's batch-64 operating point; the fixed part of the
+    memory is the model itself. Used by the Figure 7(a,b) sensitivity sweep
+    (batch sizes 16-128).
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch size must be positive, got {batch_size}")
+    scale = batch_size / 64.0
+    fixed_memory = 0.35 * profile.memory_gb
+    return dataclasses.replace(
+        profile,
+        step_time_s=profile.step_time_s * (0.25 + 0.75 * scale),
+        memory_gb=fixed_memory + (profile.memory_gb - fixed_memory) * scale,
+        units_per_step=float(batch_size),
+    )

@@ -1,0 +1,41 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Examples::
+
+    freeride fig1
+    freeride table2 --epochs 16
+    freeride fig7
+    python -m repro.cli fig9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="freeride",
+        description="FreeRide reproduction: regenerate the paper's "
+                    "tables and figures on the simulated substrate.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                        help="which table/figure to regenerate")
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="training epochs per run (default: the "
+                             "experiment's own default)")
+    args = parser.parse_args(argv)
+    module = EXPERIMENTS[args.experiment]
+    kwargs = {}
+    if args.epochs is not None and "epochs" in module.run.__code__.co_varnames:
+        kwargs["epochs"] = args.epochs
+    data = module.run(**kwargs)
+    print(module.render(data))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Side-task programming interfaces (paper sections 4.2 and 5).
+
+**Iterative** (preferred): the programmer expresses the workload as
+repeated small steps, overriding four hooks that mirror Figure 6 —
+``create_side_task`` (host context), ``init_side_task`` (GPU context),
+``run_next_step`` (one step), ``stop_side_task`` (cleanup). FreeRide
+handles pausing/resuming and all state transitions; the programmer never
+sees a bubble.
+
+**Imperative** (fallback): the programmer provides one
+``run_gpu_workload`` body; FreeRide pauses/resumes the process with
+SIGTSTP/SIGCONT. More versatile, but CUDA kernels already in flight when
+the stop signal lands keep running and overlap with training — the source
+of this interface's higher overhead.
+
+Each side task carries a :class:`~repro.calibration.SideTaskProfile`
+describing how it behaves on the simulated hardware (step duration, GPU
+memory, SM demand). The middleware never reads it — the automated
+profiler *measures* these quantities, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import typing
+
+from repro.calibration import SideTaskProfile
+from repro.sim.rng import RandomStreams
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.process import GPUProcess
+    from repro.sim.engine import Engine
+
+
+@dataclasses.dataclass
+class SideTaskContext:
+    """Execution context handed to side-task hooks."""
+
+    engine: "Engine"
+    proc: "GPUProcess"
+    rng: RandomStreams
+    task_name: str
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def jitter(self, mean: float, rel_sigma: float = 0.02) -> float:
+        if mean <= 0:
+            return 0.0
+        return self.rng.jitter(f"task:{self.task_name}", mean, rel_sigma)
+
+
+class SideTaskBase(abc.ABC):
+    """Hooks and accounting shared by both interfaces."""
+
+    def __init__(self, perf: SideTaskProfile, name: str = ""):
+        self.perf = perf
+        self.name = name or perf.name
+        self.steps_done = 0
+        self.units_done = 0.0
+        self.host_loaded = False
+        self.gpu_loaded = False
+
+    # -- life-cycle hooks (override freely) -----------------------------
+    def create_side_task(self) -> None:
+        """CREATED: build the host-side context (dataset, model, ...)."""
+        self.host_loaded = True
+
+    def init_side_task(self, ctx: SideTaskContext) -> None:
+        """CREATED -> PAUSED: move the context into GPU memory."""
+        ctx.proc.allocate(self.perf.memory_gb)
+        self.gpu_loaded = True
+
+    def stop_side_task(self, ctx: SideTaskContext) -> None:
+        """* -> STOPPED: release whatever is still held."""
+        if self.gpu_loaded and ctx.proc.alive and ctx.proc.memory_gb > 0:
+            ctx.proc.free()
+        self.gpu_loaded = False
+
+    # -- completion ------------------------------------------------------
+    @property
+    def is_finished(self) -> bool:
+        """Override for finite tasks; endless tasks return False."""
+        return False
+
+    def _account_step(self) -> None:
+        self.steps_done += 1
+        self.units_done += self.perf.units_per_step
+
+
+class IterativeSideTask(SideTaskBase):
+    """Step-wise side task for the iterative interface."""
+
+    def run_next_step(self, ctx: SideTaskContext):
+        """One step: host phase, real computation, then the GPU kernel.
+
+        A generator so the middleware can interleave it with virtual time;
+        the default body realizes the profiled step duration with the
+        profiled host/GPU split. Override for custom step structure.
+        """
+        host_s = self.perf.step_time_s * (1.0 - self.perf.gpu_duty)
+        kernel_s = self.perf.step_time_s * self.perf.gpu_duty
+        if host_s > 0:
+            yield ctx.engine.timeout(ctx.jitter(host_s))
+        self.compute_step()
+        yield ctx.proc.launch_kernel(
+            work_s=ctx.jitter(kernel_s),
+            sm_demand=self.perf.sm_demand,
+            name=f"{self.name}:step{self.steps_done}",
+        )
+        self._account_step()
+
+    @abc.abstractmethod
+    def compute_step(self) -> None:
+        """The real (host-executed) computation of one step."""
+
+
+class ImperativeSideTask(SideTaskBase):
+    """Monolithic side task for the imperative interface."""
+
+    def run_gpu_workload(self, ctx: SideTaskContext):
+        """The whole workload as one loop; paused via SIGTSTP/SIGCONT.
+
+        ``wait_if_stopped`` marks the host-side preemption points; kernels
+        already launched continue regardless — asynchronous CUDA semantics.
+        """
+        while not self.is_finished:
+            yield from ctx.proc.wait_if_stopped()
+            host_s = self.perf.step_time_s * (1.0 - self.perf.gpu_duty)
+            if host_s > 0:
+                yield ctx.engine.timeout(ctx.jitter(host_s))
+            yield from ctx.proc.wait_if_stopped()
+            self.compute_step()
+            kernel = ctx.proc.launch_kernel(
+                work_s=ctx.jitter(self.perf.step_time_s * self.perf.gpu_duty),
+                sm_demand=self.perf.sm_demand,
+                name=f"{self.name}:step{self.steps_done}",
+            )
+            yield kernel
+            self._account_step()
+
+    @abc.abstractmethod
+    def compute_step(self) -> None:
+        """The real (host-executed) computation of one step."""

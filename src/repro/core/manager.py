@@ -1,0 +1,237 @@
+"""The side-task manager: Algorithms 1 and 2 of the paper.
+
+**Algorithm 1** (``submit``): filter workers by available GPU memory, pick
+the least-loaded, otherwise reject the task.
+
+**Algorithm 2** (``_sweep``): for every worker — if its current bubble has
+ended, pause the current task and clear the bubble; adopt a newly reported
+bubble; if no current task, take the oldest from the queue; initiate
+``InitSideTask`` for CREATED tasks and ``StartSideTask`` (with the bubble's
+expected end time, feeding the program-directed limit) for PAUSED ones.
+
+The paper's manager runs this as a polling loop; polling a 2 ms loop in a
+discrete-event simulation would add millions of no-op events, so the sweep
+here is *event-driven*: it runs whenever something it reads changes (a
+bubble report, a bubble's expected end, a task transition, a submission),
+plus a coarse heartbeat. The decisions taken are identical.
+
+The manager also schedules the **framework-enforced** checks: after
+initiating a pause it waits the grace period and, if the task's
+``last_paused_at`` was not refreshed, instructs the worker to SIGKILL the
+process (section 4.5). ``InitSideTask`` is protected the same way.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import calibration
+from repro.core.policies import AssignmentPolicy, least_loaded_policy
+from repro.core.rpc import RpcChannel
+from repro.core.runtime import Command, CommandKind, SideTaskRuntime
+from repro.core.states import SideTaskState
+from repro.core.task_spec import TaskSpec
+from repro.core.worker import ManagedBubble, SideTaskWorker
+from repro.errors import TaskRejectedError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Engine
+
+
+class SideTaskManager:
+    """Coordinates workers, bubbles, and side-task state transitions."""
+
+    def __init__(
+        self,
+        sim: "Engine",
+        workers: list[SideTaskWorker],
+        policy: AssignmentPolicy = least_loaded_policy,
+        rpc_latency_s: float = calibration.RPC_LATENCY_S,
+        grace_period_s: float = calibration.GRACE_PERIOD_S,
+    ):
+        self.sim = sim
+        self.workers = list(workers)
+        self.policy = policy
+        self.grace_period_s = grace_period_s
+        self.rpc = RpcChannel(sim, "manager", latency_s=rpc_latency_s)
+        self.rejections: list[tuple[str, str]] = []
+        #: per-runtime command the manager sent and has not seen take effect
+        self._pending: dict[int, CommandKind] = {}
+        self._sweep_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: task submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: TaskSpec, interface: str = "iterative") -> SideTaskWorker:
+        """Assign ``spec`` to a worker or raise :class:`TaskRejectedError`."""
+        eligible = [
+            worker for worker in self.workers
+            if worker.available_gb > spec.profile.gpu_memory_gb
+        ]
+        selected = self.policy(eligible)
+        if selected is None:
+            reason = (
+                f"no worker has more than {spec.profile.gpu_memory_gb:.2f} GB "
+                "of bubble memory available"
+            )
+            self.rejections.append((spec.name, reason))
+            raise TaskRejectedError(f"{spec.name} rejected: {reason}")
+        runtime = selected.add_task(
+            spec, interface, on_terminal=self._on_task_terminal
+        )
+        runtime.notify = self.notify_transition
+        self._wake()
+        return selected
+
+    # ------------------------------------------------------------------
+    # bubble reports from the instrumented training system
+    # ------------------------------------------------------------------
+    def add_bubble(self, bubble: ManagedBubble) -> None:
+        """Step 5 of Figure 3: a bubble report arrives (already RPC-delayed)."""
+        worker = self.workers[bubble.stage]
+        worker.enqueue_bubble(bubble)
+        if bubble.expected_end is not None:
+            # Wake exactly when the manager believes the bubble ends.
+            delay = max(0.0, bubble.expected_end - self.sim.now)
+            timeout = self.sim.timeout(delay)
+            timeout.callbacks.append(lambda _ev: self._wake())
+        self._wake()
+
+    def bubble_ended(self, stage: int, now: float) -> None:
+        """The training system observed the bubble's actual end."""
+        worker = self.workers[stage]
+        if worker.current_bubble is not None:
+            worker.current_bubble.reported_end = now
+        for bubble in worker.bubble_inbox:
+            if bubble.reported_end is None:
+                bubble.reported_end = now
+                break
+        self._wake()
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: the management sweep
+    # ------------------------------------------------------------------
+    def _wake(self) -> None:
+        if self._sweep_scheduled:
+            return
+        self._sweep_scheduled = True
+        event = self.sim.timeout(0.0)
+        event.callbacks.append(lambda _ev: self._run_sweep())
+
+    def _run_sweep(self) -> None:
+        self._sweep_scheduled = False
+        self._sweep()
+
+    def _sweep(self) -> None:
+        now = self.sim.now
+        for worker in self.workers:
+            bubble = worker.current_bubble
+            if bubble is not None and bubble.has_ended(now):
+                task = worker.current_task
+                if task is not None and task.state is SideTaskState.RUNNING:
+                    self._initiate_pause(worker, task)
+                worker.current_bubble = None
+            if worker.has_new_bubble():
+                worker.update_current_bubble()
+            if worker.current_task is None or worker.current_task.machine.terminated:
+                if worker.current_task is not None:
+                    worker.release(worker.current_task)
+                worker.current_task = worker.next_task()
+            task = worker.current_task
+            if task is None or task.machine.terminated:
+                continue
+            pending = self._pending.get(id(task))
+            if task.state is SideTaskState.CREATED:
+                if pending is not CommandKind.INIT:
+                    self._initiate_init(worker, task)
+            elif task.state is SideTaskState.PAUSED:
+                if pending in (CommandKind.INIT, CommandKind.PAUSE):
+                    self._pending.pop(id(task), None)
+                    pending = None
+                bubble = worker.current_bubble
+                if (
+                    bubble is not None
+                    and not bubble.has_ended(now)
+                    and pending is not CommandKind.START
+                ):
+                    self._initiate_start(task, bubble)
+            elif task.state is SideTaskState.RUNNING:
+                if pending is CommandKind.START:
+                    self._pending.pop(id(task), None)
+
+    # ------------------------------------------------------------------
+    # transition initiation + framework-enforced protection
+    # ------------------------------------------------------------------
+    def _initiate_init(self, worker: SideTaskWorker, task: SideTaskRuntime) -> None:
+        self._pending[id(task)] = CommandKind.INIT
+        self.rpc.cast(task.deliver, Command(CommandKind.INIT))
+        transfer_s = (
+            task.spec.profile.gpu_memory_gb / calibration.H2D_BANDWIDTH_GB_S
+        )
+        deadline = self.grace_period_s + transfer_s
+        check = self.sim.timeout(deadline)
+        check.callbacks.append(
+            lambda _ev: self._enforce_init(worker, task)
+        )
+
+    def _initiate_start(self, task: SideTaskRuntime, bubble: ManagedBubble) -> None:
+        self._pending[id(task)] = CommandKind.START
+        self.rpc.cast(
+            task.deliver,
+            Command(CommandKind.START, bubble_end=bubble.end_estimate),
+        )
+
+    def _initiate_pause(self, worker: SideTaskWorker, task: SideTaskRuntime) -> None:
+        self._pending[id(task)] = CommandKind.PAUSE
+        initiated_at = self.sim.now
+        self.rpc.cast(task.deliver, Command(CommandKind.PAUSE))
+        check = self.sim.timeout(self.grace_period_s)
+        check.callbacks.append(
+            lambda _ev: self._enforce_pause(worker, task, initiated_at)
+        )
+
+    def stop_task(self, task: SideTaskRuntime) -> None:
+        """Graceful StopSideTask via RPC."""
+        self.rpc.cast(task.deliver, Command(CommandKind.STOP))
+
+    def _enforce_pause(
+        self, worker: SideTaskWorker, task: SideTaskRuntime, initiated_at: float
+    ) -> None:
+        """Kill the task if the pause never took effect (section 4.5)."""
+        if not task.alive:
+            return
+        if task.last_paused_at >= initiated_at:
+            return
+        if task.state is not SideTaskState.RUNNING:
+            return
+        worker.kill_task(task, "framework-enforced time limit (pause timeout)")
+        self._wake()
+
+    def _enforce_init(self, worker: SideTaskWorker, task: SideTaskRuntime) -> None:
+        if not task.alive:
+            return
+        if task.state is SideTaskState.CREATED:
+            worker.kill_task(task, "framework-enforced time limit (init timeout)")
+            self._wake()
+
+    # ------------------------------------------------------------------
+    def _on_task_terminal(self, task: SideTaskRuntime) -> None:
+        self._pending.pop(id(task), None)
+        for worker in self.workers:
+            if worker.current_task is task:
+                worker.current_task = None
+            if task in worker.all_tasks:
+                worker.release(task)
+        self._wake()
+
+    def live_tasks(self) -> list[SideTaskRuntime]:
+        return [
+            task
+            for worker in self.workers
+            for task in worker.all_tasks
+            if not task.machine.terminated
+        ]
+
+    def notify_transition(self, _task: SideTaskRuntime) -> None:
+        """Runtimes call this (via middleware wiring) after transitions."""
+        self._wake()

@@ -1,0 +1,280 @@
+"""The FreeRide facade: Figure 3 of the paper, end to end.
+
+``FreeRide`` wires together
+
+1. an **offline bubble profile** of the training job (section 4.3),
+2. the **instrumented pipeline engine**, whose bubble reports travel to
+   the manager over RPC (step 5 of Figure 3),
+3. one **side-task worker per GPU** sized by its stage's bubble memory,
+4. the **side-task manager** running Algorithms 1 and 2.
+
+Typical use::
+
+    freeride = FreeRide(train_config)
+    freeride.submit(lambda: PageRankTask(), interface="iterative")
+    result = freeride.run()
+    print(result.tasks[0].units_done, result.training.total_time)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro import calibration
+from repro.core.manager import SideTaskManager
+from repro.core.policies import AssignmentPolicy, least_loaded_policy
+from repro.core.profiler import profile_side_task
+from repro.core.rpc import RpcChannel
+from repro.core.runtime import SideTaskRuntime
+from repro.core.states import SideTaskState
+from repro.core.task_spec import TaskProfile, TaskSpec
+from repro.core.worker import ManagedBubble, SideTaskWorker
+from repro.errors import TaskRejectedError
+from repro.gpu.cluster import Server, make_server_i
+from repro.pipeline.config import TrainConfig
+from repro.pipeline.engine import PipelineEngine, TrainingResult, profile_bubbles
+from repro.pipeline.instrumentation import (
+    BubbleListener,
+    BubbleProfile,
+    BubbleStart,
+)
+from repro.pipeline.memory_model import MemoryModel
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.interfaces import ImperativeSideTask, IterativeSideTask
+
+WorkloadFactory = typing.Callable[[], "IterativeSideTask | ImperativeSideTask"]
+
+
+class _ManagerListener(BubbleListener):
+    """Forwards instrumentation reports to the manager over RPC."""
+
+    def __init__(self, sim: Engine, manager: SideTaskManager,
+                 memory: MemoryModel, hook_cost_s: float,
+                 rpc_latency_s: float):
+        self.hook_cost_s = hook_cost_s
+        self.manager = manager
+        self.memory = memory
+        self.rpc = RpcChannel(sim, "instrumentation", latency_s=rpc_latency_s)
+
+    def on_bubble_start(self, report: BubbleStart) -> None:
+        bubble = ManagedBubble(
+            stage=report.stage,
+            start=report.start,
+            expected_end=report.expected_end,
+            available_gb=report.available_gb,
+        )
+        self.rpc.cast(self.manager.add_bubble, bubble)
+
+    def on_bubble_end(self, stage: int, now: float) -> None:
+        self.rpc.cast(self.manager.bubble_ended, stage, now)
+
+
+@dataclasses.dataclass
+class TaskReport:
+    """Final accounting for one submitted side task."""
+
+    name: str
+    interface: str
+    stage: int
+    final_state: SideTaskState
+    failure: str | None
+    steps_done: int
+    units_done: float
+    running_s: float
+    overhead_s: float
+    insufficient_s: float
+    init_s: float
+    gpu_memory_gb: float
+
+
+@dataclasses.dataclass
+class FreeRideResult:
+    """Outcome of one FreeRide serving run."""
+
+    training: TrainingResult
+    tasks: list[TaskReport]
+    rejections: list[tuple[str, str]]
+    bubble_profile: BubbleProfile
+
+    def task(self, name: str) -> TaskReport:
+        for report in self.tasks:
+            if report.name == name:
+                return report
+        raise KeyError(name)
+
+    @property
+    def total_units(self) -> float:
+        return sum(report.units_done for report in self.tasks)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(report.steps_done for report in self.tasks)
+
+
+class FreeRide:
+    """The middleware: instrumented training + managed side tasks."""
+
+    def __init__(
+        self,
+        train_config: TrainConfig,
+        server_factory: typing.Callable[[Engine], Server] = make_server_i,
+        sim: Engine | None = None,
+        seed: int = 0,
+        policy: AssignmentPolicy = least_loaded_policy,
+        profiling_epochs: int = 3,
+        hook_cost_s: float = calibration.INSTRUMENTATION_OVERHEAD_S,
+        rpc_latency_s: float = calibration.RPC_LATENCY_S,
+        grace_period_s: float = calibration.GRACE_PERIOD_S,
+    ):
+        self.sim = sim or Engine()
+        self.server = server_factory(self.sim)
+        self.config = train_config
+        self.rng = RandomStreams(seed)
+        # Offline profiling: once per model + schedule (paper section 4.3).
+        self.bubble_profile = profile_bubbles(
+            server_factory, train_config, profiling_epochs
+        )
+        self.memory = MemoryModel(
+            train_config.model,
+            train_config.num_stages,
+            train_config.micro_batches,
+            gpu_memory_gb=self.server.gpu(0).memory_gb,
+        )
+        self.workers = [
+            SideTaskWorker(
+                self.sim,
+                self.server.gpu(stage),
+                stage,
+                side_task_memory_gb=self.memory.available_gb(stage),
+                mps=self.server.mps,
+                rng=self.rng.spawn(f"worker{stage}"),
+            )
+            for stage in range(train_config.num_stages)
+        ]
+        self.manager = SideTaskManager(
+            self.sim,
+            self.workers,
+            policy=policy,
+            rpc_latency_s=rpc_latency_s,
+            grace_period_s=grace_period_s,
+        )
+        listener = _ManagerListener(
+            self.sim, self.manager, self.memory, hook_cost_s, rpc_latency_s
+        )
+        self.pipeline = PipelineEngine(
+            self.sim,
+            self.server,
+            train_config,
+            rng=self.rng.spawn("pipeline"),
+            listener=listener,
+            profile=self.bubble_profile,
+        )
+        self._submissions: list[tuple[TaskSpec, str, int]] = []
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        workload_factory: WorkloadFactory,
+        interface: str = "iterative",
+        profile: TaskProfile | None = None,
+        name: str = "",
+        memory_limit_gb: float | None = None,
+    ) -> TaskSpec | None:
+        """Profile (if needed) and submit one side task.
+
+        Returns the accepted :class:`TaskSpec`, or None when Algorithm 1
+        rejected the task for lack of bubble memory.
+        """
+        if profile is None:
+            probe = workload_factory()
+            profile = profile_side_task(probe, interface=interface)
+        workload = workload_factory()
+        if not name:
+            # Stable per-run names keep the derived RNG streams — and so
+            # the whole simulation — deterministic for a given seed.
+            name = f"{workload.name}-{len(self._submissions)}"
+        spec = TaskSpec(
+            workload=workload,
+            profile=profile,
+            name=name,
+            memory_limit_gb=memory_limit_gb,
+            submitted_at=self.sim.now,
+        )
+        try:
+            worker = self.manager.submit(spec, interface)
+        except TaskRejectedError:
+            return None
+        self._submissions.append((spec, interface, worker.stage))
+        return spec
+
+    def submit_replicated(
+        self,
+        workload_factory: WorkloadFactory,
+        interface: str = "iterative",
+        copies: int | None = None,
+    ) -> int:
+        """Paper section 6.2: "we run the same side task in all workers if
+        they have enough GPU memory" — submit up to one copy per worker,
+        stopping at the first rejection. Returns the number accepted."""
+        probe = workload_factory()
+        profile = profile_side_task(probe, interface=interface)
+        eligible = sum(
+            1 for worker in self.workers
+            if worker.available_gb > profile.gpu_memory_gb
+        )
+        limit = min(copies if copies is not None else eligible, eligible)
+        accepted = 0
+        for _ in range(limit):
+            if self.submit(workload_factory, interface, profile=profile) is None:
+                break
+            accepted += 1
+        return accepted
+
+    # ------------------------------------------------------------------
+    def run(self, settle_s: float = 2.0) -> FreeRideResult:
+        """Run training to completion, then stop side tasks and report."""
+        training_proc = self.pipeline.start()
+        training_result: TrainingResult = self.sim.run(until=training_proc)
+        for task in self.manager.live_tasks():
+            self.manager.stop_task(task)
+        self.sim.run(until=self.sim.now + settle_s)
+        self.sim.run()  # drain any remaining teardown events
+        reports = [
+            self._report(spec, interface, stage)
+            for spec, interface, stage in self._submissions
+        ]
+        return FreeRideResult(
+            training=training_result,
+            tasks=reports,
+            rejections=list(self.manager.rejections),
+            bubble_profile=self.bubble_profile,
+        )
+
+    def _report(self, spec: TaskSpec, interface: str, stage: int) -> TaskReport:
+        runtime = self._find_runtime(spec)
+        workload = spec.workload
+        return TaskReport(
+            name=spec.name,
+            interface=interface,
+            stage=stage,
+            final_state=runtime.state,
+            failure=runtime.failure,
+            steps_done=workload.steps_done,
+            units_done=workload.units_done,
+            running_s=runtime.running_s,
+            overhead_s=runtime.overhead_s,
+            insufficient_s=runtime.insufficient_s,
+            init_s=runtime.init_s,
+            gpu_memory_gb=spec.profile.gpu_memory_gb,
+        )
+
+    def _find_runtime(self, spec: TaskSpec) -> SideTaskRuntime:
+        for worker in self.workers:
+            for runtime in worker.all_tasks:
+                if runtime.spec is spec:
+                    return runtime
+        raise KeyError(spec.name)

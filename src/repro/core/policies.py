@@ -1,0 +1,56 @@
+"""Worker-assignment policies for the side-task manager.
+
+Algorithm 1 of the paper filters workers by available GPU memory and picks
+the one serving the fewest tasks (:func:`least_loaded_policy`). The paper's
+discussion section anticipates "more sophisticated management" strategies;
+we provide three more as drop-in policies and compare them in the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.worker import SideTaskWorker
+
+#: Given the memory-eligible workers, pick one (or None to reject).
+AssignmentPolicy = typing.Callable[
+    ["list[SideTaskWorker]"], "SideTaskWorker | None"
+]
+
+
+def least_loaded_policy(eligible: "list[SideTaskWorker]"):
+    """Paper Algorithm 1, lines 6-9: fewest tasks wins; ties go to the
+    first worker in iteration order."""
+    best = None
+    min_tasks = float("inf")
+    for worker in eligible:
+        num_tasks = worker.get_task_num()
+        if num_tasks < min_tasks:
+            min_tasks = num_tasks
+            best = worker
+    return best
+
+
+def first_fit_policy(eligible: "list[SideTaskWorker]"):
+    """Take the first memory-eligible worker."""
+    return eligible[0] if eligible else None
+
+
+def best_fit_policy(eligible: "list[SideTaskWorker]"):
+    """Tightest memory fit: keeps big-memory workers free for big tasks."""
+    return min(eligible, key=lambda worker: worker.available_gb, default=None)
+
+
+def worst_fit_policy(eligible: "list[SideTaskWorker]"):
+    """Loosest fit: maximizes each task's memory headroom."""
+    return max(eligible, key=lambda worker: worker.available_gb, default=None)
+
+
+NAMED_POLICIES: dict[str, AssignmentPolicy] = {
+    "least_loaded": least_loaded_policy,
+    "first_fit": first_fit_policy,
+    "best_fit": best_fit_policy,
+    "worst_fit": worst_fit_policy,
+}

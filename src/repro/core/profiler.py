@@ -1,0 +1,86 @@
+"""The automated side-task profiler (paper section 4.3).
+
+"FreeRide profiles it with the automated profiling tool for its
+performance characteristics of GPU memory consumption and per-step
+duration." The tool runs the side task alone on a scratch simulated GPU,
+*measures* the memory it allocates and how long its steps take, and emits
+a :class:`~repro.core.task_spec.TaskProfile`. For imperative tasks only
+memory is profiled — "since the side task is not step-wise, the automated
+profiling tool does not measure the per-step duration."
+
+Profiling consumes the probe instance (its counters advance); callers
+submit a fresh workload instance for serving, which is what
+:meth:`repro.core.middleware.FreeRide.submit` does with its factory
+argument.
+"""
+
+from __future__ import annotations
+
+import statistics
+import typing
+
+from repro.core.interfaces import (
+    ImperativeSideTask,
+    IterativeSideTask,
+    SideTaskContext,
+)
+from repro.core.task_spec import TaskProfile
+from repro.errors import SideTaskError
+from repro.gpu.device import SimGPU
+from repro.gpu.kernel import Priority
+from repro.gpu.process import GPUProcess
+from repro.gpu.sharing import SharingMode
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+
+
+def profile_side_task(
+    workload: "IterativeSideTask | ImperativeSideTask",
+    interface: str = "iterative",
+    steps: int = 12,
+    seed: int = 0,
+    gpu_memory_gb: float = 48.0,
+) -> TaskProfile:
+    """Measure ``workload`` on a dedicated profiling GPU."""
+    if interface not in ("iterative", "imperative"):
+        raise SideTaskError(f"unknown interface {interface!r}")
+    if steps < 1:
+        raise SideTaskError(f"need at least one profiling step, got {steps}")
+    sim = Engine()
+    gpu = SimGPU(sim, "profiler-gpu", memory_gb=gpu_memory_gb,
+                 sharing=SharingMode.EXCLUSIVE)
+    proc = GPUProcess(sim, gpu, name=f"profile:{workload.name}",
+                      priority=Priority.SIDE)
+    ctx = SideTaskContext(sim, proc, RandomStreams(seed), workload.name)
+    outcome: dict[str, typing.Any] = {}
+
+    def probe():
+        workload.create_side_task()
+        workload.init_side_task(ctx)
+        outcome["memory_gb"] = proc.memory_gb
+        if interface == "iterative":
+            if not isinstance(workload, IterativeSideTask):
+                raise SideTaskError(
+                    f"{workload.name} does not implement the iterative interface"
+                )
+            durations: list[float] = []
+            units_before = workload.units_done
+            for _ in range(steps):
+                begin = sim.now
+                yield from workload.run_next_step(ctx)
+                durations.append(sim.now - begin)
+            outcome["step_time_s"] = statistics.median(durations)
+            outcome["units_per_step"] = (
+                (workload.units_done - units_before) / steps
+            )
+        workload.stop_side_task(ctx)
+        if False:  # pragma: no cover - keep this a generator for 0-step paths
+            yield
+
+    process = sim.process(probe(), name=f"profile:{workload.name}")
+    sim.run(until=process)
+    return TaskProfile(
+        gpu_memory_gb=outcome["memory_gb"],
+        step_time_s=outcome.get("step_time_s"),
+        units_per_step=outcome.get("units_per_step", 1.0),
+    )

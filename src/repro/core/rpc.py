@@ -1,0 +1,57 @@
+"""Virtual-time RPC channels (the gRPC stand-in).
+
+The paper wires its components — instrumented DeepSpeed, the side-task
+manager, workers, and task processes — with gRPC (section 4.6). What the
+middleware's behaviour depends on is delivery latency: a pause RPC issued
+at a bubble's end lands on the task about one latency later, and any
+kernels the task launched in between overlap with training. This module
+provides one-way casts and request/response calls with that latency.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import calibration
+from repro.errors import RpcError
+from repro.sim.engine import Engine
+from repro.sim.events import SimEvent
+
+
+class RpcChannel:
+    """A named endpoint pair with symmetric one-way latency."""
+
+    def __init__(self, engine: Engine, name: str,
+                 latency_s: float = calibration.RPC_LATENCY_S):
+        if latency_s < 0:
+            raise RpcError(f"RPC latency must be >= 0, got {latency_s}")
+        self.engine = engine
+        self.name = name
+        self.latency_s = latency_s
+        self.casts_sent = 0
+        self.calls_sent = 0
+
+    def cast(self, handler: typing.Callable, *args, **kwargs) -> None:
+        """Fire-and-forget: run ``handler`` one latency from now."""
+        self.casts_sent += 1
+        timeout = self.engine.timeout(self.latency_s)
+        timeout.callbacks.append(lambda _ev: handler(*args, **kwargs))
+
+    def call(self, handler: typing.Callable, *args, **kwargs) -> SimEvent:
+        """Request/response: the returned event carries the handler's
+        result after a full round trip (2x latency)."""
+        self.calls_sent += 1
+        reply = self.engine.event(name=f"{self.name}:reply")
+
+        def _invoke(_ev):
+            try:
+                result = handler(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - deliver to caller
+                reply.fail(RpcError(f"{self.name}: handler raised {exc!r}"),
+                           delay=self.latency_s)
+                return
+            reply.succeed(result, delay=self.latency_s)
+
+        timeout = self.engine.timeout(self.latency_s)
+        timeout.callbacks.append(_invoke)
+        return reply

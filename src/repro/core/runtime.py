@@ -1,0 +1,329 @@
+"""Side-task runtimes: the state machine made executable.
+
+A runtime owns one side task's process and drives its workload through
+the Figure 4(a) life cycle. The manager initiates transitions through
+RPCs; the runtime applies them at the granularity its interface allows:
+
+* :class:`IterativeRuntime` checks for pending transition RPCs between
+  steps and enforces the **program-directed** time limit — a step only
+  runs when the bubble's remaining time covers the profiled step duration
+  plus a safety margin (section 4.5);
+* :class:`ImperativeRuntime` maps pause/resume onto SIGTSTP/SIGCONT; the
+  stop signal cannot recall kernels already on the device, so those
+  overlap with training (section 5).
+
+Both maintain ``last_paused_at``, the timestamp the framework-enforced
+mechanism inspects after its grace period.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import enum
+import typing
+
+from repro import calibration
+from repro.core.interfaces import ImperativeSideTask, IterativeSideTask, SideTaskContext
+from repro.core.rpc import RpcChannel
+from repro.core.states import SideTaskState, StateMachine, Transition
+from repro.core.task_spec import TaskSpec
+from repro.errors import GpuOutOfMemoryError, ProcessKilledError
+from repro.sim.events import Interrupt
+from repro.sim.rng import RandomStreams
+from repro.sim.signals import Signal
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.container import Container
+    from repro.gpu.process import GPUProcess
+    from repro.sim.engine import Engine
+
+
+class CommandKind(enum.Enum):
+    INIT = "InitSideTask"
+    START = "StartSideTask"
+    PAUSE = "PauseSideTask"
+    STOP = "StopSideTask"
+
+
+@dataclasses.dataclass(frozen=True)
+class Command:
+    kind: CommandKind
+    #: for START: when the manager expects the current bubble to end
+    bubble_end: float | None = None
+
+
+class SideTaskRuntime:
+    """State, accounting, and command plumbing shared by both interfaces."""
+
+    def __init__(
+        self,
+        sim: "Engine",
+        spec: TaskSpec,
+        proc: "GPUProcess",
+        container: "Container",
+        rng: RandomStreams,
+        on_terminal: typing.Callable[["SideTaskRuntime"], None] | None = None,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.workload = spec.workload
+        self.proc = proc
+        self.container = container
+        self.machine = StateMachine()
+        self.rpc = RpcChannel(sim, name=f"rpc:{spec.name}")
+        self.ctx = SideTaskContext(sim, proc, rng, task_name=spec.name)
+        self.on_terminal = on_terminal
+        #: called after externally visible transitions (wired to the manager)
+        self.notify: typing.Callable[["SideTaskRuntime"], None] | None = None
+        #: set once the worker returned this task's memory reservation
+        self.released = False
+        #: last time a pause took effect — read by the framework-enforced limit
+        self.last_paused_at = float("-inf")
+        self.failure: str | None = None
+        # bubble-time accounting (Figure 9)
+        self.running_s = 0.0
+        self.overhead_s = 0.0
+        self.insufficient_s = 0.0
+        self.init_s = 0.0
+        self._commands: collections.deque[Command] = collections.deque()
+        self._command_event = None
+        self._main = None
+
+    # ------------------------------------------------------------------
+    # life cycle driven by the worker/manager
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> SideTaskState:
+        return self.machine.state
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.alive and not self.machine.terminated
+
+    def create(self) -> None:
+        """CreateSideTask: load host context, spawn the interface loop."""
+        self.workload.create_side_task()
+        self.machine.apply(Transition.CREATE, self.sim.now)
+        self._main = self.proc.attach(
+            self.sim.process(self._guarded_main(), name=f"task:{self.spec.name}")
+        )
+
+    def deliver(self, command: Command) -> None:
+        """RPC arrival point (already delayed by the channel)."""
+        if not self.alive:
+            return
+        self._commands.append(command)
+        if self._command_event is not None and self._command_event.pending:
+            self._command_event.succeed()
+
+    def kill(self, reason: str) -> None:
+        """SIGKILL path (framework-enforced limit, OOM, teardown)."""
+        self.failure = reason
+        self.container.record_fault(self.proc, reason)
+        self.proc.kill(reason)
+        self._terminal()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _guarded_main(self):
+        try:
+            yield from self._main_loop()
+        except Interrupt:
+            pass  # killed: terminal handling below
+        except GpuOutOfMemoryError as exc:
+            # MPS kills the offending process only (paper section 4.5).
+            self.failure = f"OOM: {exc}"
+            self.container.record_fault(self.proc, self.failure)
+            self.proc.kill("OOM")
+        except ProcessKilledError:
+            pass
+        self._terminal()
+
+    def _main_loop(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+        yield  # make this a generator
+
+    def _terminal(self) -> None:
+        if self.machine.can_apply(Transition.STOP):
+            self.machine.apply(Transition.STOP, self.sim.now)
+        if self.on_terminal is not None:
+            callback, self.on_terminal = self.on_terminal, None
+            callback(self)
+
+    def _notify(self) -> None:
+        if self.notify is not None:
+            self.notify(self)
+
+    def _next_command(self):
+        while not self._commands:
+            if self._command_event is None or self._command_event.processed:
+                self._command_event = self.sim.event(
+                    name=f"{self.spec.name}:cmd"
+                )
+            yield self._command_event
+        return self._commands.popleft()
+
+    def _do_init(self):
+        """InitSideTask: allocate and upload the GPU context."""
+        start = self.sim.now
+        self.workload.init_side_task(self.ctx)  # may raise OOM
+        transfer_s = (
+            self.spec.profile.gpu_memory_gb / calibration.H2D_BANDWIDTH_GB_S
+        )
+        if transfer_s > 0:
+            yield self.sim.timeout(transfer_s)
+        self.machine.apply(Transition.INIT, self.sim.now)
+        self.last_paused_at = self.sim.now
+        self.init_s += self.sim.now - start
+        self._notify()
+
+    def _stop_cleanly(self):
+        self.workload.stop_side_task(self.ctx)
+        if self.machine.can_apply(Transition.STOP):
+            self.machine.apply(Transition.STOP, self.sim.now)
+
+
+class IterativeRuntime(SideTaskRuntime):
+    """The iterative interface: step loop with the program-directed gate."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not isinstance(self.workload, IterativeSideTask):
+            raise TypeError(
+                f"{self.workload.name} is not an IterativeSideTask"
+            )
+
+    def _main_loop(self):
+        while True:
+            command = yield from self._next_command()
+            if command.kind is CommandKind.INIT:
+                if self.machine.can_apply(Transition.INIT):
+                    yield from self._do_init()
+            elif command.kind is CommandKind.START:
+                if self.machine.can_apply(Transition.START):
+                    self.machine.apply(Transition.START, self.sim.now)
+                    # Interface dispatch + CUDA context reactivation before
+                    # the first step of this bubble can launch.
+                    resume = calibration.TASK_RESUME_LATENCY_S
+                    if resume > 0:
+                        yield self.sim.timeout(resume)
+                        self.overhead_s += resume
+                    stop = yield from self._running_loop(command.bubble_end)
+                    if stop:
+                        break
+            elif command.kind is CommandKind.PAUSE:
+                # Already paused (e.g. duplicate RPC): refresh the timestamp.
+                self.last_paused_at = self.sim.now
+            elif command.kind is CommandKind.STOP:
+                break
+        self._stop_cleanly()
+
+    def _running_loop(self, bubble_end: float | None):
+        """Run steps while RUNNING; returns True when STOP arrived."""
+        step_time = self.spec.profile.step_time_s
+        margin = 1.0 + calibration.STEP_FIT_SAFETY_MARGIN
+        while self.machine.state is SideTaskState.RUNNING:
+            if self._commands:
+                command = self._commands.popleft()
+                if command.kind is CommandKind.PAUSE:
+                    self.machine.apply(Transition.PAUSE, self.sim.now)
+                    self.last_paused_at = self.sim.now
+                    self._notify()
+                    return False
+                if command.kind is CommandKind.STOP:
+                    return True
+                if command.kind is CommandKind.START:
+                    bubble_end = command.bubble_end  # refreshed window
+                continue
+            fits = True
+            if bubble_end is not None and step_time is not None:
+                fits = self.sim.now + step_time * margin <= bubble_end
+            if not fits:
+                # Program-directed limit: idle out the bubble's tail.
+                wait_start = self.sim.now
+                yield from self._wait_for_command_event()
+                idle_end = min(self.sim.now, max(bubble_end, wait_start))
+                self.insufficient_s += max(0.0, idle_end - wait_start)
+                continue
+            overhead = calibration.ITERATIVE_STEP_OVERHEAD_S
+            if overhead > 0:
+                yield self.sim.timeout(overhead)
+                self.overhead_s += overhead
+            self.machine.apply(Transition.RUN_NEXT_STEP, self.sim.now)
+            step_start = self.sim.now
+            yield from self.workload.run_next_step(self.ctx)
+            self.running_s += self.sim.now - step_start
+            if self.workload.is_finished:
+                return True
+        return False
+
+    def _wait_for_command_event(self):
+        while not self._commands:
+            if self._command_event is None or self._command_event.processed:
+                self._command_event = self.sim.event(
+                    name=f"{self.spec.name}:cmd"
+                )
+            yield self._command_event
+
+
+class ImperativeRuntime(SideTaskRuntime):
+    """The imperative interface: signals around ``run_gpu_workload``."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if not isinstance(self.workload, ImperativeSideTask):
+            raise TypeError(
+                f"{self.workload.name} is not an ImperativeSideTask"
+            )
+        self._body = None
+
+    def _main_loop(self):
+        while True:
+            command = yield from self._next_command()
+            if command.kind is CommandKind.INIT:
+                if self.machine.can_apply(Transition.INIT):
+                    yield from self._do_init()
+                    # Hold the process stopped until the first bubble.
+                    self.proc.send_signal(Signal.SIGTSTP)
+            elif command.kind is CommandKind.START:
+                if not self.machine.can_apply(Transition.START):
+                    continue
+                # SIGCONT handler performs StartSideTask (paper section 4.2).
+                yield self.sim.timeout(calibration.SIGNAL_PAUSE_LATENCY_S)
+                self.machine.apply(Transition.START, self.sim.now)
+                self.proc.send_signal(Signal.SIGCONT)
+                if self._body is None:
+                    self._body = self.proc.attach(
+                        self.sim.process(
+                            self._run_body(), name=f"{self.spec.name}:body"
+                        )
+                    )
+            elif command.kind is CommandKind.PAUSE:
+                if self.machine.state is SideTaskState.RUNNING:
+                    # Signal delivery plus handler latency; in-flight
+                    # kernels keep running — the imperative overhead.
+                    yield self.sim.timeout(calibration.SIGNAL_PAUSE_LATENCY_S)
+                    if self.machine.state is SideTaskState.RUNNING:
+                        self.machine.apply(Transition.PAUSE, self.sim.now)
+                        self.last_paused_at = self.sim.now
+                        self.proc.send_signal(Signal.SIGTSTP)
+                        self._notify()
+            elif command.kind is CommandKind.STOP:
+                break
+        if self._body is not None and self._body.alive:
+            self.proc.kill("stopped")
+        else:
+            self._stop_cleanly()
+
+    def _run_body(self):
+        try:
+            yield from self.workload.run_gpu_workload(self.ctx)
+        except (Interrupt, ProcessKilledError):
+            return
+        except GpuOutOfMemoryError as exc:
+            self.failure = f"OOM: {exc}"
+            self.container.record_fault(self.proc, self.failure)
+            self.proc.kill("OOM")
+            self._terminal()

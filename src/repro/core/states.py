@@ -1,0 +1,100 @@
+"""The side-task life-cycle state machine (paper Figure 4a).
+
+Five states capture the life cycle of a side task "from process creation
+to termination", each corresponding to a different hardware footprint:
+
+* ``SUBMITTED`` — profiled and handed to the manager; no process yet;
+* ``CREATED`` — the worker created the process; context in host memory
+  only;
+* ``PAUSED`` — context loaded into GPU memory, waiting for a bubble;
+* ``RUNNING`` — executing steps on the GPU during a bubble;
+* ``STOPPED`` — all resources released, process terminated.
+
+Six transitions connect them; ``RunNextStep`` is the RUNNING self-loop the
+iterative interface executes once per step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import IllegalTransitionError
+
+
+class SideTaskState(enum.Enum):
+    SUBMITTED = "SUBMITTED"
+    CREATED = "CREATED"
+    PAUSED = "PAUSED"
+    RUNNING = "RUNNING"
+    STOPPED = "STOPPED"
+
+
+class Transition(enum.Enum):
+    CREATE = "CreateSideTask"
+    INIT = "InitSideTask"
+    START = "StartSideTask"
+    PAUSE = "PauseSideTask"
+    RUN_NEXT_STEP = "RunNextStep"
+    STOP = "StopSideTask"
+
+
+#: (from-state, transition) -> to-state; exactly the arrows of Figure 4(a).
+TRANSITION_TABLE: dict[tuple[SideTaskState, Transition], SideTaskState] = {
+    (SideTaskState.SUBMITTED, Transition.CREATE): SideTaskState.CREATED,
+    (SideTaskState.CREATED, Transition.INIT): SideTaskState.PAUSED,
+    (SideTaskState.PAUSED, Transition.START): SideTaskState.RUNNING,
+    (SideTaskState.RUNNING, Transition.PAUSE): SideTaskState.PAUSED,
+    (SideTaskState.RUNNING, Transition.RUN_NEXT_STEP): SideTaskState.RUNNING,
+    (SideTaskState.CREATED, Transition.STOP): SideTaskState.STOPPED,
+    (SideTaskState.PAUSED, Transition.STOP): SideTaskState.STOPPED,
+    (SideTaskState.RUNNING, Transition.STOP): SideTaskState.STOPPED,
+}
+
+
+def legal_transitions(state: SideTaskState) -> set[Transition]:
+    """The transitions permitted from ``state``."""
+    return {
+        transition
+        for (from_state, transition) in TRANSITION_TABLE
+        if from_state is state
+    }
+
+
+@dataclasses.dataclass
+class StateMachine:
+    """Tracks one side task's state with legality checking and history."""
+
+    state: SideTaskState = SideTaskState.SUBMITTED
+    history: list[tuple[float, SideTaskState]] = dataclasses.field(
+        default_factory=list
+    )
+
+    def apply(self, transition: Transition, now: float = 0.0) -> SideTaskState:
+        """Apply ``transition``; raises :class:`IllegalTransitionError`."""
+        key = (self.state, transition)
+        if key not in TRANSITION_TABLE:
+            raise IllegalTransitionError(self.state.value, transition.value)
+        self.state = TRANSITION_TABLE[key]
+        self.history.append((now, self.state))
+        return self.state
+
+    def can_apply(self, transition: Transition) -> bool:
+        return (self.state, transition) in TRANSITION_TABLE
+
+    @property
+    def terminated(self) -> bool:
+        return self.state is SideTaskState.STOPPED
+
+    def time_in_state(self, state: SideTaskState, until: float) -> float:
+        """Total virtual time spent in ``state`` up to ``until``."""
+        total = 0.0
+        current = SideTaskState.SUBMITTED
+        since = 0.0
+        for when, new_state in self.history:
+            if current is state:
+                total += when - since
+            current, since = new_state, when
+        if current is state:
+            total += until - since
+        return total

@@ -1,0 +1,70 @@
+"""Task specifications and measured performance profiles.
+
+A :class:`TaskProfile` is what the automated profiler (section 4.3)
+extracts from a side task: GPU memory consumption and — for iterative
+tasks only — the per-step duration. The manager uses the memory figure for
+Algorithm 1's placement and the step duration for the program-directed
+time limit; imperative tasks have no step duration, which is why they can
+only be limited by the framework-enforced mechanism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.interfaces import ImperativeSideTask, IterativeSideTask
+
+_task_ids = itertools.count()
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskProfile:
+    """Measured performance characteristics of a side task."""
+
+    #: GPU memory the task holds once initialized (GB), as measured.
+    gpu_memory_gb: float
+    #: Median measured RunNextStep duration; None for imperative tasks.
+    step_time_s: float | None
+    #: Work units per step (from the task's own accounting).
+    units_per_step: float = 1.0
+
+    def __post_init__(self):
+        if self.gpu_memory_gb < 0:
+            raise ValueError(
+                f"profiled memory must be >= 0, got {self.gpu_memory_gb}"
+            )
+        if self.step_time_s is not None and self.step_time_s <= 0:
+            raise ValueError(
+                f"profiled step time must be positive, got {self.step_time_s}"
+            )
+
+    @property
+    def is_iterative(self) -> bool:
+        return self.step_time_s is not None
+
+
+@dataclasses.dataclass
+class TaskSpec:
+    """A side task submitted to the manager: workload + profile."""
+
+    workload: "IterativeSideTask | ImperativeSideTask"
+    profile: TaskProfile
+    name: str = ""
+    #: MPS memory limit to apply; defaults to the profiled memory plus
+    #: 25% headroom (the worker clamps it to the bubble memory).
+    memory_limit_gb: float | None = None
+    submitted_at: float = 0.0
+    task_id: int = dataclasses.field(default_factory=lambda: next(_task_ids))
+
+    def __post_init__(self):
+        if not self.name:
+            self.name = f"{self.workload.name}-{self.task_id}"
+
+    @property
+    def requested_limit_gb(self) -> float:
+        if self.memory_limit_gb is not None:
+            return self.memory_limit_gb
+        return self.profile.gpu_memory_gb * 1.25

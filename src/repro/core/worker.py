@@ -1,0 +1,181 @@
+"""The per-GPU side-task worker.
+
+One worker runs next to each GPU (paper Figure 5). It keeps the metadata
+Algorithm 2 consumes — ``GPUMem``, ``TaskQueue``, ``CurrentTask``,
+``CurrentBubble`` — creates side-task processes inside a container with an
+MPS memory limit, and executes the kill decisions of the framework-enforced
+mechanism on the manager's behalf.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+from repro.core.runtime import ImperativeRuntime, IterativeRuntime, SideTaskRuntime
+from repro.core.task_spec import TaskSpec
+from repro.errors import SideTaskError
+from repro.gpu.container import Container
+from repro.gpu.kernel import Interference, Priority
+from repro.gpu.process import GPUProcess
+from repro.sim.rng import RandomStreams
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.device import SimGPU
+    from repro.gpu.mps import MpsControl
+    from repro.sim.engine import Engine
+
+
+@dataclasses.dataclass
+class ManagedBubble:
+    """A bubble as the manager tracks it (from an instrumentation report)."""
+
+    stage: int
+    start: float
+    #: start + profiled duration; the manager pauses the task at this time
+    expected_end: float | None
+    available_gb: float
+    reported_end: float | None = None
+
+    def has_ended(self, now: float) -> bool:
+        if self.reported_end is not None and now >= self.reported_end:
+            return True
+        return self.expected_end is not None and now >= self.expected_end - 1e-9
+
+    @property
+    def end_estimate(self) -> float | None:
+        return self.expected_end
+
+
+class SideTaskWorker:
+    """Creates, tracks, and (when necessary) kills side-task processes."""
+
+    def __init__(
+        self,
+        sim: "Engine",
+        gpu: "SimGPU",
+        stage: int,
+        side_task_memory_gb: float,
+        mps: "MpsControl | None" = None,
+        rng: RandomStreams | None = None,
+        name: str = "",
+    ):
+        self.sim = sim
+        self.gpu = gpu
+        self.stage = stage
+        self.name = name or f"worker{stage}"
+        #: GPU memory bubbles on this stage can offer (Algorithm 1's GPUMem)
+        self.side_task_memory_gb = side_task_memory_gb
+        self.mps = mps
+        self.rng = rng or RandomStreams(stage)
+        self.container = Container(self.name)
+        self.task_queue: collections.deque[SideTaskRuntime] = collections.deque()
+        self.current_task: SideTaskRuntime | None = None
+        self.current_bubble: ManagedBubble | None = None
+        self.bubble_inbox: collections.deque[ManagedBubble] = collections.deque()
+        self.all_tasks: list[SideTaskRuntime] = []
+        self.reserved_gb = 0.0
+        self.kills: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 support
+    # ------------------------------------------------------------------
+    @property
+    def available_gb(self) -> float:
+        """Bubble memory not yet reserved by assigned tasks."""
+        return self.side_task_memory_gb - self.reserved_gb
+
+    def get_task_num(self) -> int:
+        """Live tasks assigned to this worker (queued + current)."""
+        return sum(1 for task in self.all_tasks if not task.machine.terminated)
+
+    def add_task(
+        self,
+        spec: TaskSpec,
+        interface: str,
+        on_terminal: typing.Callable[[SideTaskRuntime], None] | None = None,
+    ) -> SideTaskRuntime:
+        """CreateSideTask: build the process in a container, apply the MPS
+        memory limit, load the host context, and enqueue."""
+        if interface not in ("iterative", "imperative"):
+            raise SideTaskError(f"unknown interface {interface!r}")
+        limit = min(spec.requested_limit_gb, self.side_task_memory_gb)
+        proc = GPUProcess(
+            self.sim,
+            self.gpu,
+            name=f"{self.name}:{spec.name}",
+            priority=Priority.SIDE,
+            interference=Interference(
+                mps_on_higher=spec.workload.perf.mps_interference,
+                mps_on_lower=0.3,
+                time_slice=spec.workload.perf.naive_interference,
+            ),
+            memory_limit_gb=limit,
+        )
+        if self.mps is not None:
+            self.mps.set_memory_limit(proc, limit)
+        self.container.adopt(proc)
+        runtime_cls = (
+            IterativeRuntime if interface == "iterative" else ImperativeRuntime
+        )
+        runtime = runtime_cls(
+            self.sim,
+            spec,
+            proc,
+            self.container,
+            self.rng.spawn(spec.name),
+            on_terminal=on_terminal,
+        )
+        runtime.create()
+        self.reserved_gb += spec.profile.gpu_memory_gb
+        self.task_queue.append(runtime)
+        self.all_tasks.append(runtime)
+        return runtime
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 support
+    # ------------------------------------------------------------------
+    def enqueue_bubble(self, bubble: ManagedBubble) -> None:
+        self.bubble_inbox.append(bubble)
+
+    def has_new_bubble(self) -> bool:
+        return bool(self.bubble_inbox)
+
+    def update_current_bubble(self) -> None:
+        """Adopt the next unexpired bubble from the inbox."""
+        now = self.sim.now
+        while self.bubble_inbox:
+            bubble = self.bubble_inbox.popleft()
+            if not bubble.has_ended(now):
+                self.current_bubble = bubble
+                return
+        # everything in the inbox was stale; keep whatever we had
+
+    def next_task(self) -> SideTaskRuntime | None:
+        """Pop the oldest live task from the queue (Algorithm 2 line 14)."""
+        while self.task_queue:
+            runtime = self.task_queue.popleft()
+            if not runtime.machine.terminated:
+                return runtime
+        return None
+
+    # ------------------------------------------------------------------
+    # framework-enforced kills (paper section 4.5)
+    # ------------------------------------------------------------------
+    def kill_task(self, runtime: SideTaskRuntime, reason: str) -> None:
+        self.kills.append((runtime.spec.name, reason))
+        runtime.kill(reason)
+
+    def release(self, runtime: SideTaskRuntime) -> None:
+        """Return a finished task's memory reservation (idempotent)."""
+        if runtime.released:
+            return
+        runtime.released = True
+        self.reserved_gb = max(
+            0.0, self.reserved_gb - runtime.spec.profile.gpu_memory_gb
+        )
+
+    def stop(self) -> None:
+        """Tear down the worker's container and everything in it."""
+        self.container.stop()

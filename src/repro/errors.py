@@ -1,0 +1,62 @@
+"""Exception hierarchy for the FreeRide reproduction.
+
+Every package raises errors derived from :class:`ReproError` so callers can
+catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation is driven incorrectly."""
+
+
+class GpuError(ReproError):
+    """Base class for errors raised by the simulated GPU substrate."""
+
+
+class GpuOutOfMemoryError(GpuError):
+    """A process exceeded its GPU memory allocation or limit.
+
+    Mirrors the CUDA out-of-memory error that MPS raises for the offending
+    process only (paper section 4.5): the failing process dies, other
+    processes on the device are unaffected.
+    """
+
+    def __init__(self, message: str, requested_gb: float = 0.0, limit_gb: float = 0.0):
+        super().__init__(message)
+        self.requested_gb = requested_gb
+        self.limit_gb = limit_gb
+
+
+class ProcessKilledError(GpuError):
+    """The simulated process received SIGKILL."""
+
+
+class PipelineError(ReproError):
+    """Raised on invalid pipeline-training configuration or scheduling."""
+
+
+class SideTaskError(ReproError):
+    """Base class for side-task failures."""
+
+
+class IllegalTransitionError(SideTaskError):
+    """A state transition not permitted by the FreeRide state machine."""
+
+    def __init__(self, current: str, requested: str):
+        super().__init__(f"illegal side-task transition: {current} -> {requested}")
+        self.current = current
+        self.requested = requested
+
+
+class TaskRejectedError(SideTaskError):
+    """Algorithm 1 rejected a side task (no worker has enough GPU memory)."""
+
+
+class RpcError(ReproError):
+    """An RPC could not be delivered (e.g. the peer is gone)."""

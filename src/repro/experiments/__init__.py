@@ -1,0 +1,37 @@
+"""One module per table/figure of the paper's evaluation.
+
+Each module exposes ``run(...) -> dict`` (the data) and ``render(data) ->
+str`` (the paper-like text table/series). ``repro.cli`` and the
+``benchmarks/`` harness drive them; EXPERIMENTS.md records the outputs
+against the paper's numbers.
+
+The paper trains for 128 epochs; since epochs are repetitive and stable
+(section 8), these experiments default to 8 epochs (4 for the large
+Figure 7 sweep) and report rates and ratios, which are epoch-count
+invariant.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    common,
+    fig1,
+    fig2,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+    table2,
+)
+
+EXPERIMENTS = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "table1": table1,
+    "table2": table2,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "ablations": ablations,
+}
+
+__all__ = ["EXPERIMENTS", "common"] + sorted(EXPERIMENTS)

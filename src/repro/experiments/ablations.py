@@ -1,0 +1,198 @@
+"""Ablations of FreeRide's design choices (beyond the paper's figures).
+
+* **grace period** — shorter graces kill misbehaving tasks sooner (less
+  training interference) but risk killing slow-but-honest pauses;
+* **RPC latency** — the manager's reaction time bounds how much of each
+  bubble is usable and how far steps overrun the end;
+* **assignment policy** — Algorithm 1's least-loaded rule vs first-fit /
+  best-fit / worst-fit on a heterogeneous task mix;
+* **step granularity** — finer steps utilize bubble tails better but pay
+  more interface overhead (the PageRank effect of Figure 9);
+* **schedule** — 1F1B vs GPipe bubble structure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import calibration
+from repro.core.middleware import FreeRide
+from repro.core.policies import NAMED_POLICIES
+from repro.experiments import common
+from repro.gpu.cluster import make_server_i
+from repro.metrics.cost import time_increase
+from repro.pipeline.analysis import bubble_rate
+from repro.pipeline.engine import PipelineEngine
+from repro.sim.engine import Engine
+from repro.workloads.model_training import ModelTrainingTask
+from repro.workloads.registry import workload_factory
+
+GRACE_PERIODS = (0.1, 0.25, 0.5, 1.0)
+RPC_LATENCIES = (0.0001, 0.001, 0.005, 0.02)
+STEP_SCALES = (0.3, 1.0, 3.0, 10.0)
+
+
+def run_grace_period() -> list[dict]:
+    """Kill latency of the framework-enforced limit vs the grace period.
+
+    A longer grace tolerates slow-but-honest pauses; a shorter one bounds
+    how long a runaway side task can trespass on training time.
+    """
+    from repro.core.manager import SideTaskManager
+    from repro.core.profiler import profile_side_task
+    from repro.core.task_spec import TaskSpec
+    from repro.core.worker import ManagedBubble, SideTaskWorker
+    from repro.sim.engine import Engine
+    from repro.workloads.misbehaving import NonPausingTask
+
+    rows = []
+    for grace in GRACE_PERIODS:
+        sim = Engine()
+        server = make_server_i(sim)
+        worker = SideTaskWorker(sim, server.gpu(0), 0,
+                                side_task_memory_gb=20.0, mps=server.mps)
+        manager = SideTaskManager(sim, [worker], grace_period_s=grace)
+        profile = profile_side_task(NonPausingTask(), interface="iterative")
+        manager.submit(TaskSpec(workload=NonPausingTask(), profile=profile))
+        runtime = worker.all_tasks[0]
+        sim.run(until=sim.now + 1.0)
+        bubble_end = sim.now + 0.65
+        manager.add_bubble(ManagedBubble(stage=0, start=sim.now,
+                                         expected_end=bubble_end,
+                                         available_gb=20.0))
+        sim.run(until=sim.now + 8.0)
+        stopped = [when for when, state in runtime.machine.history
+                   if state.value == "STOPPED"]
+        rows.append({
+            "grace_s": grace,
+            "killed": not runtime.proc.alive,
+            "trespass_s": (stopped[-1] - bubble_end) if stopped else None,
+        })
+    return rows
+
+
+def run_rpc_latency(epochs: int = 4) -> list[dict]:
+    config = common.train_config(epochs=epochs)
+    t_no = common.baseline_time(config)
+    rows = []
+    for latency in RPC_LATENCIES:
+        freeride = FreeRide(config, rpc_latency_s=latency)
+        freeride.submit_replicated(workload_factory("resnet18"))
+        result = freeride.run()
+        rows.append({
+            "rpc_latency_s": latency,
+            "time_increase": time_increase(result.training.total_time, t_no),
+            "units": result.total_units,
+        })
+    return rows
+
+
+def run_policies(epochs: int = 4) -> list[dict]:
+    config = common.train_config(epochs=epochs)
+    rows = []
+    for name, policy in NAMED_POLICIES.items():
+        freeride = FreeRide(config, policy=policy)
+        for task in ("pagerank", "resnet18", "resnet50", "pagerank"):
+            freeride.submit(workload_factory(task))
+        result = freeride.run()
+        stages = sorted(report.stage for report in result.tasks)
+        rows.append({
+            "policy": name,
+            "placement": stages,
+            "distinct_workers": len(set(stages)),
+            "units": result.total_units,
+        })
+    return rows
+
+
+def run_step_granularity(epochs: int = 4) -> list[dict]:
+    """Scale ResNet18's step size; measure utilization vs overhead."""
+    config = common.train_config(epochs=epochs)
+    rows = []
+    for scale in STEP_SCALES:
+        base = calibration.RESNET18
+        perf = dataclasses.replace(
+            base,
+            step_time_s=base.step_time_s * scale,
+            units_per_step=base.units_per_step * scale,
+        )
+        freeride = FreeRide(config)
+        freeride.submit_replicated(lambda perf=perf: ModelTrainingTask(perf))
+        result = freeride.run()
+        running = sum(report.running_s for report in result.tasks)
+        overhead = sum(report.overhead_s for report in result.tasks)
+        insufficient = sum(report.insufficient_s for report in result.tasks)
+        rows.append({
+            "step_s": perf.step_time_s,
+            "units_per_s": result.total_units / result.training.total_time,
+            "running_s": running,
+            "overhead_s": overhead,
+            "insufficient_s": insufficient,
+        })
+    return rows
+
+
+def run_schedules(epochs: int = 4) -> list[dict]:
+    rows = []
+    for schedule in ("1f1b", "gpipe"):
+        config = dataclasses.replace(
+            common.train_config(epochs=epochs), schedule=schedule
+        )
+        sim = Engine()
+        result = PipelineEngine(sim, make_server_i(sim), config).run()
+        rows.append({
+            "schedule": schedule,
+            "epoch_time_s": result.trace.mean_epoch_time(),
+            "bubble_rate": bubble_rate(result.trace),
+        })
+    return rows
+
+
+def run(epochs: int = 4) -> dict:
+    return {
+        "grace_period": run_grace_period(),
+        "rpc_latency": run_rpc_latency(epochs),
+        "policies": run_policies(epochs),
+        "step_granularity": run_step_granularity(epochs),
+        "schedules": run_schedules(epochs),
+    }
+
+
+def render(data: dict) -> str:
+    sections = []
+    sections.append(common.render_table(
+        "Ablation: grace period of the framework-enforced limit",
+        ["grace (s)", "killed", "trespass beyond bubble end (s)"],
+        [[f"{row['grace_s']:g}", str(row["killed"]),
+          f"{row['trespass_s']:.2f}" if row["trespass_s"] is not None else "-"]
+         for row in data["grace_period"]],
+    ))
+    sections.append(common.render_table(
+        "Ablation: RPC latency",
+        ["latency (s)", "time increase", "units"],
+        [[f"{row['rpc_latency_s']:g}", common.pct(row["time_increase"]),
+          f"{row['units']:.0f}"] for row in data["rpc_latency"]],
+    ))
+    sections.append(common.render_table(
+        "Ablation: assignment policy (pagerank, resnet18, resnet50, pagerank)",
+        ["policy", "placement (stages)", "distinct workers", "units"],
+        [[row["policy"], str(row["placement"]),
+          str(row["distinct_workers"]), f"{row['units']:.0f}"]
+         for row in data["policies"]],
+    ))
+    sections.append(common.render_table(
+        "Ablation: step granularity (ResNet18 variants)",
+        ["step (s)", "units/s", "running (s)", "overhead (s)",
+         "insufficient (s)"],
+        [[f"{row['step_s']:.4f}", f"{row['units_per_s']:.0f}",
+          f"{row['running_s']:.1f}", f"{row['overhead_s']:.2f}",
+          f"{row['insufficient_s']:.1f}"]
+         for row in data["step_granularity"]],
+    ))
+    sections.append(common.render_table(
+        "Ablation: pipeline schedule",
+        ["schedule", "epoch time (s)", "bubble rate"],
+        [[row["schedule"], f"{row['epoch_time_s']:.2f}",
+          common.pct(row["bubble_rate"])] for row in data["schedules"]],
+    ))
+    return "\n\n".join(sections)

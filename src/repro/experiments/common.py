@@ -1,0 +1,87 @@
+"""Shared runners and rendering helpers for the experiments."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.middleware import FreeRide, FreeRideResult
+from repro.gpu.cluster import make_server_i
+from repro.pipeline.config import TrainConfig, model_config
+from repro.pipeline.engine import PipelineEngine, TrainingResult
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+
+#: default epochs for experiments (the paper runs 128; epochs are
+#: repetitive, so rates and ratios are unchanged)
+DEFAULT_EPOCHS = 8
+SEED = 0
+
+
+def train_config(size: str = "3.6B", micro_batches: int = 4,
+                 epochs: int = DEFAULT_EPOCHS, seed: int = SEED) -> TrainConfig:
+    return TrainConfig(
+        model=model_config(size),
+        micro_batches=micro_batches,
+        epochs=epochs,
+        op_jitter=0.01,
+        seed=seed,
+    )
+
+
+@functools.lru_cache(maxsize=32)
+def _baseline_cached(params_billion: float, micro_batches: int, epochs: int,
+                     seed: int) -> float:
+    config = TrainConfig(
+        model=model_config(params_billion),
+        micro_batches=micro_batches,
+        epochs=epochs,
+        op_jitter=0.01,
+        seed=seed,
+    )
+    sim = Engine()
+    result = PipelineEngine(
+        sim, make_server_i(sim), config,
+        rng=RandomStreams(seed).spawn("pipeline"),
+    ).run()
+    return result.total_time
+
+
+def baseline_time(config: TrainConfig) -> float:
+    """T_noSideTask for this configuration (cached)."""
+    return _baseline_cached(config.model.params_billion, config.micro_batches,
+                            config.epochs, config.seed)
+
+
+def run_freeride(config: TrainConfig, submissions, seed: int = SEED,
+                 ) -> FreeRideResult:
+    """Run FreeRide with ``submissions`` = [(factory, interface, replicate)].
+
+    ``replicate=True`` places one copy on every worker with enough bubble
+    memory (the paper's single-task deployments); ``False`` submits once.
+    """
+    freeride = FreeRide(config, seed=seed)
+    for factory, interface, replicate in submissions:
+        if replicate:
+            freeride.submit_replicated(factory, interface)
+        else:
+            freeride.submit(factory, interface)
+    return freeride.run()
+
+
+def render_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width text table, the shape the paper's tables print in."""
+    widths = [
+        max(len(str(headers[col])), *(len(str(row[col])) for row in rows))
+        if rows else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    def fmt(cells):
+        return "  ".join(str(cell).ljust(width)
+                         for cell, width in zip(cells, widths))
+    lines = [title, fmt(headers), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    return f"{100 * value:.1f}%"

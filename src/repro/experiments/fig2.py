@@ -1,0 +1,75 @@
+"""Figure 2: bubble statistics under different model sizes.
+
+(a) the (duration, available-memory) distribution of bubbles for 1.2B,
+3.6B and 6B models; (b) epoch time, per-stage bubble time and bubble rate
+per model size — 42.4% falling to ~40.4% — plus the micro-batch-8 point
+(26.2%).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import common
+from repro.gpu.cluster import make_server_i
+from repro.pipeline.analysis import bubble_rate, bubble_shape_stats
+from repro.pipeline.engine import PipelineEngine
+from repro.sim.engine import Engine
+
+MODEL_SIZES = ("1.2B", "3.6B", "6B")
+
+
+def _one(size: str, micro_batches: int, epochs: int) -> dict:
+    config = common.train_config(size, micro_batches, epochs)
+    sim = Engine()
+    result = PipelineEngine(sim, make_server_i(sim), config).run()
+    stats = bubble_shape_stats(result.trace)
+    return {
+        "model": size,
+        "micro_batches": micro_batches,
+        "epoch_time_s": result.trace.mean_epoch_time(),
+        "bubble_time_s": result.trace.mean_stage_bubble_time(),
+        "bubble_rate": bubble_rate(result.trace),
+        "duration_range_s": (stats["min_s"], stats["max_s"]),
+        "points": stats["points"],
+        "per_stage": stats["per_stage"],
+    }
+
+
+def run(epochs: int = 4) -> dict:
+    rows = [_one(size, 4, epochs) for size in MODEL_SIZES]
+    micro8 = _one("3.6B", 8, epochs)
+    return {"by_model": rows, "micro_batch_8": micro8}
+
+
+def render(data: dict) -> str:
+    rows = [
+        [
+            row["model"],
+            f"{row['epoch_time_s']:.2f}",
+            f"{row['bubble_time_s']:.2f}",
+            common.pct(row["bubble_rate"]),
+            f"{row['duration_range_s'][0]:.2f}-{row['duration_range_s'][1]:.2f}",
+        ]
+        for row in data["by_model"]
+    ]
+    table = common.render_table(
+        "Figure 2(b): bubbles under different model sizes",
+        ["model", "epoch time (s)", "bubble time (s)", "bubble rate",
+         "duration range (s)"],
+        rows,
+    )
+    micro8 = data["micro_batch_8"]
+    extra = (
+        f"\nmicro-batches = 8 (3.6B): bubble rate "
+        f"{common.pct(micro8['bubble_rate'])} (paper: 26.2%)"
+    )
+    scatter = ["", "Figure 2(a): bubble shapes (duration s x available GB),"
+                   " one line per stage:"]
+    for row in data["by_model"]:
+        for stage_stats in row["per_stage"]:
+            scatter.append(
+                f"  {row['model']:>4s} stage {stage_stats['stage']}: "
+                f"mean duration {stage_stats['mean_duration_s']:.2f}s, "
+                f"available {stage_stats['available_gb']:.1f} GB, "
+                f"{stage_stats['count']} bubbles"
+            )
+    return table + extra + "\n" + "\n".join(scatter)

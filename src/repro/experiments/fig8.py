@@ -1,0 +1,109 @@
+"""Figure 8: demonstration of FreeRide's GPU resource limits.
+
+(a) a side task that fails to pause at a bubble's end is SIGKILLed by the
+framework-enforced mechanism after the grace period — without the limit
+its kernels would keep occupying SMs into training time;
+(b) a side task that keeps allocating past its 8 GB MPS memory limit is
+OOM-killed, releasing its memory; without the limit it would grow until
+it endangered the training process.
+"""
+
+from __future__ import annotations
+
+from repro.core.manager import SideTaskManager
+from repro.core.profiler import profile_side_task
+from repro.core.task_spec import TaskSpec
+from repro.core.worker import ManagedBubble, SideTaskWorker
+from repro.experiments import common
+from repro.gpu.cluster import make_server_i
+from repro.sim.engine import Engine
+from repro.workloads.misbehaving import MemoryLeakTask, NonPausingTask
+
+MEMORY_CAP_GB = 8.0
+
+
+def _stage(workload_factory, limit_gb, bubble_s, horizon_s, interface="iterative"):
+    sim = Engine()
+    server = make_server_i(sim)
+    worker = SideTaskWorker(sim, server.gpu(0), 0, side_task_memory_gb=20.0,
+                            mps=server.mps)
+    manager = SideTaskManager(sim, [worker])
+    profile = profile_side_task(workload_factory(), interface=interface)
+    workload = workload_factory()
+    spec = TaskSpec(workload=workload, profile=profile,
+                    memory_limit_gb=limit_gb)
+    manager.submit(spec, interface)
+    runtime = worker.all_tasks[0]
+    sim.run(until=sim.now + 1.0)
+    bubble_start = sim.now
+    manager.add_bubble(ManagedBubble(stage=0, start=sim.now,
+                                     expected_end=sim.now + bubble_s,
+                                     available_gb=20.0))
+    sim.run(until=bubble_start + horizon_s)
+    return sim, server, worker, runtime, bubble_start
+
+
+def run() -> dict:
+    # (a) execution-time limit: the task launches a runaway kernel inside
+    # the bubble and ignores the pause.
+    sim_a, server_a, worker_a, runtime_a, t0_a = _stage(
+        lambda: NonPausingTask(actual_kernel_s=6.0),
+        limit_gb=20.0, bubble_s=0.65, horizon_s=4.0,
+    )
+    occupancy = [
+        (t - t0_a, side)
+        for t, _total, _hi, side in server_a.gpu(0).occupancy_trace
+        if t >= t0_a - 0.5
+    ]
+    killed_at_a = next(
+        (when - t0_a for when, state in runtime_a.machine.history
+         if state.value == "STOPPED"), None,
+    )
+
+    # (b) memory limit: the task leaks 1 GB per step against an 8 GB cap.
+    sim_b, server_b, worker_b, runtime_b, t0_b = _stage(
+        MemoryLeakTask, limit_gb=MEMORY_CAP_GB, bubble_s=3.0, horizon_s=4.0,
+    )
+    memory = [
+        (t - t0_b, gb) for t, gb in runtime_b.proc.memory_trace
+        if t >= t0_b - 0.5
+    ]
+    return {
+        "time_limit": {
+            "bubble_end_s": 0.65,
+            "grace_period_s": 0.5,
+            "killed_at_s": killed_at_a,
+            "kill_reason": runtime_a.failure,
+            "occupancy": occupancy,
+        },
+        "memory_limit": {
+            "cap_gb": MEMORY_CAP_GB,
+            "peak_gb": max(gb for _t, gb in runtime_b.proc.memory_trace),
+            "killed": not runtime_b.proc.alive,
+            "kill_reason": runtime_b.failure,
+            "memory": memory,
+        },
+    }
+
+
+def render(data: dict) -> str:
+    time_limit = data["time_limit"]
+    memory_limit = data["memory_limit"]
+    lines = [
+        "Figure 8(a): framework-enforced time limit",
+        f"  bubble ends at t+{time_limit['bubble_end_s']:.2f}s; "
+        f"grace period {time_limit['grace_period_s']:.2f}s",
+        f"  side task killed at t+{time_limit['killed_at_s']:.2f}s "
+        f"({time_limit['kill_reason']})",
+        "  side-task SM occupancy after the kill drops to 0 "
+        "(with no limit it would keep running into training time)",
+        "",
+        "Figure 8(b): GPU memory limit",
+        f"  cap {memory_limit['cap_gb']:.0f} GB; observed peak "
+        f"{memory_limit['peak_gb']:.1f} GB; killed={memory_limit['killed']} "
+        f"({memory_limit['kill_reason']})",
+        "  memory trace (s, GB): "
+        + " ".join(f"({t:.2f},{gb:.0f})" for t, gb in
+                   memory_limit["memory"][:12]),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Figure 9: bubble time breakdown under the iterative interface.
+
+For each side task (and the mixed workload): how much of the total bubble
+time went to running steps, to FreeRide runtime, to tails too short for
+another step, and to bubbles left unused because the task did not fit the
+stage's memory ("No side task: OOM" — half the bubble time for VGG19 and
+Image, which exceed the bubbles of stages 0 and 1).
+"""
+
+from __future__ import annotations
+
+from repro import calibration
+from repro.core.middleware import FreeRide
+from repro.experiments import common
+from repro.metrics.breakdown import bubble_breakdown
+from repro.workloads.registry import WORKLOAD_NAMES, workload_factory
+
+
+def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES) -> dict:
+    config = common.train_config(epochs=epochs)
+    rows = []
+    for name in tasks:
+        result = common.run_freeride(
+            config, [(workload_factory(name), "iterative", True)]
+        )
+        breakdown = bubble_breakdown(result)
+        rows.append({"task": name, **breakdown.fractions()})
+    # mixed workload: one task per stage
+    freeride = FreeRide(config)
+    for name in calibration.MIXED_WORKLOAD_BY_STAGE:
+        freeride.submit(workload_factory(name))
+    breakdown = bubble_breakdown(freeride.run())
+    rows.append({"task": "mixed", **breakdown.fractions()})
+    return {"rows": rows}
+
+
+def render(data: dict) -> str:
+    rows = [
+        [
+            row["task"],
+            common.pct(row["running"]),
+            common.pct(row["freeride_runtime"]),
+            common.pct(row["insufficient_time"]),
+            common.pct(row["no_task_oom"]),
+        ]
+        for row in data["rows"]
+    ]
+    return common.render_table(
+        "Figure 9: bubble time breakdown (fractions of total bubble time)",
+        ["side task", "running", "FreeRide runtime", "insufficient time",
+         "no task (OOM)"],
+        rows,
+    )

@@ -1,0 +1,141 @@
+"""Table 2: time increase I and cost savings S per co-location method.
+
+Four methods — FreeRide iterative, FreeRide imperative, raw Nvidia MPS,
+and naive co-location — across the six side tasks plus the mixed workload
+(PageRank, ResNet18, Image, VGG19 on the GPUs of stages 0-3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import calibration
+from repro.baselines.colocation import run_colocation
+from repro.core.middleware import FreeRide
+from repro.experiments import common
+from repro.metrics.cost import cost_savings, time_increase
+from repro.workloads.registry import WORKLOAD_NAMES, workload_factory
+
+METHODS = ("iterative", "imperative", "mps", "naive")
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    method: str
+    task: str
+    time_increase: float
+    cost_savings: float
+
+
+def _freeride_cell(config, name, interface, t_no) -> Cell:
+    result = common.run_freeride(
+        config, [(workload_factory(name, interface=interface), interface, True)]
+    )
+    profile = calibration.SIDE_TASK_PROFILES[name]
+    return Cell(
+        method=interface,
+        task=name,
+        time_increase=time_increase(result.training.total_time, t_no),
+        cost_savings=cost_savings(
+            t_no, result.training.total_time,
+            [(result.total_units, profile)],
+        ),
+    )
+
+
+def _baseline_cell(config, name, mode, t_no) -> Cell:
+    result = run_colocation(config, workload_factory(name), mode=mode)
+    profile = calibration.SIDE_TASK_PROFILES[name]
+    return Cell(
+        method=mode,
+        task=name,
+        time_increase=time_increase(result.training.total_time, t_no),
+        cost_savings=cost_savings(
+            t_no, result.training.total_time,
+            [(result.total_units, profile)],
+        ),
+    )
+
+
+def _mixed_cells(config, t_no) -> list[Cell]:
+    """The mixed workload: one task per stage (paper section 6.2)."""
+    mixed = calibration.MIXED_WORKLOAD_BY_STAGE
+    cells = []
+    for interface in ("iterative", "imperative"):
+        freeride = FreeRide(config)
+        for name in mixed:
+            freeride.submit(workload_factory(name, interface=interface),
+                            interface)
+        result = freeride.run()
+        work = [
+            (report.units_done,
+             calibration.SIDE_TASK_PROFILES[mixed[report.stage]])
+            for report in result.tasks
+        ]
+        cells.append(Cell(
+            method=interface,
+            task="mixed",
+            time_increase=time_increase(result.training.total_time, t_no),
+            cost_savings=cost_savings(t_no, result.training.total_time, work),
+        ))
+    for mode in ("mps", "naive"):
+        placement = [
+            (stage, workload_factory(name))
+            for stage, name in enumerate(mixed)
+        ]
+        result = run_colocation(config, mode=mode, placement=placement)
+        work = [
+            (report.units_done, calibration.SIDE_TASK_PROFILES[report.name])
+            for report in result.tasks
+        ]
+        cells.append(Cell(
+            method=mode,
+            task="mixed",
+            time_increase=time_increase(result.training.total_time, t_no),
+            cost_savings=cost_savings(t_no, result.training.total_time, work),
+        ))
+    return cells
+
+
+def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES,
+        include_mixed: bool = True) -> dict:
+    config = common.train_config(epochs=epochs)
+    t_no = common.baseline_time(config)
+    cells: list[Cell] = []
+    for name in tasks:
+        cells.append(_freeride_cell(config, name, "iterative", t_no))
+        cells.append(_freeride_cell(config, name, "imperative", t_no))
+        cells.append(_baseline_cell(config, name, "mps", t_no))
+        cells.append(_baseline_cell(config, name, "naive", t_no))
+    if include_mixed:
+        cells.extend(_mixed_cells(config, t_no))
+    return {"cells": cells, "baseline_time_s": t_no}
+
+
+def render(data: dict) -> str:
+    tasks = []
+    for cell in data["cells"]:
+        if cell.task not in tasks:
+            tasks.append(cell.task)
+    by_key = {(cell.task, cell.method): cell for cell in data["cells"]}
+    rows = []
+    for task in tasks:
+        row = [task]
+        for method in METHODS:
+            cell = by_key.get((task, method))
+            if cell is None:
+                row.extend(["-", "-"])
+            else:
+                row.extend([common.pct(cell.time_increase),
+                            common.pct(cell.cost_savings)])
+        rows.append(row)
+    return common.render_table(
+        "Table 2: time increase I (lower better) / cost savings S "
+        "(higher better)",
+        ["side task",
+         "iter I", "iter S",
+         "imper I", "imper S",
+         "MPS I", "MPS S",
+         "naive I", "naive S"],
+        rows,
+    )

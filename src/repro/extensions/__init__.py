@@ -1,0 +1,14 @@
+"""Extensions beyond the paper's evaluation, from its section-8 discussion.
+
+* :mod:`repro.extensions.multi_server` — "As FreeRide implements
+  communication among its components using RPCs, it can be easily extended
+  to distributed settings with side tasks on multiple servers. During
+  training, the side task manager of FreeRide receives bubbles from all
+  GPUs from both remote servers and manages the side tasks that co-locate
+  with each GPU." One manager, several instrumented training jobs.
+* :mod:`repro.metrics.traces` — trace export for offline plotting.
+"""
+
+from repro.extensions.multi_server import MultiServerFreeRide
+
+__all__ = ["MultiServerFreeRide"]

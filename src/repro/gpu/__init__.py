@@ -1,0 +1,41 @@
+"""Simulated multi-GPU server substrate.
+
+The paper evaluates on real hardware (4x RTX 6000 Ada); this package
+replaces the silicon with a discrete-event model that preserves what
+FreeRide actually depends on:
+
+* per-device **SM sharing** with three modes — exclusive, MPS-style
+  concurrent kernels, and naive time-slicing — including the contention
+  each mode imposes on co-located work;
+* per-process **GPU memory accounting** with MPS-style limits whose
+  violation kills only the offending process (never the training job);
+* **asynchronous kernels**: stopping a process's host thread does not stop
+  kernels already on the device — the exact effect that makes the paper's
+  imperative interface more expensive than the iterative one;
+* POSIX-like **signals** and Docker-like **containers** for isolation.
+"""
+
+from repro.gpu.cluster import Server, make_server_cpu, make_server_i, make_server_ii
+from repro.gpu.container import Container
+from repro.gpu.device import SimGPU
+from repro.gpu.kernel import Interference, Kernel, Priority
+from repro.gpu.mps import MpsControl
+from repro.gpu.process import GPUProcess
+from repro.gpu.sharing import SharingMode
+from repro.gpu.stream import Stream
+
+__all__ = [
+    "Container",
+    "GPUProcess",
+    "Interference",
+    "Kernel",
+    "MpsControl",
+    "Priority",
+    "Server",
+    "SharingMode",
+    "SimGPU",
+    "Stream",
+    "make_server_cpu",
+    "make_server_i",
+    "make_server_ii",
+]

@@ -1,0 +1,55 @@
+"""Docker-like containers for isolating side-task processes.
+
+The paper deploys each worker and its side tasks inside Docker containers
+"for isolation" (sections 4.6 and 8): a side task crashing — illegal memory
+access, OOM, SIGKILL — must never take the pipeline-training process down.
+Here a container is a process group with collective teardown plus a record
+of abnormal exits, which the fault-tolerance tests assert on.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.signals import Signal
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.process import GPUProcess
+
+
+class Container:
+    """A group of processes with shared lifetime and fault isolation."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.processes: list["GPUProcess"] = []
+        self.running = True
+        #: (process name, reason) for every abnormal member exit observed
+        self.faults: list[tuple[str, str]] = []
+
+    def adopt(self, proc: "GPUProcess") -> "GPUProcess":
+        if not self.running:
+            raise RuntimeError(f"container {self.name} is stopped")
+        self.processes.append(proc)
+        return proc
+
+    def record_fault(self, proc: "GPUProcess", reason: str) -> None:
+        """Note a member's abnormal exit; isolation means nothing else happens."""
+        self.faults.append((proc.name, reason))
+
+    def stop(self) -> None:
+        """Tear the container down, SIGKILLing any members still alive."""
+        self.running = False
+        for proc in self.processes:
+            if proc.alive:
+                proc.send_signal(Signal.SIGKILL)
+
+    @property
+    def live_processes(self) -> list["GPUProcess"]:
+        return [proc for proc in self.processes if proc.alive]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Container {self.name} procs={len(self.processes)} "
+            f"running={self.running}>"
+        )

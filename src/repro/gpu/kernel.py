@@ -1,0 +1,106 @@
+"""Kernels: the unit of GPU work in the simulation.
+
+A kernel carries ``work_s`` seconds of work (its duration when running
+alone at full speed), an SM demand used for occupancy traces, a priority
+class, and an :class:`Interference` spec describing how much it slows down
+kernels of *other processes* that overlap with it under each sharing mode.
+
+The interference coefficients for the evaluation's side tasks are fitted to
+the paper's Table 2 (see :mod:`repro.calibration`); the device applies them
+in :meth:`repro.gpu.device.SimGPU._slowdown`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.process import GPUProcess
+    from repro.sim.events import SimEvent
+
+
+class Priority(enum.IntEnum):
+    """Scheduling priority classes.
+
+    The paper gives pipeline training the highest MPS priority and side
+    tasks a lower one (section 6.1.2).
+    """
+
+    SIDE = 1
+    TRAINING = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class Interference:
+    """Fractional slowdown this kernel imposes on overlapping kernels.
+
+    ``mps_on_higher``
+        imposed on higher-priority kernels under MPS (side task slowing
+        training down despite MPS priorities — concurrency is not free);
+    ``mps_on_lower``
+        imposed on lower- or equal-priority kernels under MPS (training
+        starving a side task of SMs);
+    ``time_slice``
+        imposed on any other process's kernels under naive time-slicing.
+    """
+
+    mps_on_higher: float = 0.0
+    mps_on_lower: float = 0.0
+    time_slice: float = 1.0
+
+    def imposed_on(self, victim_priority: Priority, own_priority: Priority,
+                   mode: "object") -> float:
+        from repro.gpu.sharing import SharingMode
+
+        if mode is SharingMode.TIME_SLICE:
+            return self.time_slice
+        if mode is SharingMode.MPS:
+            if victim_priority > own_priority:
+                return self.mps_on_higher
+            return self.mps_on_lower
+        return 0.0
+
+
+#: Interference of a pipeline-training kernel: under MPS it dominates the
+#: SMs a side task needs (halving side throughput); under time-slicing the
+#: two contexts split the device.
+TRAINING_INTERFERENCE = Interference(mps_on_higher=0.0, mps_on_lower=1.0,
+                                     time_slice=1.0)
+
+_kernel_ids = itertools.count()
+
+
+class Kernel:
+    """One launched unit of GPU work."""
+
+    def __init__(
+        self,
+        proc: "GPUProcess",
+        work_s: float,
+        sm_demand: float,
+        priority: Priority,
+        interference: Interference,
+        name: str = "",
+    ):
+        if work_s < 0:
+            raise ValueError(f"kernel work must be >= 0, got {work_s}")
+        if not 0.0 < sm_demand <= 1.0:
+            raise ValueError(f"sm_demand must be in (0, 1], got {sm_demand}")
+        self.kid = next(_kernel_ids)
+        self.proc = proc
+        self.work_s = work_s
+        self.sm_demand = sm_demand
+        self.priority = priority
+        self.interference = interference
+        self.name = name or f"kernel-{self.kid}"
+        #: Completion event, set by the device at launch time.
+        self.done: "SimEvent | None" = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Kernel {self.name} proc={self.proc.name} work={self.work_s:.4g}s "
+            f"sm={self.sm_demand:.2f} prio={self.priority.name}>"
+        )

@@ -1,0 +1,53 @@
+"""Simulated CUDA MPS control daemon.
+
+FreeRide "leverages MPS to impose GPU memory limit on side tasks"
+(section 4.5) and relies on MPS for concurrent kernel execution across
+processes (section 1). This module models the control daemon's contract:
+per-client memory limits, per-device enablement, and priority bookkeeping.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.gpu.sharing import SharingMode
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.device import SimGPU
+    from repro.gpu.process import GPUProcess
+
+
+class MpsControl:
+    """The MPS daemon for one server."""
+
+    def __init__(self, devices: typing.Sequence["SimGPU"]):
+        self.devices = list(devices)
+        self._limits: dict[int, float] = {}
+
+    def enable(self, device: "SimGPU") -> None:
+        """Turn MPS on: kernels from different processes run concurrently."""
+        self._require_managed(device)
+        device.sharing = SharingMode.MPS
+
+    def disable(self, device: "SimGPU") -> None:
+        """Turn MPS off: contexts fall back to driver time-slicing."""
+        self._require_managed(device)
+        device.sharing = SharingMode.TIME_SLICE
+
+    def set_memory_limit(self, proc: "GPUProcess", limit_gb: float) -> None:
+        """Pin a client's device-memory limit (CUDA_MPS_PINNED_DEVICE_MEM_LIMIT)."""
+        if limit_gb <= 0:
+            raise ValueError(f"MPS memory limit must be positive, got {limit_gb}")
+        self._limits[proc.pid] = limit_gb
+        proc.memory_limit_gb = limit_gb
+
+    def clear_memory_limit(self, proc: "GPUProcess") -> None:
+        self._limits.pop(proc.pid, None)
+        proc.memory_limit_gb = None
+
+    def memory_limit_of(self, proc: "GPUProcess") -> float | None:
+        return self._limits.get(proc.pid)
+
+    def _require_managed(self, device: "SimGPU") -> None:
+        if device not in self.devices:
+            raise ValueError(f"{device.name} is not managed by this MPS daemon")

@@ -1,0 +1,23 @@
+"""GPU sharing modes and their contention semantics.
+
+The paper compares three ways for two processes to share one GPU:
+
+* ``EXCLUSIVE`` — one process at a time (no co-location);
+* ``MPS`` — CUDA MPS merges contexts so kernels from different processes
+  execute *concurrently*; compute-hungry side kernels then directly steal
+  SM cycles from training kernels (this is how Graph SGD reaches a 231%
+  time increase in Table 2);
+* ``TIME_SLICE`` — the default driver behaviour without MPS ("naive
+  co-location"): contexts are time-multiplexed, so overlapping work
+  serializes and every process's wall time stretches.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SharingMode(enum.Enum):
+    EXCLUSIVE = "exclusive"
+    MPS = "mps"
+    TIME_SLICE = "time_slice"

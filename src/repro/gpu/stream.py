@@ -1,0 +1,75 @@
+"""CUDA-stream-like FIFO kernel ordering.
+
+Kernels submitted to one stream execute in submission order even though
+each is asynchronous with respect to the host. The pipeline engine uses a
+stream per stage so FP/BP ops serialize on their GPU the way they do under
+DeepSpeed, and side tasks use one so multi-kernel steps stay ordered.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.process import GPUProcess
+    from repro.sim.events import SimEvent
+
+
+class Stream:
+    """An in-order kernel queue bound to one process."""
+
+    def __init__(self, proc: "GPUProcess", name: str = ""):
+        self.proc = proc
+        self.name = name or f"{proc.name}:stream"
+        self._pending: collections.deque[tuple[dict, "SimEvent"]] = collections.deque()
+        self._inflight: "SimEvent | None" = None
+
+    def submit(self, work_s: float, sm_demand: float = 0.5, name: str = "") -> "SimEvent":
+        """Enqueue a kernel; returns an event for *its* completion."""
+        done = self.proc.engine.event(name=f"{self.name}:done")
+        self._pending.append(
+            ({"work_s": work_s, "sm_demand": sm_demand, "name": name}, done)
+        )
+        self._pump()
+        return done
+
+    def _pump(self) -> None:
+        if self._inflight is not None or not self._pending:
+            return
+        spec, done = self._pending.popleft()
+        try:
+            kernel_done = self.proc.launch_kernel(**spec)
+        except Exception as exc:  # process died: fail this and the rest
+            self._inflight = None
+            if done.pending:
+                done.fail(exc)
+            self._fail_rest(exc)
+            return
+        self._inflight = kernel_done
+        kernel_done.callbacks.append(
+            lambda event, done=done: self._on_done(event, done)
+        )
+
+    def _on_done(self, event: "SimEvent", done: "SimEvent") -> None:
+        self._inflight = None
+        if done.pending:
+            if event.exception is not None:
+                done.fail(event.exception)
+            else:
+                done.succeed(event._value)
+        if event.exception is not None:
+            self._fail_rest(event.exception)
+            return
+        self._pump()
+
+    def _fail_rest(self, exc: BaseException) -> None:
+        while self._pending:
+            _spec, waiting = self._pending.popleft()
+            if waiting.pending:
+                waiting.fail(exc)
+
+    @property
+    def depth(self) -> int:
+        """Kernels queued or in flight."""
+        return len(self._pending) + (1 if self._inflight is not None else 0)

@@ -1,0 +1,25 @@
+"""Evaluation metrics: the paper's time increase ``I`` and cost savings
+``S`` (section 6.1.5), throughput accounting (Table 1), and the bubble
+time breakdown (Figure 9)."""
+
+from repro.metrics.breakdown import BubbleBreakdown, bubble_breakdown
+from repro.metrics.cost import (
+    cost_savings,
+    dedicated_throughput,
+    side_task_cost_usd,
+    time_increase,
+    training_cost_usd,
+)
+from repro.metrics.throughput import ThroughputRow, throughput_row
+
+__all__ = [
+    "BubbleBreakdown",
+    "ThroughputRow",
+    "bubble_breakdown",
+    "cost_savings",
+    "dedicated_throughput",
+    "side_task_cost_usd",
+    "throughput_row",
+    "time_increase",
+    "training_cost_usd",
+]

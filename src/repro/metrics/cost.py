@@ -1,0 +1,100 @@
+"""The paper's cost model (section 6.1.5).
+
+Time increase::
+
+    I = (T_withSideTasks - T_noSideTask) / T_noSideTask
+
+Cost savings::
+
+    S = (C_sideTasks - (C_withSideTasks - C_noSideTask)) / C_noSideTask
+
+where ``C_sideTasks`` prices the side-task work done on Server-I at the
+rate the same work would cost on a dedicated Server-II:
+
+    C_sideTasks = sum over tasks of  P_II * W_task / Th_task_on_II
+
+``W`` is work in task units (images, iterations); ``Th`` the measured
+dedicated throughput. Positive ``S`` means harvesting bubbles is cheaper
+than renting the lower-tier GPU; negative means the co-location overhead
+outweighs the harvested work.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro import calibration
+from repro.calibration import SideTaskProfile
+
+
+def time_increase(t_with_side_tasks: float, t_no_side_task: float) -> float:
+    """``I`` — fractional training slowdown due to side tasks."""
+    if t_no_side_task <= 0:
+        raise ValueError("baseline training time must be positive")
+    return (t_with_side_tasks - t_no_side_task) / t_no_side_task
+
+
+def dedicated_throughput(profile: SideTaskProfile, platform: str) -> float:
+    """Units per second of this task alone on Server-II or Server-CPU."""
+    speeds = {
+        "server_i": 1.0,
+        "server_ii": profile.speed_server_ii,
+        "cpu": profile.speed_cpu,
+    }
+    if platform not in speeds:
+        raise ValueError(
+            f"unknown platform {platform!r}; choose from {sorted(speeds)}"
+        )
+    return profile.units_per_step * speeds[platform] / profile.step_time_s
+
+
+def training_cost_usd(duration_s: float,
+                      price_per_hour: float = calibration.SERVER_I_PRICE_PER_HOUR
+                      ) -> float:
+    """Dollars spent keeping the training server for ``duration_s``."""
+    return price_per_hour * duration_s / 3600.0
+
+
+def side_task_cost_usd(
+    units_done: float,
+    profile: SideTaskProfile,
+    price_per_hour: float = calibration.SERVER_II_PRICE_PER_HOUR,
+) -> float:
+    """What the harvested work would cost on a dedicated Server-II."""
+    throughput_ii = dedicated_throughput(profile, "server_ii")
+    if throughput_ii <= 0:
+        return 0.0
+    return price_per_hour * (units_done / throughput_ii) / 3600.0
+
+
+def cost_savings(
+    t_no_side_task: float,
+    t_with_side_tasks: float,
+    work: typing.Iterable[tuple[float, SideTaskProfile]],
+) -> float:
+    """``S`` — positive is benefit, negative is loss (section 6.1.5).
+
+    ``work`` is (units_done, profile) per side task.
+    """
+    c_no = training_cost_usd(t_no_side_task)
+    c_with = training_cost_usd(t_with_side_tasks)
+    c_side = sum(
+        side_task_cost_usd(units, profile) for units, profile in work
+    )
+    return (c_side - (c_with - c_no)) / c_no
+
+
+def energy_cost_estimate(
+    duration_s: float,
+    mean_occupancy: float,
+    tdp_watts: float = 300.0,
+    idle_watts: float = 70.0,
+    usd_per_kwh: float = 0.12,
+) -> float:
+    """A simple energy-cost hook for the paper's section-8 discussion.
+
+    Linear power model between idle and TDP by SM occupancy; not used in
+    the paper's metrics, provided for the energy ablation.
+    """
+    watts = idle_watts + (tdp_watts - idle_watts) * mean_occupancy
+    return watts * duration_s / 3600.0 / 1000.0 * usd_per_kwh

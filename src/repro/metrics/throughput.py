@@ -1,0 +1,66 @@
+"""Throughput accounting for Table 1.
+
+The paper's Table 1 compares "the throughput of side task workloads
+running on bubbles using the iterative interface of FreeRide" against
+running the same task on Server-II and on the CPU server. The FreeRide
+column aggregates across the standard deployment (the same task in every
+worker with enough memory) — that aggregate is what the cost model prices
+against one dedicated Server-II; the paper's savings rows in Table 2
+follow arithmetically from it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.calibration import SideTaskProfile
+from repro.metrics.cost import dedicated_throughput
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputRow:
+    """One row of Table 1 (units per second)."""
+
+    name: str
+    freeride_iterative: float
+    server_ii: float
+    server_cpu: float
+
+    @property
+    def speedup_vs_server_ii(self) -> float:
+        return self.freeride_iterative / self.server_ii if self.server_ii else 0.0
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.freeride_iterative / self.server_cpu if self.server_cpu else 0.0
+
+
+def throughput_row(
+    name: str,
+    profile: SideTaskProfile,
+    units_done: float,
+    duration_s: float,
+    server_ii_throughput: float | None = None,
+    cpu_throughput: float | None = None,
+) -> ThroughputRow:
+    """Build one Table-1 row from a FreeRide run plus dedicated baselines.
+
+    When the dedicated throughputs are not supplied (e.g. no simulation of
+    Server-II was run), the calibrated analytic values are used.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    return ThroughputRow(
+        name=name,
+        freeride_iterative=units_done / duration_s,
+        server_ii=(
+            server_ii_throughput
+            if server_ii_throughput is not None
+            else dedicated_throughput(profile, "server_ii")
+        ),
+        server_cpu=(
+            cpu_throughput
+            if cpu_throughput is not None
+            else dedicated_throughput(profile, "cpu")
+        ),
+    )

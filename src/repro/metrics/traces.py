@@ -1,0 +1,89 @@
+"""Export simulation traces for offline plotting.
+
+The paper's figures are plots over traces — SM occupancy (Figures 1a, 8a),
+memory (Figures 1b, 8b), bubbles and op intervals. This module serializes
+them to CSV/JSON so any plotting tool can regenerate the figures from a
+run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.gpu.device import SimGPU
+from repro.pipeline.analysis import TrainingTrace
+
+
+def occupancy_csv(gpu: SimGPU) -> str:
+    """CSV of (time, total, training, side) occupancy points."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time_s", "occupancy", "training", "side"])
+    for time, total, training, side in gpu.occupancy_trace:
+        writer.writerow([f"{time:.6f}", f"{total:.3f}", f"{training:.3f}",
+                         f"{side:.3f}"])
+    return buffer.getvalue()
+
+
+def memory_csv(gpu: SimGPU) -> str:
+    """CSV of (time, used_gb) points."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time_s", "used_gb"])
+    for time, used in gpu.memory_trace:
+        writer.writerow([f"{time:.6f}", f"{used:.3f}"])
+    return buffer.getvalue()
+
+
+def ops_csv(trace: TrainingTrace) -> str:
+    """CSV of op intervals (Figure 1a's rectangles)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["epoch", "stage", "kind", "micro_batch", "start_s",
+                     "end_s"])
+    for record in trace.ops:
+        writer.writerow([
+            record.epoch, record.op.stage, record.op.kind.value,
+            record.op.micro_batch, f"{record.start:.6f}",
+            f"{record.end:.6f}",
+        ])
+    return buffer.getvalue()
+
+
+def bubbles_json(trace: TrainingTrace) -> str:
+    """JSON list of bubble records (Figure 2a's scatter points)."""
+    return json.dumps(
+        [
+            {
+                "epoch": bubble.epoch,
+                "stage": bubble.stage,
+                "index": bubble.index,
+                "type": bubble.btype.value,
+                "start_s": round(bubble.start, 6),
+                "duration_s": round(bubble.duration, 6),
+                "available_gb": round(bubble.available_gb, 3),
+            }
+            for bubble in trace.bubbles
+        ],
+        indent=2,
+    )
+
+
+def trace_summary(trace: TrainingTrace) -> dict:
+    """Machine-readable digest of one training run."""
+    from repro.pipeline.analysis import bubble_rate, bubble_shape_stats
+
+    stats = bubble_shape_stats(trace)
+    return {
+        "epochs": len(trace.epochs),
+        "total_time_s": trace.total_time,
+        "mean_epoch_time_s": trace.mean_epoch_time(),
+        "bubble_rate": bubble_rate(trace),
+        "bubble_count": stats.get("count", 0),
+        "bubble_duration_range_s": [
+            stats.get("min_s", 0.0), stats.get("max_s", 0.0),
+        ],
+        "ops": len(trace.ops),
+    }

@@ -1,0 +1,59 @@
+"""Pipeline-parallel training substrate (DeepSpeed-like).
+
+Implements the paper's training setup (section 6.1.3): a nanoGPT-style
+model of 1.2B / 3.6B / 6B parameters, split into a 4-stage pipeline, one
+stage per GPU, trained with the 1F1B (PipeDream-flush) schedule that
+DeepSpeed uses. Bubbles are *not* injected — they emerge from the FP/BP
+dependency structure exactly as in the real system, and
+:mod:`repro.pipeline.analysis` classifies them into the paper's Type-A /
+Type-B / Type-C taxonomy.
+
+:mod:`repro.pipeline.instrumentation` is the simulated counterpart of the
+paper's 55-line DeepSpeed patch: three hook sites that report bubbles to
+the FreeRide side-task manager.
+"""
+
+from repro.pipeline.analysis import (
+    BubbleRecord,
+    BubbleType,
+    TrainingTrace,
+    bubble_rate,
+    bubble_shape_stats,
+)
+from repro.pipeline.config import MODEL_PRESETS, ModelConfig, TrainConfig, model_config
+from repro.pipeline.engine import PipelineEngine, TrainingResult
+from repro.pipeline.instrumentation import (
+    BubbleListener,
+    BubbleProfile,
+    NullListener,
+    RecordingListener,
+)
+from repro.pipeline.memory_model import MemoryModel
+from repro.pipeline.ops import Op, OpKind, OpRecord
+from repro.pipeline.schedule import ScheduleKind, stage_order
+from repro.pipeline.timing import TimingModel
+
+__all__ = [
+    "BubbleListener",
+    "BubbleProfile",
+    "BubbleRecord",
+    "BubbleType",
+    "MemoryModel",
+    "MODEL_PRESETS",
+    "ModelConfig",
+    "NullListener",
+    "Op",
+    "OpKind",
+    "OpRecord",
+    "PipelineEngine",
+    "RecordingListener",
+    "ScheduleKind",
+    "TimingModel",
+    "TrainConfig",
+    "TrainingResult",
+    "TrainingTrace",
+    "bubble_rate",
+    "bubble_shape_stats",
+    "model_config",
+    "stage_order",
+]

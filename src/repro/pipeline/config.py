@@ -1,0 +1,75 @@
+"""Model and training configuration.
+
+The paper trains nanoGPT variants of 1.2B, 3.6B and 6B parameters with
+DeepSpeed in a 4-stage pipeline, always maximizing the micro-batch size
+until just before OOM (section 6.1.3). Epoch here means one pipeline
+iteration over a global batch, as in the paper's Figures 1 and 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import calibration
+from repro.errors import PipelineError
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelConfig:
+    """A nanoGPT-style model, identified by its parameter count."""
+
+    name: str
+    params_billion: float
+
+    def __post_init__(self):
+        if self.params_billion <= 0:
+            raise PipelineError(
+                f"model size must be positive, got {self.params_billion}"
+            )
+
+
+MODEL_PRESETS = {
+    "1.2B": ModelConfig(name="nanogpt-1.2B", params_billion=1.2),
+    "3.6B": ModelConfig(name="nanogpt-3.6B", params_billion=3.6),
+    "6B": ModelConfig(name="nanogpt-6B", params_billion=6.0),
+}
+
+
+def model_config(size: str | float) -> ModelConfig:
+    """Look up a preset by label ("3.6B") or build one from a size in B."""
+    if isinstance(size, str):
+        if size not in MODEL_PRESETS:
+            raise PipelineError(
+                f"unknown model preset {size!r}; choose from {sorted(MODEL_PRESETS)}"
+            )
+        return MODEL_PRESETS[size]
+    return ModelConfig(name=f"nanogpt-{size:g}B", params_billion=float(size))
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainConfig:
+    """One pipeline-training run."""
+
+    model: ModelConfig
+    num_stages: int = calibration.NUM_STAGES
+    micro_batches: int = calibration.DEFAULT_MICRO_BATCHES
+    epochs: int = 8
+    seed: int = 0
+    #: relative lognormal jitter on op durations
+    op_jitter: float = calibration.OP_TIME_REL_JITTER
+    #: "1f1b" (DeepSpeed default) or "gpipe" (ablation)
+    schedule: str = "1f1b"
+
+    def __post_init__(self):
+        if self.num_stages < 2:
+            raise PipelineError(
+                f"pipeline needs at least 2 stages, got {self.num_stages}"
+            )
+        if self.micro_batches < 1:
+            raise PipelineError(
+                f"need at least 1 micro-batch, got {self.micro_batches}"
+            )
+        if self.epochs < 1:
+            raise PipelineError(f"need at least 1 epoch, got {self.epochs}")
+        if self.schedule not in ("1f1b", "gpipe"):
+            raise PipelineError(f"unknown schedule {self.schedule!r}")

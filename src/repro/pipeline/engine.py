@@ -1,0 +1,315 @@
+"""The pipeline-training engine.
+
+Executes the static per-stage op order on the simulated GPUs, honouring
+the cross-stage dependency rules of :mod:`repro.pipeline.ops`. Bubbles are
+the waits this execution produces; nothing about them is scripted.
+
+Each stage is one training :class:`~repro.gpu.process.GPUProcess` pinned
+to its GPU with its stage memory allocated up front (memory use is flat
+within a stage, paper Figure 1b). Ops run as high-priority kernels, so any
+co-located side task stretches them according to the device's sharing
+mode — which is precisely how the co-location overheads of Table 2 arise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro import calibration
+from repro.gpu.kernel import TRAINING_INTERFERENCE, Priority
+from repro.gpu.process import GPUProcess
+from repro.pipeline.analysis import (
+    BubbleRecord,
+    EpochRecord,
+    TrainingTrace,
+    classify_gap,
+)
+from repro.pipeline.config import TrainConfig
+from repro.pipeline.instrumentation import (
+    BubbleListener,
+    BubbleProfile,
+    BubbleStart,
+    NullListener,
+)
+from repro.pipeline.memory_model import MemoryModel
+from repro.pipeline.ops import Op, OpKind, OpRecord, dependencies
+from repro.pipeline.schedule import stage_order
+from repro.pipeline.timing import TimingModel
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf, SimEvent
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.cluster import Server
+
+#: gaps shorter than this are jitter noise, not bubbles: no side task could
+#: use them, and the paper's smallest observed bubble is 0.22 s
+MIN_BUBBLE_S = 0.05
+#: profiled bubbles shorter than this are not worth reporting to the manager
+MIN_REPORT_S = 0.05
+#: SM demand of training kernels (Figure 1a shows near-full occupancy)
+OP_SM_DEMAND = 0.95
+OPTIMIZER_SM_DEMAND = 0.55
+
+
+@dataclasses.dataclass
+class TrainingResult:
+    """Outcome of one pipeline-training run."""
+
+    config: TrainConfig
+    trace: TrainingTrace
+    start_time: float
+    end_time: float
+
+    @property
+    def total_time(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def mean_epoch_time(self) -> float:
+        return self.trace.mean_epoch_time()
+
+
+class PipelineEngine:
+    """DeepSpeed-like pipeline training over simulated GPUs."""
+
+    def __init__(
+        self,
+        sim: Engine,
+        server: "Server",
+        config: TrainConfig,
+        rng: RandomStreams | None = None,
+        listener: BubbleListener | None = None,
+        profile: BubbleProfile | None = None,
+    ):
+        if server.num_gpus < config.num_stages:
+            raise ValueError(
+                f"{server.name} has {server.num_gpus} GPUs; "
+                f"{config.num_stages} stages need one each"
+            )
+        self.sim = sim
+        self.server = server
+        self.config = config
+        self.rng = rng or RandomStreams(config.seed)
+        self.listener = listener or NullListener()
+        self.profile = profile
+        self.timing = TimingModel(config.model, config.op_jitter, self.rng)
+        self.memory = MemoryModel(
+            config.model,
+            config.num_stages,
+            config.micro_batches,
+            gpu_memory_gb=server.gpu(0).memory_gb,
+        )
+        self.trace = TrainingTrace(num_stages=config.num_stages)
+        self.stage_procs: list[GPUProcess] = [
+            GPUProcess(
+                sim,
+                server.gpu(stage),
+                name=f"train-stage{stage}",
+                priority=Priority.TRAINING,
+                interference=TRAINING_INTERFERENCE,
+            )
+            for stage in range(config.num_stages)
+        ]
+        self._orders = [
+            stage_order(config.schedule, stage, config.num_stages,
+                        config.micro_batches)
+            for stage in range(config.num_stages)
+        ]
+        self._start_time: float | None = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def start(self) -> Process:
+        """Spawn the training coroutine; returns its process."""
+        return self.sim.process(self._run(), name="pipeline-training")
+
+    def run(self) -> TrainingResult:
+        """Start training and run the simulation until it finishes."""
+        proc = self.start()
+        return self.sim.run(until=proc)
+
+    # ------------------------------------------------------------------
+    # coroutines
+    # ------------------------------------------------------------------
+    def _run(self):
+        self._start_time = self.sim.now
+        for stage, proc in enumerate(self.stage_procs):
+            proc.allocate(self.memory.stage_memory_gb(stage))
+        for epoch in range(self.config.epochs):
+            epoch_start = self.sim.now
+            self.listener.on_epoch_start(epoch, epoch_start)
+            op_done: dict[Op, SimEvent] = {}
+            for stage in range(self.config.num_stages):
+                for op in self._orders[stage]:
+                    op_done[op] = self.sim.event(name=str(op))
+            trailing: dict[int, tuple[float, int]] = {}
+            stage_runs = [
+                self.sim.process(
+                    self._stage_epoch(stage, epoch, op_done, trailing),
+                    name=f"stage{stage}-epoch{epoch}",
+                )
+                for stage in range(self.config.num_stages)
+            ]
+            yield AllOf(self.sim, stage_runs)
+            epoch_end = self.sim.now
+            self._close_trailing_bubbles(epoch, epoch_end, trailing)
+            self.trace.epochs.append(EpochRecord(epoch, epoch_start, epoch_end))
+            self.listener.on_epoch_end(epoch, epoch_end)
+        result = TrainingResult(
+            config=self.config,
+            trace=self.trace,
+            start_time=self._start_time,
+            end_time=self.sim.now,
+        )
+        return result
+
+    def _stage_epoch(self, stage, epoch, op_done, trailing):
+        proc = self.stage_procs[stage]
+        order = self._orders[stage]
+        first_backward = next(
+            (op for op in order if op.kind is OpKind.BACKWARD), None
+        )
+        # Bubbles are identified by the op position they precede (the
+        # trailing bubble uses len(order)). The instrumentation hooks sit
+        # at fixed code sites in the schedule, so this key — unlike a
+        # running per-epoch counter — stays aligned with the offline
+        # profile even when co-location perturbs the timing and creates
+        # or removes incidental waits.
+        for position, op in enumerate(order):
+            deps = [op_done[dep] for dep in dependencies(op, self.config.num_stages)]
+            pending = [event for event in deps if not event.processed]
+            # An event that has triggered but not yet processed completes at
+            # this same instant: waiting on it costs zero time and is not a
+            # bubble. Only genuinely untriggered dependencies open one.
+            will_wait = any(not event.triggered for event in deps)
+            if not will_wait and pending:
+                yield AllOf(self.sim, pending)
+                pending = []
+            if pending:
+                wait_start = self.sim.now
+                btype = classify_gap(
+                    is_before_first_op=(position == 0),
+                    is_after_last_op=False,
+                    next_is_first_backward=(op == first_backward),
+                )
+                reported = self._report_bubble_start(
+                    stage, position, wait_start, btype
+                )
+                yield AllOf(self.sim, pending)
+                wait_end = self.sim.now
+                if reported:
+                    self.listener.on_bubble_end(stage, wait_end)
+                    if self.listener.hook_cost_s > 0:
+                        yield self.sim.timeout(self.listener.hook_cost_s)
+                if wait_end - wait_start >= MIN_BUBBLE_S:
+                    self.trace.bubbles.append(
+                        BubbleRecord(
+                            epoch=epoch,
+                            stage=stage,
+                            index=position,
+                            start=wait_start,
+                            end=wait_end,
+                            btype=btype,
+                            available_gb=self.memory.available_gb(stage),
+                        )
+                    )
+            duration = self.timing.op_duration(op)
+            start = self.sim.now
+            done = proc.launch_kernel(
+                work_s=duration, sm_demand=OP_SM_DEMAND, name=str(op)
+            )
+            yield done
+            self.trace.ops.append(
+                OpRecord(epoch=epoch, op=op, start=start, end=self.sim.now)
+            )
+            op_done[op].succeed()
+        # Per-stage optimizer step (busy, bubble-free).
+        opt_time = self.rng.jitter(
+            f"opt:{stage}", self.timing.optimizer_time, self.config.op_jitter
+        ) if self.config.op_jitter > 0 else self.timing.optimizer_time
+        yield proc.launch_kernel(
+            work_s=opt_time, sm_demand=OPTIMIZER_SM_DEMAND, name=f"opt-s{stage}"
+        )
+        # The stage now idles until the slowest stage finishes the epoch:
+        # the trailing Type-A bubble. Report its start; the coordinator
+        # closes it when the epoch barrier falls.
+        trailing_index = len(order)
+        self._report_bubble_start(
+            stage, trailing_index, self.sim.now, classify_gap(
+                is_before_first_op=False,
+                is_after_last_op=True,
+                next_is_first_backward=False,
+            ),
+        )
+        trailing[stage] = (self.sim.now, trailing_index)
+
+    def _report_bubble_start(self, stage, index, start, btype) -> bool:
+        """Report to the listener unless the profile says it is negligible.
+
+        Returns True when a report was made (so the matching end report and
+        hook cost apply).
+        """
+        expected = None
+        if self.profile is not None:
+            expected = self.profile.expected_duration(stage, index)
+            if expected is None or expected < MIN_REPORT_S:
+                return False
+        self.listener.on_bubble_start(
+            BubbleStart(
+                stage=stage,
+                index=index,
+                start=start,
+                btype=btype,
+                available_gb=self.memory.available_gb(stage),
+                expected_duration=expected,
+            )
+        )
+        return True
+
+    def _close_trailing_bubbles(self, epoch, epoch_end, trailing):
+        for stage, (start, index) in trailing.items():
+            reported = True
+            if self.profile is not None:
+                expected = self.profile.expected_duration(stage, index)
+                reported = expected is not None and expected >= MIN_REPORT_S
+            if reported:
+                self.listener.on_bubble_end(stage, epoch_end)
+            if epoch_end - start >= MIN_BUBBLE_S:
+                self.trace.bubbles.append(
+                    BubbleRecord(
+                        epoch=epoch,
+                        stage=stage,
+                        index=index,
+                        start=start,
+                        end=epoch_end,
+                        btype=classify_gap(
+                            is_before_first_op=False,
+                            is_after_last_op=True,
+                            next_is_first_backward=False,
+                        ),
+                        available_gb=self.memory.available_gb(stage),
+                    )
+                )
+
+
+def profile_bubbles(
+    server_factory: typing.Callable[[Engine], "Server"],
+    config: TrainConfig,
+    profiling_epochs: int = 3,
+) -> BubbleProfile:
+    """Offline bubble profiling (paper section 4.3).
+
+    Runs a short training job on a fresh simulation and extracts the
+    per-(stage, index) bubble durations. Done once per model size and
+    schedule, exactly as in the paper.
+    """
+    sim = Engine()
+    server = server_factory(sim)
+    probe_config = dataclasses.replace(config, epochs=profiling_epochs)
+    engine = PipelineEngine(sim, server, probe_config)
+    result = engine.run()
+    return BubbleProfile.from_trace(result.trace)

@@ -1,0 +1,130 @@
+"""The simulated counterpart of the paper's DeepSpeed instrumentation.
+
+The paper modifies DeepSpeed "in three places with 55 lines of code" to
+report bubbles — start timestamp and duration — to the side-task manager
+(sections 3.2 and 4.6). Here the pipeline engine invokes a
+:class:`BubbleListener` at the same structural sites; FreeRide's
+middleware installs a listener that forwards the reports over RPC.
+
+Durations come from a :class:`BubbleProfile` built by an offline profiling
+run ("this offline profiling is done only once for each model and pipeline
+scheduling", section 4.3): bubbles recur at the same positions every epoch
+because the schedule is static, so the profile is keyed by
+``(stage, index-within-epoch)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import typing
+
+from repro.pipeline.analysis import BubbleType, TrainingTrace
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.memory_model import MemoryModel
+
+
+@dataclasses.dataclass(frozen=True)
+class BubbleStart:
+    """What the instrumented training system reports when a bubble begins."""
+
+    stage: int
+    index: int
+    start: float
+    btype: BubbleType
+    available_gb: float
+    #: expected duration from the offline profile; None while profiling
+    expected_duration: float | None
+
+    @property
+    def expected_end(self) -> float | None:
+        if self.expected_duration is None:
+            return None
+        return self.start + self.expected_duration
+
+
+class BubbleListener:
+    """Interface the pipeline engine reports to.
+
+    ``hook_cost_s`` is charged to the training process when a bubble ends,
+    right before the dependent op resumes — the cost of the instrumentation
+    hook plus its report RPC sitting on the training critical path. This is
+    the mechanistic source of FreeRide's ~1% baseline overhead; the
+    unmodified baselines use :class:`NullListener` and pay nothing.
+    """
+
+    hook_cost_s: float = 0.0
+
+    def on_epoch_start(self, epoch: int, now: float) -> None:  # pragma: no cover
+        pass
+
+    def on_bubble_start(self, report: BubbleStart) -> None:  # pragma: no cover
+        pass
+
+    def on_bubble_end(self, stage: int, now: float) -> None:  # pragma: no cover
+        pass
+
+    def on_epoch_end(self, epoch: int, now: float) -> None:  # pragma: no cover
+        pass
+
+
+class NullListener(BubbleListener):
+    """Unmodified DeepSpeed: no reports, no hook cost."""
+
+
+class RecordingListener(BubbleListener):
+    """Keeps every report; used by tests and the bubble profiler."""
+
+    def __init__(self, hook_cost_s: float = 0.0):
+        self.hook_cost_s = hook_cost_s
+        self.starts: list[BubbleStart] = []
+        self.ends: list[tuple[int, float]] = []
+        self.epoch_starts: list[tuple[int, float]] = []
+        self.epoch_ends: list[tuple[int, float]] = []
+
+    def on_epoch_start(self, epoch: int, now: float) -> None:
+        self.epoch_starts.append((epoch, now))
+
+    def on_bubble_start(self, report: BubbleStart) -> None:
+        self.starts.append(report)
+
+    def on_bubble_end(self, stage: int, now: float) -> None:
+        self.ends.append((stage, now))
+
+    def on_epoch_end(self, epoch: int, now: float) -> None:
+        self.epoch_ends.append((epoch, now))
+
+
+@dataclasses.dataclass
+class BubbleProfile:
+    """Expected bubble durations keyed by ``(stage, index-within-epoch)``."""
+
+    durations: dict[tuple[int, int], float]
+    available_gb: dict[int, float]
+
+    @classmethod
+    def from_trace(cls, trace: TrainingTrace) -> "BubbleProfile":
+        """Median duration per (stage, index) over the profiled epochs."""
+        samples: dict[tuple[int, int], list[float]] = {}
+        available: dict[int, float] = {}
+        for bubble in trace.bubbles:
+            samples.setdefault((bubble.stage, bubble.index), []).append(
+                bubble.duration
+            )
+            available[bubble.stage] = bubble.available_gb
+        durations = {
+            key: statistics.median(values) for key, values in samples.items()
+        }
+        return cls(durations=durations, available_gb=available)
+
+    def expected_duration(self, stage: int, index: int) -> float | None:
+        return self.durations.get((stage, index))
+
+    def bubbles_per_epoch(self, stage: int) -> int:
+        return sum(1 for key in self.durations if key[0] == stage)
+
+    def total_bubble_time(self, stage: int) -> float:
+        return sum(
+            duration for (s, _i), duration in self.durations.items() if s == stage
+        )

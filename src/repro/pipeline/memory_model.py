@@ -1,0 +1,81 @@
+"""Per-stage GPU memory model.
+
+Reproduces the paper's Figure 1(b) and section 2.2 observations:
+
+* memory use is constant within a stage during training, so every bubble
+  of a stage offers the same available memory;
+* later stages hold fewer in-flight activations (1F1B keeps
+  ``min(M, S - stage)`` micro-batches resident), so available memory rises
+  from stage 0 (<3 GB at 3.6B) to stage 3 (>20 GB);
+* larger models leave less available memory overall (Figure 2a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import calibration
+from repro.errors import PipelineError
+from repro.pipeline.config import ModelConfig
+
+
+class MemoryModel:
+    """Memory footprint of one pipeline-training configuration."""
+
+    def __init__(self, model: ModelConfig, num_stages: int, micro_batches: int,
+                 gpu_memory_gb: float = calibration.SERVER_I_GPU_MEMORY_GB):
+        self.model = model
+        self.num_stages = num_stages
+        self.micro_batches = micro_batches
+        self.gpu_memory_gb = gpu_memory_gb
+        anchors = sorted(calibration.ACTIVATION_GB_PER_MICRO_BATCH.items())
+        sizes = np.array([size for size, _gb in anchors])
+        gbs = np.array([gb for _size, gb in anchors])
+        self.activation_gb_per_micro_batch = float(
+            np.interp(model.params_billion, sizes, gbs)
+        )
+
+    @property
+    def weights_optimizer_gb(self) -> float:
+        """Weights + gradients + Adam state per stage."""
+        total_bytes = self.model.params_billion * 1e9 * calibration.BYTES_PER_PARAM
+        return total_bytes / self.num_stages / 1e9
+
+    def in_flight_micro_batches(self, stage: int) -> int:
+        """Activations resident at ``stage`` under 1F1B at peak."""
+        self._check_stage(stage)
+        return min(self.micro_batches, self.num_stages - stage)
+
+    def stage_memory_gb(self, stage: int) -> float:
+        """Total training memory pinned on the GPU of ``stage``."""
+        activations = (
+            self.in_flight_micro_batches(stage) * self.activation_gb_per_micro_batch
+        )
+        used = self.weights_optimizer_gb + activations
+        if used > self.gpu_memory_gb:
+            raise PipelineError(
+                f"stage {stage} needs {used:.1f} GB but the GPU has "
+                f"{self.gpu_memory_gb:.0f} GB; reduce the model or micro-batches"
+            )
+        return used
+
+    def available_gb(self, stage: int) -> float:
+        """Memory a bubble on ``stage`` can offer to side tasks."""
+        return self.gpu_memory_gb - self.stage_memory_gb(stage)
+
+    def per_stage_summary(self) -> list[dict]:
+        """One row per stage: used / available, for Figure 1(b)."""
+        return [
+            {
+                "stage": stage,
+                "used_gb": self.stage_memory_gb(stage),
+                "available_gb": self.available_gb(stage),
+            }
+            for stage in range(self.num_stages)
+        ]
+
+    def _check_stage(self, stage: int) -> None:
+        if not 0 <= stage < self.num_stages:
+            raise PipelineError(
+                f"stage {stage} out of range [0, {self.num_stages})"
+            )

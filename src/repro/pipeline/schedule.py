@@ -1,0 +1,60 @@
+"""Static per-stage op orders for the supported pipeline schedules.
+
+``1f1b``
+    PipeDream-flush, DeepSpeed's default: each stage runs
+    ``min(M, S - stage - 1)`` warm-up forwards, then alternates one forward
+    with one backward, then drains the remaining backwards. This is the
+    schedule whose bubbles the paper characterizes.
+``gpipe``
+    all forwards then all backwards; kept as an ablation — it produces the
+    same inter-epoch (Type-A) bubbles but different in-epoch behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import PipelineError
+from repro.pipeline.ops import Op, OpKind
+
+
+class ScheduleKind(enum.Enum):
+    ONE_F_ONE_B = "1f1b"
+    GPIPE = "gpipe"
+
+
+def stage_order(
+    kind: ScheduleKind | str, stage: int, num_stages: int, micro_batches: int
+) -> list[Op]:
+    """The static op order one stage executes within an epoch."""
+    if isinstance(kind, str):
+        kind = ScheduleKind(kind)
+    if not 0 <= stage < num_stages:
+        raise PipelineError(f"stage {stage} out of range [0, {num_stages})")
+    if kind is ScheduleKind.ONE_F_ONE_B:
+        return _one_f_one_b(stage, num_stages, micro_batches)
+    return _gpipe(stage, micro_batches)
+
+
+def _one_f_one_b(stage: int, num_stages: int, micro_batches: int) -> list[Op]:
+    warmup = min(micro_batches, num_stages - stage - 1)
+    order: list[Op] = []
+    forward = backward = 0
+    for _ in range(warmup):
+        order.append(Op(stage, forward, OpKind.FORWARD))
+        forward += 1
+    while forward < micro_batches:
+        order.append(Op(stage, forward, OpKind.FORWARD))
+        forward += 1
+        order.append(Op(stage, backward, OpKind.BACKWARD))
+        backward += 1
+    while backward < micro_batches:
+        order.append(Op(stage, backward, OpKind.BACKWARD))
+        backward += 1
+    return order
+
+
+def _gpipe(stage: int, micro_batches: int) -> list[Op]:
+    forwards = [Op(stage, m, OpKind.FORWARD) for m in range(micro_batches)]
+    backwards = [Op(stage, m, OpKind.BACKWARD) for m in range(micro_batches)]
+    return forwards + backwards

@@ -1,0 +1,71 @@
+"""Durations of pipeline operations.
+
+Forward/backward times per micro-batch are interpolated from the
+calibrated anchors in :mod:`repro.calibration` (fitted to the paper's
+Figure 2); BP = 2x FP reproduces the paper's Type-C bubble duration of one
+FP time. A per-epoch optimizer phase proportional to the parameter count
+gives the gentle bubble-rate decline from 42.4% (1.2B) to ~40.4% (6B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import calibration
+from repro.pipeline.config import ModelConfig
+from repro.pipeline.ops import Op, OpKind
+from repro.sim.rng import RandomStreams
+
+
+class TimingModel:
+    """Op-duration model for one model size."""
+
+    def __init__(self, model: ModelConfig, jitter: float = 0.0,
+                 rng: RandomStreams | None = None):
+        self.model = model
+        self.jitter = jitter
+        self.rng = rng or RandomStreams(0)
+        anchors = sorted(calibration.FP_TIME_BY_MODEL_B.items())
+        sizes = np.array([size for size, _time in anchors])
+        times = np.array([time for _size, time in anchors])
+        self._fp_time = float(np.interp(model.params_billion, sizes, times))
+
+    @property
+    def fp_time(self) -> float:
+        """Mean forward-propagation time per micro-batch (seconds)."""
+        return self._fp_time
+
+    @property
+    def bp_time(self) -> float:
+        """Mean backward-propagation time per micro-batch (seconds)."""
+        return self._fp_time * calibration.BP_OVER_FP_RATIO
+
+    @property
+    def optimizer_time(self) -> float:
+        """Per-epoch optimizer/synchronization time per stage (seconds)."""
+        return calibration.OPTIMIZER_TIME_PER_BILLION * self.model.params_billion
+
+    def op_duration(self, op: Op) -> float:
+        """Sampled duration for one op (with jitter when configured)."""
+        mean = self.fp_time if op.kind is OpKind.FORWARD else self.bp_time
+        if self.jitter <= 0:
+            return mean
+        return self.rng.jitter(f"op:{op.stage}", mean, self.jitter)
+
+    def ideal_epoch_time(self, num_stages: int, micro_batches: int) -> float:
+        """Analytic epoch duration for the 1F1B schedule (no jitter).
+
+        ``(M + S - 1) * (t_f + t_b) + t_opt`` — the pipeline fills and
+        drains over ``S - 1`` extra micro-batch slots.
+        """
+        slots = micro_batches + num_stages - 1
+        return slots * (self.fp_time + self.bp_time) + self.optimizer_time
+
+    def ideal_bubble_rate(self, num_stages: int, micro_batches: int) -> float:
+        """Analytic per-stage bubble fraction for 1F1B.
+
+        ``(S - 1)(t_f + t_b) / epoch`` — 42.9% for S=4, M=4 before the
+        optimizer phase, matching the paper's measured 42.4%.
+        """
+        bubble = (num_stages - 1) * (self.fp_time + self.bp_time)
+        return bubble / self.ideal_epoch_time(num_stages, micro_batches)

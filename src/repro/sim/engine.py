@@ -1,0 +1,104 @@
+"""The discrete-event engine: a virtual clock plus an event heap.
+
+The engine processes events in ``(time, sequence)`` order, so simultaneous
+events run in the order they were scheduled — which makes every simulation
+in this library fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing
+
+from repro.errors import SimulationError
+from repro.sim.events import SimEvent, Timeout
+from repro.sim.process import Process
+
+ProcessGenerator = typing.Generator[SimEvent, object, object]
+
+
+class Engine:
+    """Drives a discrete-event simulation in virtual seconds."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, SimEvent]] = []
+        self._sequence = itertools.count()
+        self._processes_started = 0
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- event construction ---------------------------------------------------
+    def event(self, name: str = "") -> SimEvent:
+        """Create a pending event owned by this engine."""
+        return SimEvent(self, name=name)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that triggers ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Spawn a simulation process from a generator."""
+        self._processes_started += 1
+        return Process(self, generator, name=name or f"proc-{self._processes_started}")
+
+    # -- scheduling ------------------------------------------------------------
+    def _schedule(self, event: SimEvent, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), event))
+
+    # -- execution ---------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` when the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event heap corrupted: time moved backwards")
+        self._now = when
+        event._process()
+
+    def run(self, until: float | SimEvent | None = None) -> object:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the heap drains;
+        * a number — run until virtual time reaches that instant;
+        * an event — run until that event is processed, returning its value.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, SimEvent):
+            stop_event = until
+            while not stop_event.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "simulation ran out of events before "
+                        f"{stop_event!r} was processed"
+                    )
+                self.step()
+            return stop_event.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon}; clock is already at {self._now}"
+            )
+        while self._heap and self.peek() <= horizon:
+            self.step()
+        self._now = horizon
+        return None

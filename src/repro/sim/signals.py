@@ -1,0 +1,54 @@
+"""POSIX-like signals in virtual time.
+
+FreeRide's imperative interface pauses and resumes side tasks with
+``SIGTSTP`` / ``SIGCONT`` and the framework-enforced limit kills runaway
+tasks with ``SIGKILL`` (paper sections 4.2 and 4.5). This module provides
+the signal vocabulary and a small dispatcher mixin used by the simulated
+GPU processes.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+
+class Signal(enum.Enum):
+    """The subset of POSIX signals the paper's mechanisms rely on."""
+
+    SIGTSTP = "SIGTSTP"  # stop (catchable in the imperative interface)
+    SIGCONT = "SIGCONT"  # continue a stopped process
+    SIGKILL = "SIGKILL"  # unconditional termination (not catchable)
+    SIGTERM = "SIGTERM"  # polite termination request (catchable)
+
+
+SignalHandler = typing.Callable[[Signal], None]
+
+
+class SignalDispatcher:
+    """Per-process signal handler table with default-action hooks.
+
+    Subclasses (or owners) register handlers for catchable signals;
+    ``SIGKILL`` always invokes the ``on_kill`` hook and cannot be masked,
+    matching POSIX semantics.
+    """
+
+    def __init__(self, on_kill: typing.Callable[[], None]):
+        self._handlers: dict[Signal, SignalHandler] = {}
+        self._on_kill = on_kill
+        self.delivered: list[tuple[float, Signal]] = []
+
+    def register(self, signal: Signal, handler: SignalHandler) -> None:
+        if signal is Signal.SIGKILL:
+            raise ValueError("SIGKILL cannot be caught")
+        self._handlers[signal] = handler
+
+    def deliver(self, signal: Signal, now: float) -> None:
+        """Deliver ``signal`` at virtual time ``now``."""
+        self.delivered.append((now, signal))
+        if signal is Signal.SIGKILL:
+            self._on_kill()
+            return
+        handler = self._handlers.get(signal)
+        if handler is not None:
+            handler(signal)

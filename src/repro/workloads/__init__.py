@@ -1,0 +1,52 @@
+"""The paper's six evaluation side tasks, with real computations.
+
+Model training (ResNet18 / ResNet50 / VGG19), graph analytics (PageRank
+and Graph SGD, adapted conceptually from Gardenia), and image processing
+(resize + watermark, after Nvidia's nvJPEG sample) — each implemented
+against the FreeRide iterative interface, with an adapter that exposes any
+of them through the imperative interface as well (section 6.1.4 evaluates
+both).
+
+The *virtual-time* cost of each step follows the calibrated profile in
+:mod:`repro.calibration`; the *computation* inside each step is real —
+PageRank converges, the training losses fall, the images come out
+watermarked — so the step API demonstrably carries real work.
+"""
+
+from repro.workloads.adapters import ImperativeAdapter
+from repro.workloads.datasets import (
+    SyntheticClassificationData,
+    SyntheticImages,
+    SyntheticRatings,
+    synthetic_power_law_graph,
+)
+from repro.workloads.graph_analytics import GraphSGDTask, PageRankTask
+from repro.workloads.image_processing import ImageTask
+from repro.workloads.misbehaving import MemoryLeakTask, NonPausingTask
+from repro.workloads.model_training import (
+    ModelTrainingTask,
+    make_resnet18,
+    make_resnet50,
+    make_vgg19,
+)
+from repro.workloads.registry import WORKLOAD_NAMES, make_workload, workload_factory
+
+__all__ = [
+    "GraphSGDTask",
+    "ImageTask",
+    "ImperativeAdapter",
+    "MemoryLeakTask",
+    "ModelTrainingTask",
+    "NonPausingTask",
+    "PageRankTask",
+    "SyntheticClassificationData",
+    "SyntheticImages",
+    "SyntheticRatings",
+    "WORKLOAD_NAMES",
+    "make_resnet18",
+    "make_resnet50",
+    "make_vgg19",
+    "make_workload",
+    "synthetic_power_law_graph",
+    "workload_factory",
+]

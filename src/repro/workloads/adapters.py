@@ -1,0 +1,37 @@
+"""Expose any iterative workload through the imperative interface.
+
+The paper implements every side task "using both the iterative and the
+imperative interfaces of FreeRide" (section 6.1.4). Rather than duplicate
+each workload, :class:`ImperativeAdapter` runs an iterative task's
+compute core inside a monolithic ``run_gpu_workload`` body — which is
+exactly the imperative programming model: same logic, no step boundaries
+visible to the middleware.
+"""
+
+from __future__ import annotations
+
+from repro.core.interfaces import ImperativeSideTask, IterativeSideTask, SideTaskContext
+
+
+class ImperativeAdapter(ImperativeSideTask):
+    """Wraps an :class:`IterativeSideTask` as an imperative workload."""
+
+    def __init__(self, inner: IterativeSideTask):
+        super().__init__(inner.perf, name=f"{inner.name}-imperative")
+        self.inner = inner
+
+    def create_side_task(self) -> None:
+        self.inner.create_side_task()
+        self.host_loaded = True
+
+    def init_side_task(self, ctx: SideTaskContext) -> None:
+        super().init_side_task(ctx)
+
+    def compute_step(self) -> None:
+        self.inner.compute_step()
+        # keep the inner task's own accounting in step with ours
+        self.inner._account_step()
+
+    @property
+    def is_finished(self) -> bool:
+        return self.inner.is_finished

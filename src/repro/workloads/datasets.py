@@ -1,0 +1,136 @@
+"""Synthetic datasets for the side tasks.
+
+The paper uses the Orkut social graph (graph analytics), torchvision image
+batches (model training) and JPEG images (image processing). None of those
+assets ship with this reproduction, so each gets a synthetic stand-in with
+the same structural properties: a power-law graph for PageRank/SGD, a
+separable Gaussian-mixture classification set for the training tasks, and
+RGB images for the watermark task. Sizes are kept small because the
+*virtual* cost of a step comes from the calibrated profile, not from the
+stand-in's wall-clock time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def synthetic_power_law_graph(
+    num_nodes: int = 2000, edges_per_node: int = 8, seed: int = 0
+) -> sp.csr_matrix:
+    """A directed power-law graph as a CSR adjacency matrix.
+
+    Preferential attachment (Barabási–Albert flavoured) gives the heavy
+    tailed degree distribution of social graphs such as Orkut.
+    """
+    if num_nodes < 2:
+        raise ValueError(f"need at least 2 nodes, got {num_nodes}")
+    rng = np.random.default_rng(seed)
+    sources: list[int] = []
+    targets: list[int] = []
+    # attachment pool: node ids repeated once per incident edge
+    pool = [0, 1]
+    sources.append(0)
+    targets.append(1)
+    for node in range(2, num_nodes):
+        fanout = min(edges_per_node, node)
+        picks = rng.choice(len(pool), size=fanout)
+        chosen = {pool[int(index)] for index in picks}
+        for target in chosen:
+            sources.append(node)
+            targets.append(target)
+            pool.append(target)
+        pool.append(node)
+    data = np.ones(len(sources), dtype=np.float64)
+    adjacency = sp.csr_matrix(
+        (data, (np.array(sources), np.array(targets))),
+        shape=(num_nodes, num_nodes),
+    )
+    adjacency.sum_duplicates()
+    return adjacency
+
+
+@dataclasses.dataclass
+class SyntheticClassificationData:
+    """Gaussian blobs: linearly separable enough for loss to fall fast."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+
+    @classmethod
+    def generate(
+        cls,
+        samples: int = 2048,
+        dimensions: int = 32,
+        num_classes: int = 4,
+        seed: int = 0,
+    ) -> "SyntheticClassificationData":
+        rng = np.random.default_rng(seed)
+        centers = rng.normal(scale=3.0, size=(num_classes, dimensions))
+        labels = rng.integers(0, num_classes, size=samples)
+        features = centers[labels] + rng.normal(size=(samples, dimensions))
+        return cls(features=features, labels=labels, num_classes=num_classes)
+
+    def batch(self, size: int, rng: np.random.Generator):
+        index = rng.integers(0, len(self.labels), size=size)
+        return self.features[index], self.labels[index]
+
+
+@dataclasses.dataclass
+class SyntheticRatings:
+    """A sparse user-item rating matrix for matrix-factorization SGD."""
+
+    users: np.ndarray
+    items: np.ndarray
+    ratings: np.ndarray
+    num_users: int
+    num_items: int
+
+    @classmethod
+    def generate(
+        cls,
+        num_users: int = 512,
+        num_items: int = 512,
+        num_ratings: int = 8192,
+        rank: int = 8,
+        seed: int = 0,
+    ) -> "SyntheticRatings":
+        rng = np.random.default_rng(seed)
+        true_user = rng.normal(size=(num_users, rank)) / np.sqrt(rank)
+        true_item = rng.normal(size=(num_items, rank)) / np.sqrt(rank)
+        users = rng.integers(0, num_users, size=num_ratings)
+        items = rng.integers(0, num_items, size=num_ratings)
+        noise = rng.normal(scale=0.05, size=num_ratings)
+        ratings = np.einsum("ij,ij->i", true_user[users], true_item[items]) + noise
+        return cls(
+            users=users,
+            items=items,
+            ratings=ratings,
+            num_users=num_users,
+            num_items=num_items,
+        )
+
+
+class SyntheticImages:
+    """A cyclic pool of RGB images for the resize + watermark task."""
+
+    def __init__(self, count: int = 32, height: int = 256, width: int = 256,
+                 seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.images = [
+            rng.integers(0, 256, size=(height, width, 3), dtype=np.uint8)
+            for _ in range(count)
+        ]
+        self._cursor = 0
+
+    def next_image(self) -> np.ndarray:
+        image = self.images[self._cursor % len(self.images)]
+        self._cursor += 1
+        return image
+
+    def __len__(self) -> int:
+        return len(self.images)

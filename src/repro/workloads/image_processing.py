@@ -1,0 +1,77 @@
+"""Image-processing side task: resize + watermark (paper 6.1.4).
+
+"The image processing (Image) side task resizes an input image and adds a
+watermark, which we adapt from Nvidia's code." One FreeRide step processes
+one image: a real bilinear down-scale to half resolution followed by a
+real alpha-blended watermark in the corner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import calibration
+from repro.core.interfaces import IterativeSideTask
+from repro.workloads.datasets import SyntheticImages
+
+
+def bilinear_resize(image: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Real bilinear interpolation, vectorized with numpy."""
+    src_h, src_w = image.shape[:2]
+    rows = (np.arange(height) + 0.5) * src_h / height - 0.5
+    cols = (np.arange(width) + 0.5) * src_w / width - 0.5
+    rows = np.clip(rows, 0, src_h - 1)
+    cols = np.clip(cols, 0, src_w - 1)
+    row0 = np.floor(rows).astype(int)
+    col0 = np.floor(cols).astype(int)
+    row1 = np.minimum(row0 + 1, src_h - 1)
+    col1 = np.minimum(col0 + 1, src_w - 1)
+    row_frac = (rows - row0)[:, None, None]
+    col_frac = (cols - col0)[None, :, None]
+    img = image.astype(np.float64)
+    top = img[row0][:, col0] * (1 - col_frac) + img[row0][:, col1] * col_frac
+    bottom = img[row1][:, col0] * (1 - col_frac) + img[row1][:, col1] * col_frac
+    resized = top * (1 - row_frac) + bottom * row_frac
+    return resized.astype(image.dtype)
+
+
+def add_watermark(image: np.ndarray, mark: np.ndarray, alpha: float = 0.4) -> np.ndarray:
+    """Alpha-blend ``mark`` into the bottom-right corner of ``image``."""
+    out = image.copy()
+    mark_h, mark_w = mark.shape[:2]
+    region = out[-mark_h:, -mark_w:].astype(np.float64)
+    blended = (1 - alpha) * region + alpha * mark.astype(np.float64)
+    out[-mark_h:, -mark_w:] = blended.astype(image.dtype)
+    return out
+
+
+class ImageTask(IterativeSideTask):
+    """Resize + watermark; one image per step."""
+
+    def __init__(self, image_count: int = 32, total_images: int | None = None,
+                 seed: int = 0):
+        super().__init__(calibration.IMAGE)
+        self.image_count = image_count
+        #: None = endless; otherwise the task finishes after this many
+        self.total_images = total_images
+        self.seed = seed
+        self.processed: int = 0
+        self.last_output: np.ndarray | None = None
+        self._pool: SyntheticImages | None = None
+        self._mark: np.ndarray | None = None
+
+    def create_side_task(self) -> None:
+        self._pool = SyntheticImages(count=self.image_count, seed=self.seed)
+        rng = np.random.default_rng(self.seed + 7)
+        self._mark = rng.integers(0, 256, size=(32, 32, 3), dtype=np.uint8)
+        self.host_loaded = True
+
+    def compute_step(self) -> None:
+        image = self._pool.next_image()
+        resized = bilinear_resize(image, image.shape[0] // 2, image.shape[1] // 2)
+        self.last_output = add_watermark(resized, self._mark)
+        self.processed += 1
+
+    @property
+    def is_finished(self) -> bool:
+        return self.total_images is not None and self.processed >= self.total_images

@@ -1,0 +1,62 @@
+"""Name-based access to the paper's six side tasks.
+
+``workload_factory("resnet18")`` returns a zero-argument callable building
+a fresh task instance — the form :meth:`repro.core.middleware.FreeRide.submit`
+expects, so one profiling pass and one serving instance never share state.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.interfaces import ImperativeSideTask, IterativeSideTask
+from repro.workloads.adapters import ImperativeAdapter
+from repro.workloads.graph_analytics import GraphSGDTask, PageRankTask
+from repro.workloads.image_processing import ImageTask
+from repro.workloads.model_training import make_resnet18, make_resnet50, make_vgg19
+
+WORKLOAD_NAMES = (
+    "resnet18",
+    "resnet50",
+    "vgg19",
+    "pagerank",
+    "graph_sgd",
+    "image",
+)
+
+
+def make_workload(
+    name: str,
+    batch_size: int = 64,
+    seed: int = 0,
+    interface: str = "iterative",
+) -> "IterativeSideTask | ImperativeSideTask":
+    """Build one side-task instance by name."""
+    builders: dict[str, typing.Callable[[], IterativeSideTask]] = {
+        "resnet18": lambda: make_resnet18(batch_size, seed),
+        "resnet50": lambda: make_resnet50(batch_size, seed),
+        "vgg19": lambda: make_vgg19(batch_size, seed),
+        "pagerank": lambda: PageRankTask(seed=seed),
+        "graph_sgd": lambda: GraphSGDTask(seed=seed),
+        "image": lambda: ImageTask(seed=seed),
+    }
+    if name not in builders:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(builders)}"
+        )
+    task = builders[name]()
+    if interface == "imperative":
+        return ImperativeAdapter(task)
+    if interface != "iterative":
+        raise ValueError(f"unknown interface {interface!r}")
+    return task
+
+
+def workload_factory(
+    name: str,
+    batch_size: int = 64,
+    seed: int = 0,
+    interface: str = "iterative",
+) -> typing.Callable[[], "IterativeSideTask | ImperativeSideTask"]:
+    """A zero-argument factory for :meth:`FreeRide.submit`."""
+    return lambda: make_workload(name, batch_size, seed, interface)

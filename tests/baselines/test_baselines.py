@@ -1,0 +1,101 @@
+"""Integration tests for the MPS / naive / dedicated baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.colocation import run_colocation
+from repro.baselines.dedicated import run_dedicated
+from repro.experiments.common import baseline_time, train_config
+from repro.metrics.cost import dedicated_throughput, time_increase
+from repro.workloads.registry import make_workload, workload_factory
+
+
+@pytest.fixture(scope="module")
+def config():
+    return train_config(epochs=3)
+
+
+@pytest.fixture(scope="module")
+def t_no(config):
+    return baseline_time(config)
+
+
+class TestColocation:
+    def test_mps_slows_training_substantially(self, config, t_no):
+        result = run_colocation(config, workload_factory("resnet18"), "mps")
+        increase = time_increase(result.training.total_time, t_no)
+        assert 0.08 < increase < 0.35  # paper: 16.8%
+
+    def test_naive_is_worse_than_mps(self, config, t_no):
+        mps = run_colocation(config, workload_factory("resnet18"), "mps")
+        naive = run_colocation(config, workload_factory("resnet18"), "naive")
+        assert naive.training.total_time > mps.training.total_time
+
+    def test_graph_sgd_mps_anomaly(self, config, t_no):
+        """Paper: 'the time increase of Graph SGD with MPS is as high as
+        231%' because of its compute intensity."""
+        result = run_colocation(config, workload_factory("graph_sgd"), "mps")
+        increase = time_increase(result.training.total_time, t_no)
+        assert increase > 1.0
+
+    def test_side_tasks_do_work_continuously(self, config):
+        result = run_colocation(config, workload_factory("pagerank"), "mps")
+        assert result.total_units > 0
+        assert all(report.steps_done > 0 for report in result.tasks)
+
+    def test_placement_respects_memory(self, config):
+        result = run_colocation(config, workload_factory("vgg19"), "mps")
+        assert sorted(report.stage for report in result.tasks) == [2, 3]
+
+    def test_explicit_placement(self, config):
+        placement = [(0, workload_factory("pagerank")),
+                     (3, workload_factory("resnet18"))]
+        result = run_colocation(config, mode="naive", placement=placement)
+        assert sorted(report.stage for report in result.tasks) == [0, 3]
+
+    def test_invalid_arguments_rejected(self, config):
+        with pytest.raises(ValueError):
+            run_colocation(config, workload_factory("image"), mode="hyperq")
+        with pytest.raises(ValueError):
+            run_colocation(config, None, mode="mps")  # neither factory nor placement
+
+    def test_training_completes_all_epochs(self, config):
+        result = run_colocation(config, workload_factory("resnet50"), "naive")
+        assert len(result.training.trace.epochs) == config.epochs
+
+
+class TestDedicated:
+    def test_simulated_matches_analytic_throughput(self):
+        for name in ("resnet18", "pagerank", "image"):
+            workload = make_workload(name)
+            analytic = dedicated_throughput(workload.perf, "server_ii")
+            result = run_dedicated(make_workload(name), "server_ii",
+                                   duration_s=20.0)
+            assert result.throughput == pytest.approx(analytic, rel=0.05), name
+
+    def test_cpu_is_much_slower_than_server_ii(self):
+        gpu = run_dedicated(make_workload("resnet18"), "server_ii", 10.0)
+        cpu = run_dedicated(make_workload("resnet18"), "cpu", 10.0)
+        assert gpu.throughput > 10 * cpu.throughput
+
+    def test_enforced_memory_reports_oom(self):
+        result = run_dedicated(make_workload("vgg19"), "server_ii",
+                               duration_s=5.0, enforce_memory=True)
+        assert result.oom
+        assert result.throughput == 0.0
+
+    def test_oversized_batch_ooms_only_when_enforced(self):
+        big = lambda: make_workload("vgg19", batch_size=128)
+        enforced = run_dedicated(big(), "server_ii", 5.0, enforce_memory=True)
+        tolerant = run_dedicated(big(), "server_ii", 5.0, enforce_memory=False)
+        assert enforced.oom and not tolerant.oom
+
+    def test_real_compute_happens(self):
+        workload = make_workload("pagerank")
+        run_dedicated(workload, "server_ii", duration_s=2.0)
+        assert workload.residuals  # real PageRank iterations ran
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            run_dedicated(make_workload("image"), "dgx", 1.0)

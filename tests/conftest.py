@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import SimGPU
+from repro.gpu.sharing import SharingMode
+from repro.sim.engine import Engine
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def rng() -> RandomStreams:
+    return RandomStreams(seed=7)
+
+
+@pytest.fixture
+def gpu(engine: Engine) -> SimGPU:
+    return SimGPU(engine, name="gpu0", memory_gb=48.0, sharing=SharingMode.MPS)

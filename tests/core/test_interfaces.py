@@ -1,0 +1,90 @@
+"""Unit tests for the user-facing side-task interfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import calibration
+from repro.core.interfaces import SideTaskContext
+from repro.gpu.process import GPUProcess
+from repro.sim.rng import RandomStreams
+from repro.workloads.model_training import make_resnet18
+
+
+@pytest.fixture
+def ctx(engine, gpu):
+    proc = GPUProcess(engine, gpu, "task")
+    return SideTaskContext(engine, proc, RandomStreams(0), "task")
+
+
+class TestContext:
+    def test_now_tracks_engine(self, engine, ctx):
+        assert ctx.now == 0.0
+        engine.run(until=2.0)
+        assert ctx.now == 2.0
+
+    def test_jitter_of_zero_is_zero(self, ctx):
+        assert ctx.jitter(0.0) == 0.0
+
+    def test_jitter_is_deterministic_per_task_name(self, engine, gpu):
+        first = SideTaskContext(engine, GPUProcess(engine, gpu, "a"),
+                                RandomStreams(1), "a")
+        second = SideTaskContext(engine, GPUProcess(engine, gpu, "a"),
+                                 RandomStreams(1), "a")
+        assert first.jitter(1.0) == second.jitter(1.0)
+
+
+class TestIterativeDefaults:
+    def test_default_step_realizes_profiled_duration(self, engine, ctx):
+        task = make_resnet18()
+        task.create_side_task()
+        task.init_side_task(ctx)
+
+        def body():
+            yield from task.run_next_step(ctx)
+
+        proc = engine.process(body())
+        engine.run(until=proc)
+        assert engine.now == pytest.approx(
+            calibration.RESNET18.step_time_s, rel=0.15
+        )
+        assert task.steps_done == 1
+        assert task.units_done == 64.0
+
+    def test_default_init_allocates_profiled_memory(self, engine, ctx):
+        task = make_resnet18()
+        task.create_side_task()
+        task.init_side_task(ctx)
+        assert ctx.proc.memory_gb == pytest.approx(
+            calibration.RESNET18.memory_gb
+        )
+        task.stop_side_task(ctx)
+        assert ctx.proc.memory_gb == 0.0
+
+    def test_stop_is_idempotent(self, engine, ctx):
+        task = make_resnet18()
+        task.create_side_task()
+        task.init_side_task(ctx)
+        task.stop_side_task(ctx)
+        task.stop_side_task(ctx)  # second call must not raise
+        assert ctx.proc.memory_gb == 0.0
+
+    def test_endless_by_default(self):
+        assert make_resnet18().is_finished is False
+
+    def test_step_splits_host_and_kernel_by_gpu_duty(self, engine, ctx):
+        task = make_resnet18()
+        task.create_side_task()
+        task.init_side_task(ctx)
+
+        def body():
+            yield from task.run_next_step(ctx)
+
+        engine.process(body())
+        engine.run()
+        # The GPU was busy for ~gpu_duty of the step.
+        gpu = ctx.proc.device
+        busy = gpu.busy_time
+        expected = (calibration.RESNET18.step_time_s
+                    * calibration.RESNET18.gpu_duty)
+        assert busy == pytest.approx(expected, rel=0.2)

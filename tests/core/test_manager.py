@@ -1,0 +1,185 @@
+"""Unit tests for Algorithm 1 (assignment) and Algorithm 2 (management)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.manager import SideTaskManager
+from repro.core.policies import (
+    best_fit_policy,
+    first_fit_policy,
+    least_loaded_policy,
+    worst_fit_policy,
+)
+from repro.core.profiler import profile_side_task
+from repro.core.runtime import Command, CommandKind
+from repro.core.states import SideTaskState
+from repro.core.task_spec import TaskProfile, TaskSpec
+from repro.core.worker import ManagedBubble, SideTaskWorker
+from repro.errors import TaskRejectedError
+from repro.gpu.cluster import make_server_i
+from repro.sim.engine import Engine
+from repro.workloads.model_training import make_resnet18
+
+
+def make_workers(engine, memories=(3.0, 10.65, 18.3, 25.95)):
+    server = make_server_i(engine)
+    return [
+        SideTaskWorker(engine, server.gpu(stage), stage,
+                       side_task_memory_gb=memory, mps=server.mps)
+        for stage, memory in enumerate(memories)
+    ], server
+
+
+def spec_with_memory(gb, step_s=0.03):
+    """A task whose real allocation matches its profiled memory."""
+    import dataclasses
+
+    from repro import calibration
+    from repro.workloads.model_training import ModelTrainingTask
+
+    perf = dataclasses.replace(
+        calibration.RESNET18, memory_gb=gb, step_time_s=step_s
+    )
+    return TaskSpec(
+        workload=ModelTrainingTask(perf),
+        profile=TaskProfile(gpu_memory_gb=gb, step_time_s=step_s,
+                            units_per_step=64.0),
+    )
+
+
+class TestAlgorithm1:
+    def test_assigns_to_least_loaded_eligible_worker(self, engine):
+        workers, _ = make_workers(engine)
+        manager = SideTaskManager(engine, workers)
+        first = manager.submit(spec_with_memory(2.6))
+        assert first is workers[0]  # all eligible, all empty, first wins
+        second = manager.submit(spec_with_memory(2.6))
+        assert second is workers[1]  # worker0 now has one task
+
+    def test_memory_filter_excludes_small_workers(self, engine):
+        workers, _ = make_workers(engine)
+        manager = SideTaskManager(engine, workers)
+        assigned = manager.submit(spec_with_memory(11.5))  # > stages 0-1
+        assert assigned is workers[2]
+
+    def test_rejects_when_nothing_fits(self, engine):
+        workers, _ = make_workers(engine)
+        manager = SideTaskManager(engine, workers)
+        with pytest.raises(TaskRejectedError):
+            manager.submit(spec_with_memory(30.0))
+        assert len(manager.rejections) == 1
+
+    def test_reservation_prevents_memory_oversubscription(self, engine):
+        workers, _ = make_workers(engine)
+        manager = SideTaskManager(engine, workers)
+        assert manager.submit(spec_with_memory(11.5)) is workers[2]
+        assert manager.submit(spec_with_memory(11.5)) is workers[3]
+        # worker3 still has 25.95 - 11.5 > 11.5 GB free: a third copy fits
+        assert manager.submit(spec_with_memory(11.5)) is workers[3]
+        with pytest.raises(TaskRejectedError):
+            manager.submit(spec_with_memory(11.5))  # nothing left now
+
+    def test_boundary_requires_strictly_more_memory(self, engine):
+        """Algorithm 1 line 5: Worker.GPUMem > Task.GPUMem (strict)."""
+        workers, _ = make_workers(engine, memories=(5.0, 5.0, 5.0, 5.0))
+        manager = SideTaskManager(engine, workers)
+        with pytest.raises(TaskRejectedError):
+            manager.submit(spec_with_memory(5.0))
+
+
+class TestPolicies:
+    def test_policy_behaviours_differ(self, engine):
+        workers, _ = make_workers(engine)
+        eligible = workers[1:]  # 10.65, 18.3, 25.95
+        assert first_fit_policy(eligible) is workers[1]
+        assert best_fit_policy(eligible) is workers[1]
+        assert worst_fit_policy(eligible) is workers[3]
+        assert least_loaded_policy(eligible) is workers[1]
+        assert least_loaded_policy([]) is None
+        assert first_fit_policy([]) is None
+
+
+class TestAlgorithm2:
+    def _submit_and_settle(self, engine, workers, manager, spec):
+        runtime = None
+        manager.submit(spec)
+        for worker in workers:
+            if worker.all_tasks:
+                runtime = worker.all_tasks[-1]
+        engine.run(until=engine.now + 1.0)
+        return runtime
+
+    def test_task_is_inited_after_assignment(self, engine):
+        workers, _ = make_workers(engine)
+        manager = SideTaskManager(engine, workers)
+        runtime = self._submit_and_settle(engine, workers, manager,
+                                          spec_with_memory(2.6))
+        assert runtime.state is SideTaskState.PAUSED  # init done, waiting
+
+    def test_bubble_starts_and_pauses_task(self, engine):
+        workers, _ = make_workers(engine)
+        manager = SideTaskManager(engine, workers)
+        runtime = self._submit_and_settle(engine, workers, manager,
+                                          spec_with_memory(2.6))
+        bubble = ManagedBubble(stage=0, start=engine.now,
+                               expected_end=engine.now + 0.5,
+                               available_gb=3.0)
+        manager.add_bubble(bubble)
+        engine.run(until=engine.now + 0.2)
+        assert runtime.state is SideTaskState.RUNNING
+        engine.run(until=engine.now + 1.0)  # past the bubble's end
+        assert runtime.state is SideTaskState.PAUSED
+        assert runtime.workload.steps_done > 0
+
+    def test_steps_only_run_inside_bubbles(self, engine):
+        workers, _ = make_workers(engine)
+        manager = SideTaskManager(engine, workers)
+        runtime = self._submit_and_settle(engine, workers, manager,
+                                          spec_with_memory(2.6))
+        engine.run(until=engine.now + 5.0)  # no bubbles at all
+        assert runtime.workload.steps_done == 0
+
+    def test_stale_bubble_is_discarded(self, engine):
+        workers, _ = make_workers(engine)
+        manager = SideTaskManager(engine, workers)
+        runtime = self._submit_and_settle(engine, workers, manager,
+                                          spec_with_memory(2.6))
+        stale = ManagedBubble(stage=0, start=engine.now,
+                              expected_end=engine.now + 0.0005,
+                              available_gb=3.0)
+        manager.add_bubble(stale)
+        engine.run(until=engine.now + 0.5)
+        assert runtime.workload.steps_done == 0
+
+    def test_next_task_served_after_first_finishes(self, engine):
+        # Only worker0 is eligible; two small tasks fit its reservation.
+        workers, _ = make_workers(engine, memories=(3.0, 0.0, 0.0, 0.0))
+        manager = SideTaskManager(engine, workers)
+        manager.submit(spec_with_memory(1.2))
+        manager.submit(spec_with_memory(1.2))
+        worker0 = workers[0]
+        assert worker0.get_task_num() == 2
+        engine.run(until=engine.now + 1.0)
+        task_one = worker0.current_task
+        manager.stop_task(task_one)
+        engine.run(until=engine.now + 1.0)
+        assert task_one.machine.terminated
+        assert worker0.current_task is not task_one
+        assert worker0.current_task is not None
+
+    def test_reported_end_pauses_before_expected_end(self, engine):
+        """The manager honours an actual-end report that arrives early."""
+        workers, _ = make_workers(engine)
+        manager = SideTaskManager(engine, workers)
+        runtime = self._submit_and_settle(engine, workers, manager,
+                                          spec_with_memory(2.6))
+        bubble = ManagedBubble(stage=0, start=engine.now,
+                               expected_end=engine.now + 10.0,
+                               available_gb=3.0)
+        manager.add_bubble(bubble)
+        engine.run(until=engine.now + 0.3)
+        assert runtime.state is SideTaskState.RUNNING
+        manager.bubble_ended(0, engine.now)
+        engine.run(until=engine.now + 0.3)
+        assert runtime.state is SideTaskState.PAUSED

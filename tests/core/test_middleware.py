@@ -1,0 +1,130 @@
+"""End-to-end tests of the FreeRide facade (paper Figure 3 workflow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.middleware import FreeRide
+from repro.core.states import SideTaskState
+from repro.pipeline.config import TrainConfig, model_config
+from repro.workloads.registry import workload_factory
+
+
+@pytest.fixture(scope="module")
+def small_config() -> TrainConfig:
+    return TrainConfig(model=model_config("3.6B"), epochs=3, op_jitter=0.01,
+                       seed=0)
+
+
+@pytest.fixture(scope="module")
+def resnet_run(small_config):
+    freeride = FreeRide(small_config)
+    accepted = freeride.submit_replicated(workload_factory("resnet18"))
+    result = freeride.run()
+    return freeride, accepted, result
+
+
+class TestServing:
+    def test_one_copy_per_worker(self, resnet_run):
+        _freeride, accepted, result = resnet_run
+        assert accepted == 4
+        assert sorted(report.stage for report in result.tasks) == [0, 1, 2, 3]
+
+    def test_all_tasks_stop_cleanly(self, resnet_run):
+        _freeride, _accepted, result = resnet_run
+        for report in result.tasks:
+            assert report.final_state is SideTaskState.STOPPED
+            assert report.failure is None
+
+    def test_side_tasks_did_real_work(self, resnet_run):
+        freeride, _accepted, result = resnet_run
+        assert result.total_steps > 100
+        assert result.total_units == result.total_steps * 64
+        # The real SGD inside the steps made the loss fall.
+        for spec, _interface, _stage in freeride._submissions:
+            assert spec.workload.loss_improved
+
+    def test_running_time_is_bounded_by_bubble_time(self, resnet_run):
+        _freeride, _accepted, result = resnet_run
+        trace = result.training.trace
+        for report in result.tasks:
+            bubble_time = sum(
+                bubble.duration
+                for bubble in trace.bubbles_of(stage=report.stage)
+            )
+            assert report.running_s <= bubble_time * 1.05
+
+    def test_memory_fit_controls_placement(self, small_config):
+        freeride = FreeRide(small_config)
+        accepted = freeride.submit_replicated(workload_factory("vgg19"))
+        result = freeride.run()
+        # VGG19 does not fit the bubbles of stages 0-1 (paper section 6.5).
+        assert accepted == 2
+        assert sorted(report.stage for report in result.tasks) == [2, 3]
+
+    def test_rejection_when_no_worker_fits(self, small_config):
+        freeride = FreeRide(small_config)
+        spec = freeride.submit(
+            workload_factory("vgg19"), memory_limit_gb=None, name="huge",
+            profile=None,
+        )
+        assert spec is not None
+        # Fill the remaining memory; a 26 GB task fits nowhere.
+        from repro.core.task_spec import TaskProfile
+        rejected = freeride.submit(
+            workload_factory("vgg19"),
+            profile=TaskProfile(gpu_memory_gb=26.0, step_time_s=0.2),
+        )
+        assert rejected is None
+        assert freeride.manager.rejections
+
+    def test_mixed_workload_matches_paper_placement(self, small_config):
+        """Paper 6.2: PageRank, ResNet18, Image, VGG19 on stages 0-3."""
+        freeride = FreeRide(small_config)
+        for name in ("pagerank", "resnet18", "image", "vgg19"):
+            assert freeride.submit(workload_factory(name)) is not None
+        result = freeride.run()
+        placement = {report.name.split("-")[0]: report.stage
+                     for report in result.tasks}
+        assert placement["pagerank"] == 0
+        assert placement["resnet18"] == 1
+        assert placement["image"] == 2
+        assert placement["vgg19"] == 3
+
+    def test_finite_task_finishes_and_frees_worker(self, small_config):
+        from repro.workloads.image_processing import ImageTask
+        freeride = FreeRide(small_config)
+        freeride.submit(lambda: ImageTask(total_images=5), name="finite")
+        result = freeride.run()
+        report = result.task("finite")
+        assert report.final_state is SideTaskState.STOPPED
+        assert report.steps_done == 5
+
+
+class TestOverhead:
+    def test_iterative_overhead_is_about_one_percent(self, small_config,
+                                                     resnet_run):
+        from repro.gpu.cluster import make_server_i
+        from repro.pipeline.engine import PipelineEngine
+        from repro.sim.engine import Engine
+        from repro.sim.rng import RandomStreams
+
+        _freeride, _accepted, result = resnet_run
+        sim = Engine()
+        baseline = PipelineEngine(
+            sim, make_server_i(sim), small_config,
+            rng=RandomStreams(0).spawn("pipeline"),
+        ).run()
+        increase = result.training.total_time / baseline.total_time - 1
+        assert -0.01 < increase < 0.03  # paper: about 1%
+
+    def test_fresh_runs_are_deterministic(self, small_config):
+        def run_once():
+            freeride = FreeRide(small_config)
+            freeride.submit_replicated(workload_factory("pagerank"))
+            return freeride.run()
+
+        first = run_once()
+        second = run_once()
+        assert first.training.total_time == second.training.total_time
+        assert first.total_steps == second.total_steps

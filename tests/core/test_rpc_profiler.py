@@ -1,0 +1,90 @@
+"""Unit tests for the RPC channel and the automated side-task profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import calibration
+from repro.core.profiler import profile_side_task
+from repro.core.rpc import RpcChannel
+from repro.errors import RpcError, SideTaskError
+from repro.sim.engine import Engine
+from repro.workloads.adapters import ImperativeAdapter
+from repro.workloads.graph_analytics import PageRankTask
+from repro.workloads.model_training import make_resnet18
+
+
+class TestRpc:
+    def test_cast_delivers_after_latency(self, engine: Engine):
+        channel = RpcChannel(engine, "test", latency_s=0.5)
+        seen: list[float] = []
+        channel.cast(lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [0.5]
+
+    def test_call_round_trip(self, engine: Engine):
+        channel = RpcChannel(engine, "test", latency_s=0.25)
+        reply = channel.call(lambda a, b: a + b, 2, 3)
+        assert engine.run(until=reply) == 5
+        assert engine.now == pytest.approx(0.5)
+
+    def test_call_propagates_handler_errors(self, engine: Engine):
+        channel = RpcChannel(engine, "test", latency_s=0.1)
+
+        def boom():
+            raise ValueError("nope")
+
+        reply = channel.call(boom)
+        engine.run()
+        assert reply.processed and not reply.ok
+        assert isinstance(reply.exception, RpcError)
+
+    def test_negative_latency_rejected(self, engine: Engine):
+        with pytest.raises(RpcError):
+            RpcChannel(engine, "bad", latency_s=-1.0)
+
+    def test_counters(self, engine: Engine):
+        channel = RpcChannel(engine, "test")
+        channel.cast(lambda: None)
+        channel.call(lambda: None)
+        assert channel.casts_sent == 1
+        assert channel.calls_sent == 1
+
+
+class TestProfiler:
+    def test_profiles_memory_and_step_time(self):
+        profile = profile_side_task(make_resnet18(), interface="iterative")
+        assert profile.gpu_memory_gb == pytest.approx(
+            calibration.RESNET18.memory_gb
+        )
+        # Median measured step near the calibrated 30.4 ms.
+        assert profile.step_time_s == pytest.approx(0.0304, rel=0.10)
+        assert profile.units_per_step == pytest.approx(64.0)
+        assert profile.is_iterative
+
+    def test_imperative_profile_has_no_step_time(self):
+        """Paper 4.3: the tool cannot measure per-step duration of
+        imperative tasks."""
+        workload = ImperativeAdapter(make_resnet18())
+        profile = profile_side_task(workload, interface="imperative")
+        assert profile.step_time_s is None
+        assert not profile.is_iterative
+        assert profile.gpu_memory_gb > 0
+
+    def test_profiling_runs_real_computation(self):
+        task = PageRankTask()
+        profile_side_task(task, interface="iterative", steps=8)
+        assert task.steps_done == 8
+        assert len(task.residuals) == 8
+
+    def test_batch_size_changes_profile(self):
+        small = profile_side_task(make_resnet18(batch_size=16))
+        large = profile_side_task(make_resnet18(batch_size=128))
+        assert small.gpu_memory_gb < large.gpu_memory_gb
+        assert small.step_time_s < large.step_time_s
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(SideTaskError):
+            profile_side_task(make_resnet18(), interface="declarative")
+        with pytest.raises(SideTaskError):
+            profile_side_task(make_resnet18(), steps=0)

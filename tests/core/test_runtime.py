@@ -1,0 +1,170 @@
+"""Focused tests for the iterative and imperative runtimes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import calibration
+from repro.core.manager import SideTaskManager
+from repro.core.profiler import profile_side_task
+from repro.core.runtime import Command, CommandKind, ImperativeRuntime, IterativeRuntime
+from repro.core.states import SideTaskState
+from repro.core.task_spec import TaskProfile, TaskSpec
+from repro.core.worker import ManagedBubble, SideTaskWorker
+from repro.gpu.cluster import make_server_i
+from repro.sim.engine import Engine
+from repro.workloads.adapters import ImperativeAdapter
+from repro.workloads.model_training import make_resnet18
+
+
+def setup(engine, interface="iterative"):
+    server = make_server_i(engine)
+    worker = SideTaskWorker(engine, server.gpu(0), 0,
+                            side_task_memory_gb=20.0, mps=server.mps)
+    manager = SideTaskManager(engine, [worker])
+    if interface == "iterative":
+        factory = make_resnet18
+    else:
+        factory = lambda: ImperativeAdapter(make_resnet18())
+    profile = profile_side_task(factory(), interface=interface)
+    workload = factory()
+    spec = TaskSpec(workload=workload, profile=profile)
+    manager.submit(spec, interface)
+    runtime = worker.all_tasks[0]
+    return server, worker, manager, runtime, workload
+
+
+class TestIterativeRuntime:
+    def test_wrong_interface_type_rejected(self, engine, gpu):
+        from repro.gpu.container import Container
+        from repro.gpu.process import GPUProcess
+        from repro.sim.rng import RandomStreams
+
+        proc = GPUProcess(engine, gpu, "p")
+        adapter = ImperativeAdapter(make_resnet18())
+        spec = TaskSpec(workload=adapter,
+                        profile=TaskProfile(gpu_memory_gb=1.0, step_time_s=0.1))
+        with pytest.raises(TypeError):
+            IterativeRuntime(engine, spec, proc, Container("c"),
+                             RandomStreams(0))
+        good_spec = TaskSpec(workload=make_resnet18(),
+                             profile=TaskProfile(gpu_memory_gb=1.0,
+                                                 step_time_s=0.1))
+        with pytest.raises(TypeError):
+            ImperativeRuntime(engine, good_spec, proc, Container("c"),
+                              RandomStreams(0))
+
+    def test_init_loads_gpu_memory_with_transfer_time(self, engine):
+        server, _worker, _manager, runtime, _workload = setup(engine)
+        engine.run(until=engine.now + 1.0)
+        assert runtime.state is SideTaskState.PAUSED
+        assert runtime.proc.memory_gb == pytest.approx(
+            calibration.RESNET18.memory_gb
+        )
+        # init_s includes the H2D transfer at the calibrated bandwidth.
+        expected = calibration.RESNET18.memory_gb / calibration.H2D_BANDWIDTH_GB_S
+        assert runtime.init_s == pytest.approx(expected, abs=0.01)
+
+    def test_duplicate_commands_are_harmless(self, engine):
+        _server, _worker, _manager, runtime, workload = setup(engine)
+        engine.run(until=engine.now + 1.0)
+        runtime.deliver(Command(CommandKind.INIT))     # duplicate init
+        runtime.deliver(Command(CommandKind.PAUSE))    # pause while paused
+        engine.run(until=engine.now + 0.5)
+        assert runtime.state is SideTaskState.PAUSED
+        assert runtime.alive
+
+    def test_stop_while_paused_releases_memory(self, engine):
+        server, _worker, manager, runtime, _workload = setup(engine)
+        engine.run(until=engine.now + 1.0)
+        manager.stop_task(runtime)
+        engine.run(until=engine.now + 0.5)
+        assert runtime.state is SideTaskState.STOPPED
+        assert server.gpu(0).used_gb == 0.0
+
+    def test_commands_after_termination_ignored(self, engine):
+        _server, _worker, manager, runtime, _workload = setup(engine)
+        engine.run(until=engine.now + 1.0)
+        manager.stop_task(runtime)
+        engine.run(until=engine.now + 0.5)
+        runtime.deliver(Command(CommandKind.START, bubble_end=engine.now + 1))
+        engine.run(until=engine.now + 0.5)
+        assert runtime.state is SideTaskState.STOPPED
+
+    def test_resume_latency_charged_per_bubble(self, engine):
+        _server, _worker, manager, runtime, workload = setup(engine)
+        engine.run(until=engine.now + 1.0)
+        for _ in range(3):
+            manager.add_bubble(ManagedBubble(stage=0, start=engine.now,
+                                             expected_end=engine.now + 0.4,
+                                             available_gb=20.0))
+            engine.run(until=engine.now + 1.0)
+        assert runtime.overhead_s >= 3 * calibration.TASK_RESUME_LATENCY_S
+
+
+class TestImperativeRuntime:
+    def test_pause_uses_sigtstp_and_records_timestamp(self, engine):
+        _server, _worker, manager, runtime, workload = setup(
+            engine, "imperative")
+        engine.run(until=engine.now + 1.0)
+        assert runtime.state is SideTaskState.PAUSED
+        manager.add_bubble(ManagedBubble(stage=0, start=engine.now,
+                                         expected_end=engine.now + 0.5,
+                                         available_gb=20.0))
+        engine.run(until=engine.now + 0.3)
+        assert runtime.state is SideTaskState.RUNNING
+        assert not runtime.proc.stopped
+        engine.run(until=engine.now + 0.8)  # past the bubble end
+        assert runtime.state is SideTaskState.PAUSED
+        assert runtime.proc.stopped
+        assert runtime.last_paused_at > 0
+        assert workload.steps_done > 0
+
+    def test_inflight_kernel_overruns_bubble_end(self, engine):
+        """The imperative interface's defining overhead: the kernel that
+        was on the GPU when SIGTSTP landed keeps running."""
+        server, _worker, manager, runtime, _workload = setup(
+            engine, "imperative")
+        engine.run(until=engine.now + 1.0)
+        bubble_end = engine.now + 0.1  # shorter than one 30 ms step chain
+        manager.add_bubble(ManagedBubble(stage=0, start=engine.now,
+                                         expected_end=bubble_end,
+                                         available_gb=20.0))
+        engine.run(until=engine.now + 1.0)
+        last_side_kernel = max(
+            (t for t, _tot, _hi, side in server.gpu(0).occupancy_trace
+             if side > 0),
+            default=0.0,
+        )
+        # Unlike the iterative gate, execution ran past the bubble's end.
+        assert last_side_kernel > bubble_end
+
+    def test_resume_continues_same_workload(self, engine):
+        _server, _worker, manager, runtime, workload = setup(
+            engine, "imperative")
+        engine.run(until=engine.now + 1.0)
+        for _ in range(2):
+            manager.add_bubble(ManagedBubble(stage=0, start=engine.now,
+                                             expected_end=engine.now + 0.3,
+                                             available_gb=20.0))
+            engine.run(until=engine.now + 1.0)
+        first_burst = workload.steps_done
+        assert first_burst > 0
+        manager.add_bubble(ManagedBubble(stage=0, start=engine.now,
+                                         expected_end=engine.now + 0.3,
+                                         available_gb=20.0))
+        engine.run(until=engine.now + 1.0)
+        assert workload.steps_done > first_burst
+
+    def test_stop_kills_the_body(self, engine):
+        _server, _worker, manager, runtime, _workload = setup(
+            engine, "imperative")
+        engine.run(until=engine.now + 1.0)
+        manager.add_bubble(ManagedBubble(stage=0, start=engine.now,
+                                         expected_end=engine.now + 0.3,
+                                         available_gb=20.0))
+        engine.run(until=engine.now + 0.2)
+        manager.stop_task(runtime)
+        engine.run(until=engine.now + 1.0)
+        assert runtime.machine.terminated
+        assert not runtime.proc.alive

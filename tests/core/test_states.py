@@ -1,0 +1,118 @@
+"""Unit and property tests for the Figure-4(a) state machine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.states import (
+    SideTaskState,
+    StateMachine,
+    TRANSITION_TABLE,
+    Transition,
+    legal_transitions,
+)
+from repro.errors import IllegalTransitionError
+
+
+class TestTransitionTable:
+    def test_happy_path(self):
+        machine = StateMachine()
+        machine.apply(Transition.CREATE, 0.0)
+        machine.apply(Transition.INIT, 1.0)
+        machine.apply(Transition.START, 2.0)
+        machine.apply(Transition.RUN_NEXT_STEP, 2.5)
+        machine.apply(Transition.PAUSE, 3.0)
+        machine.apply(Transition.START, 4.0)
+        machine.apply(Transition.STOP, 5.0)
+        assert machine.state is SideTaskState.STOPPED
+        assert machine.terminated
+
+    def test_stop_reachable_from_created_paused_running(self):
+        """Figure 4a: StopSideTask from CREATED, PAUSED, and RUNNING."""
+        for path in ([Transition.CREATE],
+                     [Transition.CREATE, Transition.INIT],
+                     [Transition.CREATE, Transition.INIT, Transition.START]):
+            machine = StateMachine()
+            for transition in path:
+                machine.apply(transition)
+            machine.apply(Transition.STOP)
+            assert machine.terminated
+
+    def test_run_next_step_is_self_loop(self):
+        machine = StateMachine(state=SideTaskState.RUNNING)
+        machine.apply(Transition.RUN_NEXT_STEP)
+        assert machine.state is SideTaskState.RUNNING
+
+    def test_illegal_transitions_raise(self):
+        machine = StateMachine()
+        with pytest.raises(IllegalTransitionError):
+            machine.apply(Transition.START)  # SUBMITTED -> RUNNING illegal
+        machine.apply(Transition.CREATE)
+        with pytest.raises(IllegalTransitionError):
+            machine.apply(Transition.PAUSE)
+
+    def test_stopped_is_terminal(self):
+        machine = StateMachine(state=SideTaskState.STOPPED)
+        for transition in Transition:
+            with pytest.raises(IllegalTransitionError):
+                machine.apply(transition)
+
+    def test_submitted_cannot_stop_directly(self):
+        """SUBMITTED has no process yet — nothing to stop (Figure 4a)."""
+        assert Transition.STOP not in legal_transitions(SideTaskState.SUBMITTED)
+
+    def test_legal_transitions_match_table(self):
+        for state in SideTaskState:
+            expected = {
+                transition
+                for (from_state, transition) in TRANSITION_TABLE
+                if from_state is state
+            }
+            assert legal_transitions(state) == expected
+
+    def test_six_distinct_transitions(self):
+        """The paper's framework has exactly six transitions."""
+        assert len(Transition) == 6
+
+
+class TestTimeInState:
+    def test_accounts_time_per_state(self):
+        machine = StateMachine()
+        machine.apply(Transition.CREATE, 0.0)
+        machine.apply(Transition.INIT, 2.0)
+        machine.apply(Transition.START, 5.0)
+        machine.apply(Transition.PAUSE, 9.0)
+        assert machine.time_in_state(SideTaskState.CREATED, until=10.0) == 2.0
+        assert machine.time_in_state(SideTaskState.PAUSED, until=10.0) == 4.0
+        assert machine.time_in_state(SideTaskState.RUNNING, until=10.0) == 4.0
+
+
+@given(st.lists(st.sampled_from(list(Transition)), max_size=30))
+def test_property_machine_never_enters_undefined_state(transitions):
+    """Any transition sequence leaves the machine in a defined state, and
+    illegal steps change nothing."""
+    machine = StateMachine()
+    for transition in transitions:
+        before = machine.state
+        if machine.can_apply(transition):
+            machine.apply(transition)
+            assert machine.state is TRANSITION_TABLE[(before, transition)]
+        else:
+            with pytest.raises(IllegalTransitionError):
+                machine.apply(transition)
+            assert machine.state is before
+        assert machine.state in SideTaskState
+
+
+@given(st.lists(st.sampled_from(list(Transition)), max_size=30))
+def test_property_history_is_consistent(transitions):
+    machine = StateMachine()
+    applied = 0
+    for i, transition in enumerate(transitions):
+        if machine.can_apply(transition):
+            machine.apply(transition, now=float(i))
+            applied += 1
+    assert len(machine.history) == applied
+    times = [when for when, _state in machine.history]
+    assert times == sorted(times)

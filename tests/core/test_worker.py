@@ -1,0 +1,100 @@
+"""Unit tests for the per-GPU side-task worker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.task_spec import TaskProfile, TaskSpec
+from repro.core.worker import ManagedBubble, SideTaskWorker
+from repro.errors import SideTaskError
+from repro.gpu.cluster import make_server_i
+from repro.workloads.model_training import make_resnet18
+
+
+@pytest.fixture
+def worker(engine):
+    server = make_server_i(engine)
+    return SideTaskWorker(engine, server.gpu(0), 0, side_task_memory_gb=10.0,
+                          mps=server.mps)
+
+
+def spec():
+    return TaskSpec(workload=make_resnet18(),
+                    profile=TaskProfile(gpu_memory_gb=2.63, step_time_s=0.03,
+                                        units_per_step=64.0))
+
+
+class TestTaskLifecycle:
+    def test_add_task_reserves_memory_and_sets_limit(self, engine, worker):
+        runtime = worker.add_task(spec(), "iterative")
+        assert worker.available_gb == pytest.approx(10.0 - 2.63)
+        assert worker.get_task_num() == 1
+        # MPS limit: requested 1.25x headroom, clamped to worker memory.
+        assert runtime.proc.memory_limit_gb == pytest.approx(2.63 * 1.25)
+
+    def test_limit_clamped_to_worker_memory(self, engine):
+        server = make_server_i(engine)
+        tight = SideTaskWorker(engine, server.gpu(0), 0,
+                               side_task_memory_gb=3.0, mps=server.mps)
+        runtime = tight.add_task(spec(), "iterative")
+        assert runtime.proc.memory_limit_gb == pytest.approx(3.0)
+
+    def test_unknown_interface_rejected(self, engine, worker):
+        with pytest.raises(SideTaskError):
+            worker.add_task(spec(), "quantum")
+
+    def test_release_is_idempotent(self, engine, worker):
+        runtime = worker.add_task(spec(), "iterative")
+        worker.release(runtime)
+        worker.release(runtime)
+        assert worker.available_gb == pytest.approx(10.0)
+
+    def test_next_task_skips_terminated(self, engine, worker):
+        first = worker.add_task(spec(), "iterative")
+        second = worker.add_task(spec(), "iterative")
+        first.kill("test")
+        assert worker.next_task() is second
+
+    def test_stop_tears_down_container(self, engine, worker):
+        runtime = worker.add_task(spec(), "iterative")
+        worker.stop()
+        engine.run()
+        assert not runtime.proc.alive
+        assert not worker.container.running
+
+
+class TestBubbleQueue:
+    def test_update_skips_stale_bubbles(self, engine, worker):
+        stale = ManagedBubble(stage=0, start=0.0, expected_end=0.0,
+                              available_gb=10.0)
+        fresh = ManagedBubble(stage=0, start=0.0, expected_end=100.0,
+                              available_gb=10.0)
+        worker.enqueue_bubble(stale)
+        worker.enqueue_bubble(fresh)
+        assert worker.has_new_bubble()
+        worker.update_current_bubble()
+        assert worker.current_bubble is fresh
+
+    def test_all_stale_keeps_previous(self, engine, worker):
+        current = ManagedBubble(stage=0, start=0.0, expected_end=100.0,
+                                available_gb=10.0)
+        worker.current_bubble = current
+        worker.enqueue_bubble(
+            ManagedBubble(stage=0, start=0.0, expected_end=0.0,
+                          available_gb=10.0)
+        )
+        worker.update_current_bubble()
+        assert worker.current_bubble is current
+
+    def test_has_ended_semantics(self, engine):
+        bubble = ManagedBubble(stage=0, start=0.0, expected_end=5.0,
+                               available_gb=1.0)
+        assert not bubble.has_ended(4.9)
+        assert bubble.has_ended(5.0)
+        # An explicit end report can end it earlier than expected.
+        bubble.reported_end = 3.0
+        assert bubble.has_ended(3.0)
+        # No expected end and no report: never considered ended.
+        open_bubble = ManagedBubble(stage=0, start=0.0, expected_end=None,
+                                    available_gb=1.0)
+        assert not open_bubble.has_ended(1e9)

@@ -1,0 +1,109 @@
+"""Unit tests for servers, MPS control, and containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import calibration
+from repro.gpu.cluster import make_server_cpu, make_server_i, make_server_ii
+from repro.gpu.container import Container
+from repro.gpu.process import GPUProcess
+from repro.gpu.sharing import SharingMode
+from repro.sim.engine import Engine
+from repro.sim.signals import Signal
+
+
+def test_server_i_matches_paper_testbed(engine: Engine):
+    server = make_server_i(engine)
+    assert server.num_gpus == 4
+    assert all(gpu.memory_gb == 48.0 for gpu in server.gpus)
+    assert server.price_per_hour == pytest.approx(3.96)
+
+
+def test_server_ii_matches_paper_testbed(engine: Engine):
+    server = make_server_ii(engine)
+    assert server.num_gpus == 1
+    assert server.gpus[0].memory_gb == 10.0
+    assert server.price_per_hour == pytest.approx(0.18)
+
+
+def test_server_cpu_has_no_gpus(engine: Engine):
+    server = make_server_cpu(engine)
+    assert server.num_gpus == 0 and server.is_cpu_only
+
+
+def test_mps_enable_disable_toggles_sharing(engine: Engine):
+    server = make_server_i(engine)
+    gpu = server.gpu(0)
+    server.mps.disable(gpu)
+    assert gpu.sharing is SharingMode.TIME_SLICE
+    server.mps.enable(gpu)
+    assert gpu.sharing is SharingMode.MPS
+
+
+def test_mps_memory_limit_applies_to_process(engine: Engine):
+    server = make_server_i(engine)
+    proc = GPUProcess(engine, server.gpu(0), "task")
+    server.mps.set_memory_limit(proc, 8.0)
+    assert proc.memory_limit_gb == 8.0
+    assert server.mps.memory_limit_of(proc) == 8.0
+    server.mps.clear_memory_limit(proc)
+    assert proc.memory_limit_gb is None
+
+
+def test_mps_rejects_foreign_device(engine: Engine):
+    server = make_server_i(engine)
+    other = make_server_ii(engine)
+    with pytest.raises(ValueError):
+        server.mps.enable(other.gpu(0))
+
+
+def test_mps_rejects_nonpositive_limit(engine: Engine):
+    server = make_server_i(engine)
+    proc = GPUProcess(engine, server.gpu(0), "task")
+    with pytest.raises(ValueError):
+        server.mps.set_memory_limit(proc, 0.0)
+
+
+def test_container_stop_kills_members(engine: Engine):
+    server = make_server_i(engine)
+    box = Container("worker0")
+    proc = box.adopt(GPUProcess(engine, server.gpu(0), "task"))
+    proc.allocate(4.0)
+    box.stop()
+    assert not proc.alive
+    assert server.gpu(0).used_gb == 0.0
+    with pytest.raises(RuntimeError):
+        box.adopt(GPUProcess(engine, server.gpu(0), "late"))
+
+
+def test_container_isolates_faults(engine: Engine):
+    server = make_server_i(engine)
+    box = Container("worker0")
+    crasher = box.adopt(GPUProcess(engine, server.gpu(0), "crasher"))
+    survivor = box.adopt(GPUProcess(engine, server.gpu(0), "survivor"))
+    crasher.send_signal(Signal.SIGKILL)
+    box.record_fault(crasher, "OOM")
+    assert survivor.alive
+    assert box.faults == [("crasher", "OOM")]
+    assert box.live_processes == [survivor]
+
+
+def test_calibration_profiles_cover_the_six_tasks():
+    assert set(calibration.SIDE_TASK_PROFILES) == {
+        "resnet18", "resnet50", "vgg19", "pagerank", "graph_sgd", "image",
+    }
+    assert calibration.MIXED_WORKLOAD_BY_STAGE == (
+        "pagerank", "resnet18", "image", "vgg19",
+    )
+
+
+def test_batch_size_rescaling_is_monotonic():
+    base = calibration.RESNET18
+    small = calibration.scale_model_training_profile(base, 16)
+    large = calibration.scale_model_training_profile(base, 128)
+    assert small.step_time_s < base.step_time_s < large.step_time_s
+    assert small.memory_gb < base.memory_gb < large.memory_gb
+    assert large.units_per_step == 128.0
+    with pytest.raises(ValueError):
+        calibration.scale_model_training_profile(base, 0)

@@ -1,0 +1,113 @@
+"""Deeper tests of the GPU contention model across sharing modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import SimGPU
+from repro.gpu.kernel import Interference, Priority, TRAINING_INTERFERENCE
+from repro.gpu.process import GPUProcess
+from repro.gpu.sharing import SharingMode
+from repro.sim.engine import Engine
+
+
+def procs(engine, gpu, side_interference):
+    training = GPUProcess(engine, gpu, "train", Priority.TRAINING,
+                          interference=TRAINING_INTERFERENCE)
+    side = GPUProcess(engine, gpu, "side", Priority.SIDE,
+                      interference=side_interference)
+    return training, side
+
+
+class TestMpsMode:
+    def test_interference_is_additive_across_contenders(self, engine):
+        gpu = SimGPU(engine, "g", memory_gb=48.0, sharing=SharingMode.MPS)
+        training = GPUProcess(engine, gpu, "t", Priority.TRAINING)
+        spec = Interference(mps_on_higher=0.25)
+        for i in range(2):
+            side = GPUProcess(engine, gpu, f"s{i}", Priority.SIDE,
+                              interference=spec)
+            side.launch_kernel(work_s=100.0)
+        done = training.launch_kernel(work_s=1.0)
+        engine.run(until=done)
+        # slowdown = 1 + 0.25 + 0.25
+        assert engine.now == pytest.approx(1.5)
+
+    def test_priority_asymmetry(self, engine):
+        """Training steals more from the side task than vice versa."""
+        gpu = SimGPU(engine, "g", memory_gb=48.0, sharing=SharingMode.MPS)
+        training, side = procs(engine, gpu,
+                               Interference(mps_on_higher=0.2, mps_on_lower=0.3))
+        training.launch_kernel(work_s=100.0)
+        side_done = side.launch_kernel(work_s=1.0)
+        engine.run(until=side_done)
+        side_time = engine.now  # stretched by training's mps_on_lower = 1.0
+        assert side_time == pytest.approx(2.0)
+
+    def test_freed_contender_restores_full_speed(self, engine):
+        gpu = SimGPU(engine, "g", memory_gb=48.0, sharing=SharingMode.MPS)
+        training, side = procs(engine, gpu, Interference(mps_on_higher=1.0))
+        side.launch_kernel(work_s=0.5)  # halved by training: finishes at 1.0
+        done = training.launch_kernel(work_s=1.0)
+        engine.run(until=done)
+        # Both slow each other 2x while overlapped: the side kernel's 0.5
+        # work takes 1.0s; training does 0.5 work by then and the rest at
+        # full speed -> 1.0 + 0.5 = 1.5.
+        assert engine.now == pytest.approx(1.5)
+
+
+class TestTimeSliceMode:
+    def test_three_processes_share_a_third_each(self, engine):
+        gpu = SimGPU(engine, "g", memory_gb=48.0,
+                     sharing=SharingMode.TIME_SLICE)
+        done = []
+        for i in range(3):
+            proc = GPUProcess(engine, gpu, f"p{i}", Priority.SIDE,
+                              interference=Interference(time_slice=1.0))
+            done.append(proc.launch_kernel(work_s=1.0))
+        engine.run(until=done[0])
+        assert engine.now == pytest.approx(3.0)
+
+    def test_mode_switch_affects_only_new_rates(self, engine):
+        """MPS enable/disable mid-run changes contention going forward."""
+        from repro.gpu.mps import MpsControl
+
+        gpu = SimGPU(engine, "g", memory_gb=48.0, sharing=SharingMode.MPS)
+        mps = MpsControl([gpu])
+        training, side = procs(
+            engine, gpu,
+            Interference(mps_on_higher=0.0, time_slice=1.0),
+        )
+        side.launch_kernel(work_s=1000.0)
+        done = training.launch_kernel(work_s=1.0)
+
+        def disable_mps():
+            yield engine.timeout(0.5)
+            mps.disable(gpu)  # now time-sliced: training halves
+            gpu._recompute()
+
+        engine.process(disable_mps())
+        engine.run(until=done)
+        # 0.5s at full speed (no MPS interference), 0.5 work left at half
+        # speed under time slicing -> 0.5 + 1.0 = 1.5
+        assert engine.now == pytest.approx(1.5)
+
+
+class TestOccupancyAccounting:
+    def test_occupancy_splits_training_and_side(self, engine):
+        gpu = SimGPU(engine, "g", memory_gb=48.0, sharing=SharingMode.MPS)
+        training, side = procs(engine, gpu, Interference())
+        training.launch_kernel(work_s=1.0, sm_demand=0.9)
+        side.launch_kernel(work_s=1.0, sm_demand=0.4)
+        engine.run()
+        both = [(hi, lo) for _t, _tot, hi, lo in gpu.occupancy_trace
+                if hi > 0 and lo > 0]
+        assert both and both[0] == (0.9, 0.4)
+
+    def test_total_occupancy_clipped_at_one(self, engine):
+        gpu = SimGPU(engine, "g", memory_gb=48.0, sharing=SharingMode.MPS)
+        for i in range(3):
+            proc = GPUProcess(engine, gpu, f"p{i}", Priority.SIDE)
+            proc.launch_kernel(work_s=1.0, sm_demand=0.8)
+        engine.run()
+        assert max(total for _t, total, _hi, _lo in gpu.occupancy_trace) <= 1.0

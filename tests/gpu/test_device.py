@@ -1,0 +1,181 @@
+"""Unit tests for the SimGPU rate model, memory ledger, and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GpuOutOfMemoryError, ProcessKilledError, SimulationError
+from repro.gpu.device import SimGPU
+from repro.gpu.kernel import Interference, Priority
+from repro.gpu.process import GPUProcess
+from repro.gpu.sharing import SharingMode
+from repro.sim.engine import Engine
+
+
+def _proc(engine, gpu, name="p", priority=Priority.SIDE, interference=None,
+          limit=None):
+    return GPUProcess(
+        engine, gpu, name=name, priority=priority,
+        interference=interference or Interference(), memory_limit_gb=limit,
+    )
+
+
+def test_solo_kernel_runs_at_full_speed(engine: Engine, gpu: SimGPU):
+    proc = _proc(engine, gpu)
+    done = proc.launch_kernel(work_s=2.0)
+    engine.run(until=done)
+    assert engine.now == pytest.approx(2.0)
+
+
+def test_zero_work_kernel_completes_instantly(engine: Engine, gpu: SimGPU):
+    proc = _proc(engine, gpu)
+    done = proc.launch_kernel(work_s=0.0)
+    engine.run(until=done)
+    assert engine.now == 0.0
+
+
+def test_speed_factor_scales_duration(engine: Engine):
+    slow_gpu = SimGPU(engine, "slow", memory_gb=10.0, speed_factor=0.5)
+    proc = _proc(engine, slow_gpu)
+    done = proc.launch_kernel(work_s=1.0)
+    engine.run(until=done)
+    assert engine.now == pytest.approx(2.0)
+
+
+def test_same_process_kernels_do_not_interfere(engine: Engine, gpu: SimGPU):
+    proc = _proc(engine, gpu, interference=Interference(time_slice=1.0))
+    first = proc.launch_kernel(work_s=1.0)
+    second = proc.launch_kernel(work_s=1.0)
+    engine.run(until=first)
+    engine.run(until=second)
+    assert engine.now == pytest.approx(1.0)
+
+
+def test_mps_side_kernel_slows_training_kernel(engine: Engine, gpu: SimGPU):
+    """A side kernel with mps_on_higher=0.5 stretches training 1s -> 1.5s."""
+    training = _proc(engine, gpu, "train", Priority.TRAINING)
+    side = _proc(
+        engine, gpu, "side", Priority.SIDE,
+        interference=Interference(mps_on_higher=0.5, mps_on_lower=0.0),
+    )
+    side.launch_kernel(work_s=100.0)  # long-running background contender
+    done = training.launch_kernel(work_s=1.0)
+    engine.run(until=done)
+    assert engine.now == pytest.approx(1.5)
+
+
+def test_training_halves_side_speed_under_mps(engine: Engine, gpu: SimGPU):
+    from repro.gpu.kernel import TRAINING_INTERFERENCE
+
+    training = _proc(engine, gpu, "train", Priority.TRAINING,
+                     interference=TRAINING_INTERFERENCE)
+    side = _proc(engine, gpu, "side", Priority.SIDE)
+    training.launch_kernel(work_s=100.0)
+    done = side.launch_kernel(work_s=1.0)
+    engine.run(until=done)
+    assert engine.now == pytest.approx(2.0)  # slowdown 1 + 1.0
+
+
+def test_time_slice_mode_serializes_processes(engine: Engine):
+    gpu = SimGPU(engine, "g", memory_gb=10.0, sharing=SharingMode.TIME_SLICE)
+    a = _proc(engine, gpu, "a", interference=Interference(time_slice=1.0))
+    b = _proc(engine, gpu, "b", interference=Interference(time_slice=1.0))
+    done_a = a.launch_kernel(work_s=1.0)
+    done_b = b.launch_kernel(work_s=1.0)
+    engine.run(until=done_a)
+    # Both ran at half speed until a finished at t=2.
+    assert engine.now == pytest.approx(2.0)
+    engine.run(until=done_b)
+    # b then finishes its remaining ~0 work at full speed.
+    assert engine.now == pytest.approx(2.0, abs=1e-6)
+
+
+def test_rate_change_midway_is_settled_correctly(engine: Engine, gpu: SimGPU):
+    """A contender arriving halfway stretches only the remaining work."""
+    training = _proc(engine, gpu, "train", Priority.TRAINING)
+    side = _proc(
+        engine, gpu, "side", Priority.SIDE,
+        interference=Interference(mps_on_higher=1.0),
+    )
+    done = training.launch_kernel(work_s=2.0)
+
+    def contend():
+        yield engine.timeout(1.0)
+        side.launch_kernel(work_s=50.0)
+
+    engine.process(contend())
+    engine.run(until=done)
+    # 1s at full speed + 1s of work at half speed = 3s total.
+    assert engine.now == pytest.approx(3.0)
+
+
+def test_exclusive_mode_rejects_corunning(engine: Engine):
+    gpu = SimGPU(engine, "g", memory_gb=10.0, sharing=SharingMode.EXCLUSIVE)
+    a = _proc(engine, gpu, "a")
+    b = _proc(engine, gpu, "b")
+    a.launch_kernel(work_s=5.0)
+    with pytest.raises(SimulationError):
+        b.launch_kernel(work_s=1.0)
+
+
+def test_memory_ledger_tracks_allocations(engine: Engine, gpu: SimGPU):
+    proc = _proc(engine, gpu)
+    proc.allocate(10.0)
+    assert gpu.used_gb == pytest.approx(10.0)
+    assert gpu.available_gb == pytest.approx(38.0)
+    proc.free(4.0)
+    assert gpu.used_gb == pytest.approx(6.0)
+    proc.free()
+    assert gpu.used_gb == 0.0
+
+
+def test_device_oom_when_capacity_exceeded(engine: Engine, gpu: SimGPU):
+    proc = _proc(engine, gpu)
+    proc.allocate(40.0)
+    with pytest.raises(GpuOutOfMemoryError):
+        proc.allocate(10.0)
+    # Failed allocation must not be recorded.
+    assert gpu.used_gb == pytest.approx(40.0)
+
+
+def test_over_free_raises(engine: Engine, gpu: SimGPU):
+    proc = _proc(engine, gpu)
+    proc.allocate(1.0)
+    with pytest.raises(SimulationError):
+        proc.free(2.0)
+
+
+def test_cancel_kernels_fails_their_events(engine: Engine, gpu: SimGPU):
+    proc = _proc(engine, gpu)
+    done = proc.launch_kernel(work_s=10.0)
+    gpu.cancel_kernels_of(proc)
+    engine.run()
+    assert done.processed and not done.ok
+    assert isinstance(done.exception, ProcessKilledError)
+
+
+def test_occupancy_trace_records_activity(engine: Engine, gpu: SimGPU):
+    training = _proc(engine, gpu, "train", Priority.TRAINING)
+    done = training.launch_kernel(work_s=1.0, sm_demand=0.9)
+    engine.run(until=done)
+    # Trace has an entry with training occupancy 0.9 and a final zero entry.
+    peaks = [entry[2] for entry in gpu.occupancy_trace]
+    assert max(peaks) == pytest.approx(0.9)
+    assert gpu.occupancy_trace[-1][1] == 0.0
+
+
+def test_utilization_counts_busy_time(engine: Engine, gpu: SimGPU):
+    proc = _proc(engine, gpu)
+    done = proc.launch_kernel(work_s=1.0)
+    engine.run(until=done)
+    engine.run(until=4.0)
+    assert gpu.utilization() == pytest.approx(0.25)
+
+
+def test_memory_trace_records_changes(engine: Engine, gpu: SimGPU):
+    proc = _proc(engine, gpu)
+    proc.allocate(8.0)
+    engine.run(until=1.0)
+    proc.free()
+    values = [gb for _t, gb in gpu.memory_trace]
+    assert values == [8.0, 0.0]

@@ -1,0 +1,151 @@
+"""Unit tests for GPUProcess: memory limits, signals, kill semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GpuOutOfMemoryError, ProcessKilledError
+from repro.gpu.device import SimGPU
+from repro.gpu.kernel import Priority
+from repro.gpu.process import GPUProcess
+from repro.sim.engine import Engine
+from repro.sim.signals import Signal
+
+
+@pytest.fixture
+def proc(engine: Engine, gpu: SimGPU) -> GPUProcess:
+    return GPUProcess(engine, gpu, name="task", priority=Priority.SIDE)
+
+
+def test_mps_limit_enforced_before_device_capacity(engine, gpu, proc):
+    proc.memory_limit_gb = 8.0
+    proc.allocate(6.0)
+    with pytest.raises(GpuOutOfMemoryError) as excinfo:
+        proc.allocate(3.0)
+    assert excinfo.value.limit_gb == 8.0
+    assert proc.memory_gb == pytest.approx(6.0)
+    assert gpu.used_gb == pytest.approx(6.0)
+
+
+def test_oom_of_one_process_leaves_others_untouched(engine, gpu):
+    victim = GPUProcess(engine, gpu, "victim", memory_limit_gb=4.0)
+    bystander = GPUProcess(engine, gpu, "bystander")
+    bystander.allocate(20.0)
+    with pytest.raises(GpuOutOfMemoryError):
+        victim.allocate(5.0)
+    assert bystander.alive and bystander.memory_gb == pytest.approx(20.0)
+
+
+def test_sigkill_frees_memory_and_cancels_kernels(engine, gpu, proc):
+    proc.allocate(12.0)
+    done = proc.launch_kernel(work_s=100.0)
+    proc.send_signal(Signal.SIGKILL)
+    engine.run()
+    assert not proc.alive
+    assert gpu.used_gb == 0.0
+    assert done.processed and not done.ok
+
+
+def test_dead_process_cannot_allocate_or_launch(engine, gpu, proc):
+    proc.kill()
+    with pytest.raises(ProcessKilledError):
+        proc.allocate(1.0)
+    with pytest.raises(ProcessKilledError):
+        proc.launch_kernel(work_s=1.0)
+
+
+def test_signals_to_dead_process_are_ignored(engine, gpu, proc):
+    proc.kill()
+    proc.send_signal(Signal.SIGKILL)  # must not raise
+    proc.send_signal(Signal.SIGTSTP)
+
+
+def test_sigtstp_stops_host_but_not_inflight_kernel(engine, gpu, proc):
+    """The asynchronous-kernel effect behind the imperative interface's
+    overhead: a stopped process's kernel keeps running (paper section 5)."""
+    done = proc.launch_kernel(work_s=2.0)
+    proc.send_signal(Signal.SIGTSTP)
+    assert proc.stopped
+    engine.run(until=done)
+    assert engine.now == pytest.approx(2.0)  # the kernel finished anyway
+
+
+def test_wait_if_stopped_blocks_until_sigcont(engine, gpu, proc):
+    log: list[float] = []
+
+    def body():
+        yield from proc.wait_if_stopped()
+        log.append(engine.now)
+
+    proc.send_signal(Signal.SIGTSTP)
+    proc.attach(engine.process(body()))
+
+    def resumer():
+        yield engine.timeout(3.0)
+        proc.send_signal(Signal.SIGCONT)
+
+    engine.process(resumer())
+    engine.run()
+    assert log == [3.0]
+
+
+def test_wait_if_stopped_passes_through_when_running(engine, gpu, proc):
+    log: list[float] = []
+
+    def body():
+        yield from proc.wait_if_stopped()
+        log.append(engine.now)
+        yield engine.timeout(0.0)
+
+    proc.attach(engine.process(body()))
+    engine.run()
+    assert log == [0.0]
+
+
+def test_kill_interrupts_attached_sim_processes(engine, gpu, proc):
+    outcome: list[str] = []
+
+    def body():
+        try:
+            yield engine.timeout(100.0)
+            outcome.append("finished")
+        except Exception as exc:  # Interrupt carries ProcessKilledError cause
+            outcome.append(type(exc).__name__)
+
+    proc.attach(engine.process(body()))
+
+    def killer():
+        yield engine.timeout(1.0)
+        proc.kill()
+
+    engine.process(killer())
+    engine.run()
+    assert outcome == ["Interrupt"]
+
+
+def test_kill_while_stopped_raises_in_wait_loop(engine, gpu, proc):
+    outcome: list[str] = []
+
+    def body():
+        try:
+            yield from proc.wait_if_stopped()
+            outcome.append("resumed")
+        except Exception as exc:
+            outcome.append(type(exc).__name__)
+
+    proc.send_signal(Signal.SIGTSTP)
+    proc.attach(engine.process(body()))
+
+    def killer():
+        yield engine.timeout(1.0)
+        proc.kill()
+
+    engine.process(killer())
+    engine.run()
+    assert outcome == ["Interrupt"]
+
+
+def test_memory_trace_ends_at_zero_after_kill(engine, gpu, proc):
+    proc.allocate(5.0)
+    proc.kill()
+    assert proc.memory_trace[-1][1] == 0.0

@@ -1,0 +1,67 @@
+"""Unit tests for CUDA-stream-like FIFO ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import SimGPU
+from repro.gpu.process import GPUProcess
+from repro.gpu.stream import Stream
+from repro.sim.engine import Engine
+from repro.sim.signals import Signal
+
+
+@pytest.fixture
+def proc(engine: Engine, gpu: SimGPU) -> GPUProcess:
+    return GPUProcess(engine, gpu, name="p")
+
+
+def test_stream_serializes_kernels(engine, gpu, proc):
+    stream = Stream(proc)
+    first = stream.submit(work_s=1.0)
+    second = stream.submit(work_s=1.0)
+    engine.run(until=second)
+    assert engine.now == pytest.approx(2.0)
+    assert first.processed and first.ok
+
+
+def test_stream_completion_order_matches_submission(engine, gpu, proc):
+    stream = Stream(proc)
+    order: list[int] = []
+    for i, work in enumerate([0.5, 0.1, 0.2]):
+        done = stream.submit(work_s=work)
+        done.callbacks.append(lambda _ev, i=i: order.append(i))
+    engine.run()
+    assert order == [0, 1, 2]
+
+
+def test_stream_depth(engine, gpu, proc):
+    stream = Stream(proc)
+    stream.submit(work_s=1.0)
+    stream.submit(work_s=1.0)
+    assert stream.depth == 2
+    engine.run()
+    assert stream.depth == 0
+
+
+def test_kill_fails_queued_kernels(engine, gpu, proc):
+    stream = Stream(proc)
+    running = stream.submit(work_s=5.0)
+    queued = stream.submit(work_s=1.0)
+
+    def killer():
+        yield engine.timeout(1.0)
+        proc.send_signal(Signal.SIGKILL)
+
+    engine.process(killer())
+    engine.run()
+    assert running.processed and not running.ok
+    assert queued.processed and not queued.ok
+
+
+def test_submit_after_kill_fails_cleanly(engine, gpu, proc):
+    proc.kill()
+    stream = Stream(proc)
+    done = stream.submit(work_s=1.0)
+    engine.run()
+    assert done.processed and not done.ok

@@ -1,0 +1,129 @@
+"""Unit and property tests for the paper's cost model (section 6.1.5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import calibration
+from repro.metrics.cost import (
+    cost_savings,
+    dedicated_throughput,
+    energy_cost_estimate,
+    side_task_cost_usd,
+    time_increase,
+    training_cost_usd,
+)
+
+
+class TestTimeIncrease:
+    def test_basic(self):
+        assert time_increase(110.0, 100.0) == pytest.approx(0.10)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            time_increase(10.0, 0.0)
+
+    def test_faster_run_is_negative(self):
+        """The paper's Figure 7 reports small negative increases (noise)."""
+        assert time_increase(99.0, 100.0) < 0
+
+
+class TestDedicatedThroughput:
+    def test_server_i_is_the_solo_rate(self):
+        profile = calibration.RESNET18
+        assert dedicated_throughput(profile, "server_i") == pytest.approx(
+            profile.units_per_step / profile.step_time_s
+        )
+
+    def test_platform_ordering(self):
+        """Server-I > Server-II > CPU for every task (Table 1)."""
+        for profile in calibration.SIDE_TASK_PROFILES.values():
+            s1 = dedicated_throughput(profile, "server_i")
+            s2 = dedicated_throughput(profile, "server_ii")
+            cpu = dedicated_throughput(profile, "cpu")
+            assert s1 > s2 > cpu, profile.name
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            dedicated_throughput(calibration.RESNET18, "tpu")
+
+
+class TestCostFormulas:
+    def test_training_cost_is_linear_in_time(self):
+        assert training_cost_usd(3600.0) == pytest.approx(3.96)
+        assert training_cost_usd(1800.0) == pytest.approx(1.98)
+
+    def test_side_task_cost_prices_against_server_ii(self):
+        profile = calibration.RESNET18
+        throughput_ii = dedicated_throughput(profile, "server_ii")
+        one_hour_of_work = throughput_ii * 3600
+        cost = side_task_cost_usd(one_hour_of_work, profile)
+        assert cost == pytest.approx(calibration.SERVER_II_PRICE_PER_HOUR)
+
+    def test_savings_zero_when_no_work_and_no_overhead(self):
+        assert cost_savings(100.0, 100.0, []) == 0.0
+
+    def test_savings_negative_when_overhead_dominates(self):
+        savings = cost_savings(100.0, 150.0, [])
+        assert savings == pytest.approx(-0.5)
+
+    def test_savings_positive_when_work_dominates(self):
+        profile = calibration.RESNET18
+        throughput_ii = dedicated_throughput(profile, "server_ii")
+        work = [(throughput_ii * 100.0, profile)]  # 100 Server-II-seconds
+        savings = cost_savings(100.0, 100.0, work)
+        expected = (
+            calibration.SERVER_II_PRICE_PER_HOUR
+            / calibration.SERVER_I_PRICE_PER_HOUR
+        )
+        assert savings == pytest.approx(expected)
+
+    def test_paper_table2_arithmetic(self):
+        """Sanity-check the paper's own numbers: aggregate ResNet18
+        throughput / Server-II throughput * price ratio - I = S."""
+        ratio = 1586.6 / 998.7  # paper Table 1
+        s = ratio * 0.18 / 3.96 - 0.009
+        assert s == pytest.approx(0.064, abs=0.005)  # paper Table 2: 6.4%
+
+
+class TestEnergyHook:
+    def test_energy_cost_scales_with_occupancy(self):
+        idle = energy_cost_estimate(3600, 0.0)
+        busy = energy_cost_estimate(3600, 1.0)
+        assert busy > idle > 0
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e6),
+    st.floats(min_value=0.0, max_value=1e6),
+)
+def test_property_time_increase_sign_matches_order(t_no, extra):
+    assert time_increase(t_no + extra, t_no) >= 0
+    assert time_increase(t_no, t_no) == 0
+
+
+@given(
+    st.floats(min_value=10.0, max_value=1e5),
+    st.floats(min_value=10.0, max_value=1e5),
+    st.floats(min_value=0.0, max_value=1e7),
+)
+def test_property_savings_monotone_in_work(t_no, t_with, units):
+    """More harvested work never reduces savings."""
+    profile = calibration.PAGERANK
+    low = cost_savings(t_no, t_with, [(units, profile)])
+    high = cost_savings(t_no, t_with, [(units * 2, profile)])
+    assert high >= low
+
+
+@given(
+    st.floats(min_value=10.0, max_value=1e5),
+    st.floats(min_value=0.0, max_value=1e5),
+)
+def test_property_savings_monotone_in_overhead(t_no, extra):
+    """More training slowdown never increases savings."""
+    profile = calibration.IMAGE
+    work = [(1000.0, profile)]
+    better = cost_savings(t_no, t_no, work)
+    worse = cost_savings(t_no, t_no + extra, work)
+    assert worse <= better

@@ -1,0 +1,75 @@
+"""Unit tests for Table-1 rows and the Figure-9 breakdown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import calibration
+from repro.core.middleware import FreeRide
+from repro.metrics.breakdown import BubbleBreakdown, bubble_breakdown
+from repro.metrics.throughput import throughput_row
+from repro.pipeline.config import TrainConfig, model_config
+from repro.workloads.registry import workload_factory
+
+
+class TestThroughputRow:
+    def test_speedups(self):
+        row = throughput_row(
+            "resnet18", calibration.RESNET18,
+            units_done=1000.0, duration_s=10.0,
+            server_ii_throughput=50.0, cpu_throughput=2.0,
+        )
+        assert row.freeride_iterative == pytest.approx(100.0)
+        assert row.speedup_vs_server_ii == pytest.approx(2.0)
+        assert row.speedup_vs_cpu == pytest.approx(50.0)
+
+    def test_defaults_to_analytic_dedicated_rates(self):
+        row = throughput_row("pagerank", calibration.PAGERANK,
+                             units_done=500.0, duration_s=10.0)
+        assert row.server_ii > row.server_cpu > 0
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_row("x", calibration.IMAGE, 1.0, 0.0)
+
+
+class TestBreakdownFractions:
+    def test_fractions_sum_to_at_most_one(self):
+        breakdown = BubbleBreakdown(
+            total_bubble_s=10.0, running_s=6.0, freeride_runtime_s=2.0,
+            insufficient_s=1.0, no_task_oom_s=1.0,
+        )
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_breakdown(self):
+        breakdown = BubbleBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
+        assert all(value == 0.0 for value in breakdown.fractions().values())
+
+
+class TestBreakdownFromRun:
+    @pytest.fixture(scope="class")
+    def vgg_result(self):
+        config = TrainConfig(model=model_config("3.6B"), epochs=3,
+                             op_jitter=0.01)
+        freeride = FreeRide(config)
+        freeride.submit_replicated(workload_factory("vgg19"))
+        return freeride.run()
+
+    def test_oom_bucket_is_stages_without_tasks(self, vgg_result):
+        breakdown = bubble_breakdown(vgg_result)
+        trace = vgg_result.training.trace
+        expected_oom = sum(
+            bubble.duration for bubble in trace.bubbles
+            if bubble.stage in (0, 1)
+        )
+        assert breakdown.no_task_oom_s == pytest.approx(expected_oom)
+
+    def test_buckets_cover_all_bubble_time(self, vgg_result):
+        breakdown = bubble_breakdown(vgg_result)
+        covered = (breakdown.running_s + breakdown.freeride_runtime_s
+                   + breakdown.insufficient_s + breakdown.no_task_oom_s)
+        assert covered == pytest.approx(breakdown.total_bubble_s, rel=0.05)
+
+    def test_running_never_exceeds_bubble_time(self, vgg_result):
+        breakdown = bubble_breakdown(vgg_result)
+        assert breakdown.running_s <= breakdown.total_bubble_s

@@ -1,0 +1,108 @@
+"""Unit tests for configs, the timing model, and the memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.pipeline.config import TrainConfig, model_config
+from repro.pipeline.memory_model import MemoryModel
+from repro.pipeline.ops import Op, OpKind
+from repro.pipeline.timing import TimingModel
+
+
+class TestConfig:
+    def test_presets(self):
+        assert model_config("3.6B").params_billion == 3.6
+        assert model_config(2.4).params_billion == 2.4
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(PipelineError):
+            model_config("7B")
+
+    def test_invalid_train_config_rejected(self):
+        model = model_config("1.2B")
+        with pytest.raises(PipelineError):
+            TrainConfig(model=model, num_stages=1)
+        with pytest.raises(PipelineError):
+            TrainConfig(model=model, micro_batches=0)
+        with pytest.raises(PipelineError):
+            TrainConfig(model=model, epochs=0)
+        with pytest.raises(PipelineError):
+            TrainConfig(model=model, schedule="zigzag")
+
+
+class TestTimingModel:
+    def test_bp_is_twice_fp(self):
+        timing = TimingModel(model_config("3.6B"))
+        assert timing.bp_time == pytest.approx(2 * timing.fp_time)
+
+    def test_larger_models_have_faster_ops(self):
+        """Micro-batch size is maximized before OOM, so per-op time falls
+        with model size (paper Figure 2b)."""
+        small = TimingModel(model_config("1.2B"))
+        large = TimingModel(model_config("6B"))
+        assert large.fp_time < small.fp_time
+
+    def test_analytic_bubble_rate_matches_paper(self):
+        """(S-1)/(M+S-1) = 42.9% for S=4, M=4 — the paper measures 42.4%."""
+        timing = TimingModel(model_config("3.6B"))
+        rate = timing.ideal_bubble_rate(num_stages=4, micro_batches=4)
+        assert 0.40 < rate < 0.43
+
+    def test_more_micro_batches_lower_bubble_rate(self):
+        timing = TimingModel(model_config("3.6B"))
+        assert timing.ideal_bubble_rate(4, 8) < timing.ideal_bubble_rate(4, 4)
+
+    def test_op_duration_without_jitter_is_exact(self):
+        timing = TimingModel(model_config("3.6B"))
+        assert timing.op_duration(Op(0, 0, OpKind.FORWARD)) == timing.fp_time
+        assert timing.op_duration(Op(0, 0, OpKind.BACKWARD)) == timing.bp_time
+
+    def test_optimizer_time_scales_with_params(self):
+        small = TimingModel(model_config("1.2B"))
+        large = TimingModel(model_config("6B"))
+        assert large.optimizer_time == pytest.approx(5 * small.optimizer_time)
+
+
+class TestMemoryModel:
+    @pytest.fixture
+    def memory(self) -> MemoryModel:
+        return MemoryModel(model_config("3.6B"), num_stages=4, micro_batches=4)
+
+    def test_stage0_available_below_3gb(self, memory):
+        """Paper section 2.2: 'less than 3 GB' at stage 0 for 3.6B."""
+        assert memory.available_gb(0) <= 3.0 + 1e-6
+
+    def test_stage3_available_above_20gb(self, memory):
+        """Paper section 2.2: 'more than 20 GB' at stage 3."""
+        assert memory.available_gb(3) > 20.0
+
+    def test_available_memory_increases_with_stage(self, memory):
+        values = [memory.available_gb(stage) for stage in range(4)]
+        assert values == sorted(values)
+
+    def test_in_flight_micro_batches_rule(self, memory):
+        assert [memory.in_flight_micro_batches(s) for s in range(4)] == [4, 3, 2, 1]
+
+    def test_larger_models_leave_less_available_memory(self):
+        """Paper Figure 2a: bubbles in larger LLMs have less memory."""
+        small = MemoryModel(model_config("1.2B"), 4, 4)
+        large = MemoryModel(model_config("6B"), 4, 4)
+        for stage in range(4):
+            assert large.available_gb(stage) < small.available_gb(stage)
+
+    def test_oversized_model_rejected(self):
+        huge = MemoryModel(model_config(40.0), 4, 4)
+        with pytest.raises(PipelineError):
+            huge.stage_memory_gb(0)
+
+    def test_stage_bounds_checked(self, memory):
+        with pytest.raises(PipelineError):
+            memory.available_gb(4)
+
+    def test_summary_has_one_row_per_stage(self, memory):
+        rows = memory.per_stage_summary()
+        assert [row["stage"] for row in rows] == [0, 1, 2, 3]
+        for row in rows:
+            assert row["used_gb"] + row["available_gb"] == pytest.approx(48.0)

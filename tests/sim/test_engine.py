@@ -1,0 +1,87 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_clock_starts_at_zero(engine: Engine):
+    assert engine.now == 0.0
+
+
+def test_timeout_advances_clock(engine: Engine):
+    timeout = engine.timeout(2.5)
+    engine.run(until=timeout)
+    assert engine.now == pytest.approx(2.5)
+
+
+def test_negative_timeout_rejected(engine: Engine):
+    with pytest.raises(SimulationError):
+        engine.timeout(-1.0)
+
+
+def test_run_until_time_advances_clock_even_without_events(engine: Engine):
+    engine.run(until=10.0)
+    assert engine.now == 10.0
+
+
+def test_run_until_past_time_rejected(engine: Engine):
+    engine.run(until=5.0)
+    with pytest.raises(SimulationError):
+        engine.run(until=1.0)
+
+
+def test_events_process_in_time_order(engine: Engine):
+    order: list[str] = []
+    for delay, label in [(3.0, "c"), (1.0, "a"), (2.0, "b")]:
+        timeout = engine.timeout(delay)
+        timeout.callbacks.append(lambda _ev, label=label: order.append(label))
+    engine.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo(engine: Engine):
+    order: list[int] = []
+    for i in range(5):
+        timeout = engine.timeout(1.0)
+        timeout.callbacks.append(lambda _ev, i=i: order.append(i))
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_event_returns_value(engine: Engine):
+    event = engine.event()
+    engine.timeout(1.0).callbacks.append(lambda _ev: event.succeed("payload"))
+    assert engine.run(until=event) == "payload"
+
+
+def test_run_until_unreachable_event_raises(engine: Engine):
+    event = engine.event()
+    with pytest.raises(SimulationError):
+        engine.run(until=event)
+
+
+def test_step_on_empty_heap_raises(engine: Engine):
+    with pytest.raises(SimulationError):
+        engine.step()
+
+
+def test_run_until_horizon_leaves_future_events(engine: Engine):
+    fired: list[float] = []
+    for delay in (1.0, 2.0, 3.0):
+        engine.timeout(delay).callbacks.append(
+            lambda _ev: fired.append(engine.now)
+        )
+    engine.run(until=2.0)
+    assert fired == [1.0, 2.0]
+    engine.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_peek_reports_next_event_time(engine: Engine):
+    assert engine.peek() == float("inf")
+    engine.timeout(4.0)
+    assert engine.peek() == pytest.approx(4.0)

@@ -1,0 +1,89 @@
+"""Unit tests for events and composite conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf, AnyOf
+
+
+def test_event_value_before_trigger_raises(engine: Engine):
+    event = engine.event()
+    with pytest.raises(SimulationError):
+        _ = event.value
+    with pytest.raises(SimulationError):
+        _ = event.ok
+
+
+def test_event_succeed_once_only(engine: Engine):
+    event = engine.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+    with pytest.raises(SimulationError):
+        event.fail(RuntimeError("nope"))
+
+
+def test_fail_requires_exception_instance(engine: Engine):
+    event = engine.event()
+    with pytest.raises(SimulationError):
+        event.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_failed_event_raises_on_value_access(engine: Engine):
+    event = engine.event()
+    event.fail(ValueError("boom"))
+    engine.run()
+    assert event.ok is False
+    with pytest.raises(ValueError, match="boom"):
+        _ = event.value
+
+
+def test_allof_collects_values_in_declaration_order(engine: Engine):
+    first, second = engine.event(), engine.event()
+    both = AllOf(engine, [first, second])
+    second.succeed("b")
+    first.succeed("a", delay=1.0)
+    engine.run(until=both)
+    assert both.value == ["a", "b"]
+
+
+def test_allof_empty_triggers_immediately(engine: Engine):
+    both = AllOf(engine, [])
+    engine.run(until=both)
+    assert both.value == []
+
+
+def test_allof_fails_fast_on_child_failure(engine: Engine):
+    first, second = engine.event(), engine.event()
+    both = AllOf(engine, [first, second])
+    first.fail(RuntimeError("child failed"))
+    engine.run()
+    assert both.processed and not both.ok
+
+
+def test_anyof_takes_first_value(engine: Engine):
+    slow, fast = engine.event(), engine.event()
+    either = AnyOf(engine, [slow, fast])
+    slow.succeed("slow", delay=5.0)
+    fast.succeed("fast", delay=1.0)
+    engine.run(until=either)
+    assert either.value == "fast"
+    assert engine.now == pytest.approx(1.0)
+
+
+def test_condition_rejects_foreign_events(engine: Engine):
+    other = Engine()
+    with pytest.raises(SimulationError):
+        AllOf(engine, [engine.event(), other.event()])
+
+
+def test_condition_with_already_processed_child(engine: Engine):
+    done = engine.event()
+    done.succeed("早い")
+    engine.run()
+    either = AnyOf(engine, [done, engine.event()])
+    engine.run(until=either)
+    assert either.value == "早い"

@@ -1,0 +1,155 @@
+"""Unit tests for generator-coroutine processes and interrupts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf, Interrupt
+
+
+def test_process_runs_and_returns_value(engine: Engine):
+    def body():
+        yield engine.timeout(1.0)
+        yield engine.timeout(2.0)
+        return "done"
+
+    proc = engine.process(body())
+    assert engine.run(until=proc) == "done"
+    assert engine.now == pytest.approx(3.0)
+
+
+def test_timeout_passes_value_through_yield(engine: Engine):
+    seen: list[object] = []
+
+    def body():
+        value = yield engine.timeout(1.0, value="hello")
+        seen.append(value)
+
+    engine.process(body())
+    engine.run()
+    assert seen == ["hello"]
+
+
+def test_process_failure_propagates_to_waiter(engine: Engine):
+    def failing():
+        yield engine.timeout(1.0)
+        raise ValueError("inner")
+
+    def waiter():
+        try:
+            yield failing_proc
+        except ValueError as exc:
+            return f"caught {exc}"
+        return "missed"
+
+    failing_proc = engine.process(failing())
+    waiter_proc = engine.process(waiter())
+    assert engine.run(until=waiter_proc) == "caught inner"
+
+
+def test_yielding_non_event_fails_process(engine: Engine):
+    def body():
+        yield 42  # type: ignore[misc]
+
+    proc = engine.process(body())
+    engine.run()
+    assert proc.processed and not proc.ok
+    assert isinstance(proc.exception, SimulationError)
+
+
+def test_process_requires_generator(engine: Engine):
+    with pytest.raises(SimulationError):
+        engine.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_interrupt_wakes_process_immediately(engine: Engine):
+    log: list[tuple[str, float]] = []
+
+    def sleeper():
+        try:
+            yield engine.timeout(100.0)
+            log.append(("completed", engine.now))
+        except Interrupt as interrupt:
+            log.append((f"interrupted:{interrupt.cause}", engine.now))
+
+    proc = engine.process(sleeper())
+
+    def interrupter():
+        yield engine.timeout(2.0)
+        proc.interrupt("pause")
+
+    engine.process(interrupter())
+    engine.run()
+    assert log == [("interrupted:pause", 2.0)]
+
+
+def test_interrupt_dead_process_is_noop(engine: Engine):
+    def body():
+        yield engine.timeout(1.0)
+
+    proc = engine.process(body())
+    engine.run()
+    assert not proc.alive
+    proc.interrupt("too late")  # must not raise
+    engine.run()
+
+
+def test_interrupted_process_can_wait_again(engine: Engine):
+    def body():
+        try:
+            yield engine.timeout(50.0)
+        except Interrupt:
+            yield engine.timeout(1.0)
+            return "recovered"
+        return "never"
+
+    proc = engine.process(body())
+
+    def interrupter():
+        yield engine.timeout(3.0)
+        proc.interrupt()
+
+    engine.process(interrupter())
+    assert engine.run(until=proc) == "recovered"
+    assert engine.now == pytest.approx(4.0)
+
+
+def test_process_waits_on_already_processed_event(engine: Engine):
+    done = engine.event()
+    done.succeed("cached")
+    engine.run()
+
+    def body():
+        value = yield done
+        return value
+
+    proc = engine.process(body())
+    assert engine.run(until=proc) == "cached"
+
+
+def test_two_processes_interleave(engine: Engine):
+    log: list[str] = []
+
+    def ticker(name: str, period: float):
+        for _ in range(3):
+            yield engine.timeout(period)
+            log.append(f"{name}@{engine.now:g}")
+
+    engine.process(ticker("a", 1.0))
+    engine.process(ticker("b", 1.5))
+    engine.run()
+    assert log == ["a@1", "b@1.5", "a@2", "b@3", "a@3", "b@4.5"]
+
+
+def test_process_waiting_on_allof(engine: Engine):
+    def body():
+        values = yield AllOf(
+            engine, [engine.timeout(1.0, "x"), engine.timeout(2.0, "y")]
+        )
+        return values
+
+    proc = engine.process(body())
+    assert engine.run(until=proc) == ["x", "y"]
+    assert engine.now == pytest.approx(2.0)

@@ -1,0 +1,87 @@
+"""Smoke tests: every experiment module runs and renders.
+
+The benchmarks exercise the full-size experiments; these tests run
+reduced versions so `pytest tests/` stays fast while still covering the
+experiment code paths end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, fig1, fig2, fig8, fig9, table1, table2
+from repro.experiments import ablations, fig7
+
+
+def test_registry_contains_all_paper_artifacts():
+    assert set(EXPERIMENTS) == {
+        "fig1", "fig2", "table1", "table2", "fig7", "fig8", "fig9",
+        "ablations",
+    }
+
+
+def test_fig1_runs_and_renders():
+    data = fig1.run()
+    text = fig1.render(data)
+    assert "stage 0" in text and "Figure 1(b)" in text
+    assert data["stages"][0]["pattern"] == "B C C C"
+
+
+def test_fig2_reduced():
+    data = fig2.run(epochs=2)
+    text = fig2.render(data)
+    assert "bubble rate" in text
+    assert len(data["by_model"]) == 3
+
+
+def test_table1_reduced():
+    data = table1.run(epochs=2, tasks=("resnet18", "pagerank"))
+    text = table1.render(data)
+    assert "resnet18" in text and "pagerank" in text
+    for row in data["rows"]:
+        assert row.freeride_iterative > 0
+
+
+def test_table2_reduced():
+    data = table2.run(epochs=2, tasks=("resnet18",), include_mixed=False)
+    text = table2.render(data)
+    assert "resnet18" in text
+    cells = {cell.method: cell for cell in data["cells"]}
+    assert cells["iterative"].time_increase < cells["mps"].time_increase
+
+
+def test_fig7_reduced():
+    points = fig7.run_micro_batch_sweep(epochs=2, tasks=("resnet18",))
+    assert {point.x for point in points} == {4, 6, 8}
+
+
+def test_fig8_runs():
+    data = fig8.run()
+    assert data["time_limit"]["killed_at_s"] is not None
+    assert data["memory_limit"]["killed"]
+    assert "Figure 8" in fig8.render(data)
+
+
+def test_fig9_reduced():
+    data = fig9.run(epochs=2, tasks=("resnet18", "vgg19"))
+    rows = {row["task"]: row for row in data["rows"]}
+    assert rows["vgg19"]["no_task_oom"] > rows["resnet18"]["no_task_oom"]
+    assert "bubble time breakdown" in fig9.render(data)
+
+
+def test_ablations_reduced():
+    rows = ablations.run_schedules(epochs=2)
+    assert {row["schedule"] for row in rows} == {"1f1b", "gpipe"}
+
+
+def test_cli_runs_fig1(capsys):
+    from repro.cli import main
+    assert main(["fig1"]) == 0
+    captured = capsys.readouterr()
+    assert "Figure 1(a)" in captured.out
+
+
+def test_cli_rejects_unknown_experiment():
+    from repro.cli import main
+    with pytest.raises(SystemExit):
+        main(["fig99"])

@@ -1,0 +1,109 @@
+"""Tests for the section-8 extensions: multi-server FreeRide and traces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.states import SideTaskState
+from repro.extensions.multi_server import MultiServerFreeRide
+from repro.metrics.traces import (
+    bubbles_json,
+    memory_csv,
+    occupancy_csv,
+    ops_csv,
+    trace_summary,
+)
+from repro.pipeline.config import TrainConfig, model_config
+from repro.workloads.registry import workload_factory
+
+
+@pytest.fixture(scope="module")
+def two_jobs():
+    configs = [
+        TrainConfig(model=model_config("3.6B"), epochs=3, op_jitter=0.01),
+        TrainConfig(model=model_config("1.2B"), epochs=3, op_jitter=0.01,
+                    seed=1),
+    ]
+    deployment = MultiServerFreeRide(configs)
+    accepted = 0
+    for _ in range(8):
+        if deployment.submit(workload_factory("pagerank")) is not None:
+            accepted += 1
+    result = deployment.run()
+    return deployment, accepted, result
+
+
+class TestMultiServer:
+    def test_manager_sees_workers_from_both_servers(self, two_jobs):
+        deployment, _accepted, _result = two_jobs
+        assert len(deployment.workers) == 8
+        assert len(deployment.pipelines) == 2
+
+    def test_tasks_spread_across_both_servers(self, two_jobs):
+        _deployment, accepted, result = two_jobs
+        assert accepted == 8
+        stages = sorted(report.stage for report in result.tasks)
+        assert stages == list(range(8))  # one per global worker
+
+    def test_both_trainings_complete(self, two_jobs):
+        _deployment, _accepted, result = two_jobs
+        assert len(result.trainings) == 2
+        for training in result.trainings:
+            assert len(training.trace.epochs) == 3
+
+    def test_every_task_harvested_bubbles(self, two_jobs):
+        _deployment, _accepted, result = two_jobs
+        for report in result.tasks:
+            assert report.final_state is SideTaskState.STOPPED
+            assert report.steps_done > 0, report.name
+
+    def test_needs_at_least_one_job(self):
+        with pytest.raises(ValueError):
+            MultiServerFreeRide([])
+
+
+class TestTraceExport:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.gpu.cluster import make_server_i
+        from repro.pipeline.engine import PipelineEngine
+        from repro.sim.engine import Engine
+
+        sim = Engine()
+        server = make_server_i(sim)
+        config = TrainConfig(model=model_config("3.6B"), epochs=1,
+                             op_jitter=0.0)
+        result = PipelineEngine(sim, server, config).run()
+        return server, result
+
+    def test_occupancy_csv_parses(self, run):
+        server, _result = run
+        text = occupancy_csv(server.gpu(0))
+        lines = text.strip().splitlines()
+        assert lines[0] == "time_s,occupancy,training,side"
+        assert len(lines) > 5
+
+    def test_memory_csv_parses(self, run):
+        server, _result = run
+        lines = memory_csv(server.gpu(0)).strip().splitlines()
+        assert lines[0] == "time_s,used_gb"
+
+    def test_ops_csv_row_count(self, run):
+        _server, result = run
+        lines = ops_csv(result.trace).strip().splitlines()
+        assert len(lines) - 1 == len(result.trace.ops)
+
+    def test_bubbles_json_round_trips(self, run):
+        _server, result = run
+        payload = json.loads(bubbles_json(result.trace))
+        assert len(payload) == len(result.trace.bubbles)
+        assert all(entry["type"] in "ABC" for entry in payload)
+
+    def test_summary_fields(self, run):
+        _server, result = run
+        summary = trace_summary(result.trace)
+        assert summary["epochs"] == 1
+        assert 0.3 < summary["bubble_rate"] < 0.5
+        assert summary["ops"] == 32

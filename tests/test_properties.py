@@ -1,0 +1,195 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.device import SimGPU
+from repro.gpu.kernel import Interference, Priority
+from repro.gpu.process import GPUProcess
+from repro.gpu.sharing import SharingMode
+from repro.pipeline.ops import OpKind, dependencies
+from repro.pipeline.schedule import stage_order
+from repro.sim.engine import Engine
+
+
+# ---------------------------------------------------------------------------
+# Discrete-event engine
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                max_size=40))
+def test_property_engine_time_is_monotone(delays):
+    engine = Engine()
+    observed: list[float] = []
+    for delay in delays:
+        timeout = engine.timeout(delay)
+        timeout.callbacks.append(lambda _ev: observed.append(engine.now))
+    engine.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+    assert engine.now == pytest.approx(max(delays))
+
+
+@given(st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=1,
+                max_size=20))
+def test_property_sequential_process_sums_delays(delays):
+    engine = Engine()
+
+    def body():
+        for delay in delays:
+            yield engine.timeout(delay)
+
+    proc = engine.process(body())
+    engine.run(until=proc)
+    assert engine.now == pytest.approx(sum(delays))
+
+
+@given(st.integers(min_value=1, max_value=20),
+       st.floats(min_value=0.01, max_value=5.0))
+def test_property_parallel_processes_take_max_not_sum(count, delay):
+    engine = Engine()
+    for _ in range(count):
+        engine.process(iter_timeout(engine, delay))
+    engine.run()
+    assert engine.now == pytest.approx(delay)
+
+
+def iter_timeout(engine, delay):
+    yield engine.timeout(delay)
+
+
+# ---------------------------------------------------------------------------
+# GPU device
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1,
+                max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_property_same_process_kernels_preserve_total_work(works):
+    """Kernels of one process never contend: total time == max finish,
+    and with simultaneous launch at full speed that is max(works)."""
+    engine = Engine()
+    gpu = SimGPU(engine, "g", memory_gb=48.0)
+    proc = GPUProcess(engine, gpu, "p")
+    for work in works:
+        proc.launch_kernel(work_s=work)
+    engine.run()
+    assert engine.now == pytest.approx(max(works))
+
+
+@given(st.floats(min_value=0.1, max_value=3.0),
+       st.floats(min_value=0.0, max_value=4.0))
+@settings(max_examples=40, deadline=None)
+def test_property_interference_stretch_is_exact(work, interference):
+    """A training kernel fully overlapped by a side kernel stretches by
+    exactly (1 + interference)."""
+    engine = Engine()
+    gpu = SimGPU(engine, "g", memory_gb=48.0, sharing=SharingMode.MPS)
+    training = GPUProcess(engine, gpu, "t", priority=Priority.TRAINING)
+    side = GPUProcess(
+        engine, gpu, "s", priority=Priority.SIDE,
+        interference=Interference(mps_on_higher=interference),
+    )
+    side.launch_kernel(work_s=1e6)  # never finishes within the test
+    done = training.launch_kernel(work_s=work)
+    engine.run(until=done)
+    assert engine.now == pytest.approx(work * (1 + interference), rel=1e-6)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.1, max_value=10.0),
+                          st.booleans()),
+                min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_property_memory_ledger_never_negative_or_overcommitted(actions):
+    engine = Engine()
+    gpu = SimGPU(engine, "g", memory_gb=48.0)
+    proc = GPUProcess(engine, gpu, "p")
+    from repro.errors import GpuOutOfMemoryError, SimulationError
+    for amount, is_alloc in actions:
+        try:
+            if is_alloc:
+                proc.allocate(amount)
+            else:
+                proc.free(amount)
+        except (GpuOutOfMemoryError, SimulationError):
+            pass
+        assert 0.0 <= gpu.used_gb <= gpu.memory_gb + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Pipeline schedule
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=2, max_value=8),
+       st.integers(min_value=1, max_value=12))
+def test_property_1f1b_schedule_is_complete_and_causal(stages, micro_batches):
+    for stage in range(stages):
+        order = stage_order("1f1b", stage, stages, micro_batches)
+        assert len(order) == 2 * micro_batches
+        seen_forward: set[int] = set()
+        for op in order:
+            if op.kind is OpKind.FORWARD:
+                seen_forward.add(op.micro_batch)
+            else:
+                # BP(m) only after FP(m) on the same stage
+                assert op.micro_batch in seen_forward
+
+
+@given(st.integers(min_value=2, max_value=8),
+       st.integers(min_value=1, max_value=12))
+def test_property_dependencies_form_a_dag(stages, micro_batches):
+    """Toposort the full op set: the dependency relation must be acyclic
+    and every dependency must reference a scheduled op."""
+    all_ops = {
+        op
+        for stage in range(stages)
+        for op in stage_order("1f1b", stage, stages, micro_batches)
+    }
+    indegree = {op: 0 for op in all_ops}
+    dependents: dict = {op: [] for op in all_ops}
+    for op in all_ops:
+        for dep in dependencies(op, stages):
+            assert dep in all_ops, f"{op} depends on unscheduled {dep}"
+            indegree[op] += 1
+            dependents[dep].append(op)
+    frontier = [op for op, degree in indegree.items() if degree == 0]
+    visited = 0
+    while frontier:
+        op = frontier.pop()
+        visited += 1
+        for dependent in dependents[op]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                frontier.append(dependent)
+    assert visited == len(all_ops)  # acyclic
+
+
+@given(st.integers(min_value=2, max_value=6),
+       st.integers(min_value=1, max_value=8))
+@settings(max_examples=15, deadline=None)
+def test_property_pipeline_runs_for_any_shape(stages, micro_batches):
+    """The engine completes and accounts every op for arbitrary S, M."""
+    from repro.gpu.cluster import Server
+    from repro.gpu.device import SimGPU as Device
+    from repro.pipeline.config import TrainConfig, model_config
+    from repro.pipeline.engine import PipelineEngine
+
+    engine = Engine()
+    gpus = [Device(engine, f"g{i}", memory_gb=2000.0) for i in range(stages)]
+    server = Server(name="custom", engine=engine, gpus=gpus,
+                    price_per_hour=1.0)
+    config = TrainConfig(
+        model=model_config("1.2B"),
+        num_stages=stages,
+        micro_batches=micro_batches,
+        epochs=1,
+        op_jitter=0.0,
+    )
+    result = PipelineEngine(engine, server, config).run()
+    assert len(result.trace.ops) == 2 * stages * micro_batches
+    # Analytic 1F1B epoch time: (M + S - 1)(tf + tb) + opt.
+    from repro.pipeline.timing import TimingModel
+    expected = TimingModel(config.model).ideal_epoch_time(stages, micro_batches)
+    assert result.total_time == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,80 @@
+"""Unit and property tests for the synthetic datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.datasets import (
+    SyntheticClassificationData,
+    SyntheticImages,
+    SyntheticRatings,
+    synthetic_power_law_graph,
+)
+
+
+class TestGraph:
+    def test_deterministic_for_seed(self):
+        first = synthetic_power_law_graph(300, seed=3)
+        second = synthetic_power_law_graph(300, seed=3)
+        assert (first != second).nnz == 0
+
+    def test_shape_and_connectivity(self):
+        graph = synthetic_power_law_graph(500, edges_per_node=6)
+        assert graph.shape == (500, 500)
+        assert graph.nnz >= 500  # at least about one edge per node
+
+    def test_degree_distribution_is_heavy_tailed(self):
+        graph = synthetic_power_law_graph(2000, edges_per_node=8, seed=1)
+        in_degree = np.asarray(graph.sum(axis=0)).ravel()
+        # A power-law graph has hubs: the max in-degree dwarfs the median.
+        assert in_degree.max() > 20 * max(np.median(in_degree), 1)
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_power_law_graph(1)
+
+    @given(st.integers(min_value=10, max_value=300),
+           st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_property_no_self_loops_needed_and_valid_indices(self, nodes, fanout):
+        graph = synthetic_power_law_graph(nodes, fanout, seed=0)
+        coo = graph.tocoo()
+        assert np.all(coo.row < nodes) and np.all(coo.col < nodes)
+        assert np.all(coo.data > 0)
+
+
+class TestClassificationData:
+    def test_shapes(self):
+        data = SyntheticClassificationData.generate(samples=100, dimensions=8,
+                                                    num_classes=3)
+        assert data.features.shape == (100, 8)
+        assert set(np.unique(data.labels)) <= {0, 1, 2}
+
+    def test_batch_sampling(self):
+        data = SyntheticClassificationData.generate(samples=50)
+        rng = np.random.default_rng(0)
+        features, labels = data.batch(16, rng)
+        assert features.shape[0] == labels.shape[0] == 16
+
+
+class TestRatings:
+    def test_generation_bounds(self):
+        ratings = SyntheticRatings.generate(num_users=20, num_items=30,
+                                            num_ratings=200)
+        assert ratings.users.max() < 20
+        assert ratings.items.max() < 30
+        assert len(ratings.ratings) == 200
+        assert np.all(np.isfinite(ratings.ratings))
+
+
+class TestImages:
+    def test_pool_cycles(self):
+        pool = SyntheticImages(count=3, height=8, width=8)
+        first = pool.next_image()
+        pool.next_image()
+        pool.next_image()
+        again = pool.next_image()
+        assert np.array_equal(first, again)
+        assert len(pool) == 3
