@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Guard against performance regressions in the benchmark suite.
+
+Compares the latest ``benchmarks/out/BENCH_*.json`` records (written by
+``pytest benchmarks``) against the committed ``benchmarks/baseline.json``
+and exits non-zero when any benchmark's wall time regressed by more than
+the tolerance (default 20%).
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks   # produce BENCH_*.json
+    python scripts/perf_guard.py                 # compare vs baseline
+    python scripts/perf_guard.py --update        # rewrite the baseline
+
+Intended as an *opt-in* CI step (see .github/workflows/perf.yml): wall
+times are machine-dependent, so the baseline should be refreshed with
+``--update`` whenever the reference machine changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+OUT_DIR = REPO / "benchmarks" / "out"
+BASELINE = REPO / "benchmarks" / "baseline.json"
+DEFAULT_TOLERANCE = 0.20
+
+
+def load_records() -> dict[str, dict]:
+    records = {}
+    for path in sorted(OUT_DIR.glob("BENCH_*.json")):
+        record = json.loads(path.read_text())
+        records[record["benchmark"]] = record
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the latest records")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative wall-time regression "
+                             f"(default {DEFAULT_TOLERANCE:.0%})")
+    args = parser.parse_args(argv)
+
+    records = load_records()
+    if not records:
+        print(f"perf_guard: no BENCH_*.json under {OUT_DIR}; "
+              "run `python -m pytest benchmarks` first", file=sys.stderr)
+        return 2
+
+    if args.update:
+        baseline = {
+            name: {"wall_s": record["wall_s"],
+                   "events_per_s": record["events_per_s"]}
+            for name, record in records.items()
+        }
+        BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"perf_guard: baseline updated with {len(baseline)} benchmarks")
+        return 0
+
+    if not BASELINE.exists():
+        print(f"perf_guard: no baseline at {BASELINE}; "
+              "run with --update to create one", file=sys.stderr)
+        return 2
+
+    baseline = json.loads(BASELINE.read_text())
+    failures = []
+    for name, record in sorted(records.items()):
+        reference = baseline.get(name)
+        if reference is None:
+            print(f"  NEW   {name}: {record['wall_s']:.2f}s (no baseline)")
+            continue
+        if reference["wall_s"] <= 0:
+            print(f"  SKIP  {name}: baseline wall time is zero; "
+                  "too fast to compare — refresh with --update")
+            continue
+        ratio = record["wall_s"] / reference["wall_s"]
+        status = "OK"
+        if ratio > 1.0 + args.tolerance:
+            status = "FAIL"
+            failures.append((name, ratio))
+        print(f"  {status:<5} {name}: {record['wall_s']:.2f}s "
+              f"vs baseline {reference['wall_s']:.2f}s ({ratio:.2f}x)")
+    for name in sorted(set(baseline) - set(records)):
+        print(f"  MISS  {name}: in baseline but not measured")
+
+    if failures:
+        print(f"perf_guard: {len(failures)} benchmark(s) regressed more than "
+              f"{args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    print("perf_guard: all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

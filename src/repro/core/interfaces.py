@@ -41,6 +41,10 @@ class SideTaskContext:
     proc: "GPUProcess"
     rng: RandomStreams
     task_name: str
+    #: the task's jitter stream, resolved once — jitter() runs per step
+    _stream: typing.Any = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def now(self) -> float:
@@ -49,7 +53,12 @@ class SideTaskContext:
     def jitter(self, mean: float, rel_sigma: float = 0.02) -> float:
         if mean <= 0:
             return 0.0
-        return self.rng.jitter(f"task:{self.task_name}", mean, rel_sigma)
+        if rel_sigma <= 0:
+            return mean
+        stream = self._stream
+        if stream is None:
+            stream = self._stream = self.rng.stream(f"task:{self.task_name}")
+        return stream.lognormvariate(0.0, rel_sigma) * mean
 
 
 class SideTaskBase(abc.ABC):
@@ -108,7 +117,7 @@ class IterativeSideTask(SideTaskBase):
         yield ctx.proc.launch_kernel(
             work_s=ctx.jitter(kernel_s),
             sm_demand=self.perf.sm_demand,
-            name=f"{self.name}:step{self.steps_done}",
+            name=self.name,
         )
         self._account_step()
 
@@ -136,7 +145,7 @@ class ImperativeSideTask(SideTaskBase):
             kernel = ctx.proc.launch_kernel(
                 work_s=ctx.jitter(self.perf.step_time_s * self.perf.gpu_duty),
                 sm_demand=self.perf.sm_demand,
-                name=f"{self.name}:step{self.steps_done}",
+                name=self.name,
             )
             yield kernel
             self._account_step()

@@ -14,6 +14,7 @@
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 from repro import calibration
 from repro.core.middleware import FreeRide
@@ -32,120 +33,132 @@ RPC_LATENCIES = (0.0001, 0.001, 0.005, 0.02)
 STEP_SCALES = (0.3, 1.0, 3.0, 10.0)
 
 
+def _grace_row(grace: float) -> dict:
+    from repro.core.manager import SideTaskManager
+    from repro.core.profiler import profile_side_task
+    from repro.core.task_spec import TaskSpec
+    from repro.core.worker import ManagedBubble, SideTaskWorker
+    from repro.workloads.misbehaving import NonPausingTask
+
+    sim = Engine()
+    server = make_server_i(sim)
+    worker = SideTaskWorker(sim, server.gpu(0), 0,
+                            side_task_memory_gb=20.0, mps=server.mps)
+    manager = SideTaskManager(sim, [worker], grace_period_s=grace)
+    profile = profile_side_task(NonPausingTask(), interface="iterative")
+    # Explicit name: the default embeds a process-global counter, which
+    # would make the row depend on whether it runs serially or in a pool
+    # worker (the name seeds the task's jitter stream).
+    manager.submit(TaskSpec(workload=NonPausingTask(), profile=profile,
+                            name=f"nonpausing-grace{grace:g}"))
+    runtime = worker.all_tasks[0]
+    sim.run(until=sim.now + 1.0)
+    bubble_end = sim.now + 0.65
+    manager.add_bubble(ManagedBubble(stage=0, start=sim.now,
+                                     expected_end=bubble_end,
+                                     available_gb=20.0))
+    sim.run(until=sim.now + 8.0)
+    stopped = [when for when, state in runtime.machine.history
+               if state.value == "STOPPED"]
+    return {
+        "grace_s": grace,
+        "killed": not runtime.proc.alive,
+        "trespass_s": (stopped[-1] - bubble_end) if stopped else None,
+    }
+
+
 def run_grace_period() -> list[dict]:
     """Kill latency of the framework-enforced limit vs the grace period.
 
     A longer grace tolerates slow-but-honest pauses; a shorter one bounds
     how long a runaway side task can trespass on training time.
     """
-    from repro.core.manager import SideTaskManager
-    from repro.core.profiler import profile_side_task
-    from repro.core.task_spec import TaskSpec
-    from repro.core.worker import ManagedBubble, SideTaskWorker
-    from repro.sim.engine import Engine
-    from repro.workloads.misbehaving import NonPausingTask
+    return common.sweep(GRACE_PERIODS, _grace_row)
 
-    rows = []
-    for grace in GRACE_PERIODS:
-        sim = Engine()
-        server = make_server_i(sim)
-        worker = SideTaskWorker(sim, server.gpu(0), 0,
-                                side_task_memory_gb=20.0, mps=server.mps)
-        manager = SideTaskManager(sim, [worker], grace_period_s=grace)
-        profile = profile_side_task(NonPausingTask(), interface="iterative")
-        manager.submit(TaskSpec(workload=NonPausingTask(), profile=profile))
-        runtime = worker.all_tasks[0]
-        sim.run(until=sim.now + 1.0)
-        bubble_end = sim.now + 0.65
-        manager.add_bubble(ManagedBubble(stage=0, start=sim.now,
-                                         expected_end=bubble_end,
-                                         available_gb=20.0))
-        sim.run(until=sim.now + 8.0)
-        stopped = [when for when, state in runtime.machine.history
-                   if state.value == "STOPPED"]
-        rows.append({
-            "grace_s": grace,
-            "killed": not runtime.proc.alive,
-            "trespass_s": (stopped[-1] - bubble_end) if stopped else None,
-        })
-    return rows
+
+def _rpc_latency_row(config, t_no, latency: float) -> dict:
+    freeride = FreeRide(config, rpc_latency_s=latency)
+    freeride.submit_replicated(workload_factory("resnet18"))
+    result = freeride.run()
+    return {
+        "rpc_latency_s": latency,
+        "time_increase": time_increase(result.training.total_time, t_no),
+        "units": result.total_units,
+    }
 
 
 def run_rpc_latency(epochs: int = 4) -> list[dict]:
     config = common.train_config(epochs=epochs)
     t_no = common.baseline_time(config)
-    rows = []
-    for latency in RPC_LATENCIES:
-        freeride = FreeRide(config, rpc_latency_s=latency)
-        freeride.submit_replicated(workload_factory("resnet18"))
-        result = freeride.run()
-        rows.append({
-            "rpc_latency_s": latency,
-            "time_increase": time_increase(result.training.total_time, t_no),
-            "units": result.total_units,
-        })
-    return rows
+    return common.sweep(RPC_LATENCIES,
+                        functools.partial(_rpc_latency_row, config, t_no))
+
+
+def _policy_row(config, name: str) -> dict:
+    freeride = FreeRide(config, policy=NAMED_POLICIES[name])
+    for task in ("pagerank", "resnet18", "resnet50", "pagerank"):
+        freeride.submit(workload_factory(task))
+    result = freeride.run()
+    stages = sorted(report.stage for report in result.tasks)
+    return {
+        "policy": name,
+        "placement": stages,
+        "distinct_workers": len(set(stages)),
+        "units": result.total_units,
+    }
 
 
 def run_policies(epochs: int = 4) -> list[dict]:
     config = common.train_config(epochs=epochs)
-    rows = []
-    for name, policy in NAMED_POLICIES.items():
-        freeride = FreeRide(config, policy=policy)
-        for task in ("pagerank", "resnet18", "resnet50", "pagerank"):
-            freeride.submit(workload_factory(task))
-        result = freeride.run()
-        stages = sorted(report.stage for report in result.tasks)
-        rows.append({
-            "policy": name,
-            "placement": stages,
-            "distinct_workers": len(set(stages)),
-            "units": result.total_units,
-        })
-    return rows
+    return common.sweep(list(NAMED_POLICIES),
+                        functools.partial(_policy_row, config))
+
+
+def _granularity_row(config, scale: float) -> dict:
+    base = calibration.RESNET18
+    perf = dataclasses.replace(
+        base,
+        step_time_s=base.step_time_s * scale,
+        units_per_step=base.units_per_step * scale,
+    )
+    freeride = FreeRide(config)
+    freeride.submit_replicated(lambda perf=perf: ModelTrainingTask(perf))
+    result = freeride.run()
+    running = sum(report.running_s for report in result.tasks)
+    overhead = sum(report.overhead_s for report in result.tasks)
+    insufficient = sum(report.insufficient_s for report in result.tasks)
+    return {
+        "step_s": perf.step_time_s,
+        "units_per_s": result.total_units / result.training.total_time,
+        "running_s": running,
+        "overhead_s": overhead,
+        "insufficient_s": insufficient,
+    }
 
 
 def run_step_granularity(epochs: int = 4) -> list[dict]:
     """Scale ResNet18's step size; measure utilization vs overhead."""
     config = common.train_config(epochs=epochs)
-    rows = []
-    for scale in STEP_SCALES:
-        base = calibration.RESNET18
-        perf = dataclasses.replace(
-            base,
-            step_time_s=base.step_time_s * scale,
-            units_per_step=base.units_per_step * scale,
-        )
-        freeride = FreeRide(config)
-        freeride.submit_replicated(lambda perf=perf: ModelTrainingTask(perf))
-        result = freeride.run()
-        running = sum(report.running_s for report in result.tasks)
-        overhead = sum(report.overhead_s for report in result.tasks)
-        insufficient = sum(report.insufficient_s for report in result.tasks)
-        rows.append({
-            "step_s": perf.step_time_s,
-            "units_per_s": result.total_units / result.training.total_time,
-            "running_s": running,
-            "overhead_s": overhead,
-            "insufficient_s": insufficient,
-        })
-    return rows
+    return common.sweep(STEP_SCALES,
+                        functools.partial(_granularity_row, config))
+
+
+def _schedule_row(epochs: int, schedule: str) -> dict:
+    config = dataclasses.replace(
+        common.train_config(epochs=epochs), schedule=schedule
+    )
+    sim = Engine()
+    result = PipelineEngine(sim, make_server_i(sim), config).run()
+    return {
+        "schedule": schedule,
+        "epoch_time_s": result.trace.mean_epoch_time(),
+        "bubble_rate": bubble_rate(result.trace),
+    }
 
 
 def run_schedules(epochs: int = 4) -> list[dict]:
-    rows = []
-    for schedule in ("1f1b", "gpipe"):
-        config = dataclasses.replace(
-            common.train_config(epochs=epochs), schedule=schedule
-        )
-        sim = Engine()
-        result = PipelineEngine(sim, make_server_i(sim), config).run()
-        rows.append({
-            "schedule": schedule,
-            "epoch_time_s": result.trace.mean_epoch_time(),
-            "bubble_rate": bubble_rate(result.trace),
-        })
-    return rows
+    return common.sweep(("1f1b", "gpipe"),
+                        functools.partial(_schedule_row, epochs))
 
 
 def run(epochs: int = 4) -> dict:

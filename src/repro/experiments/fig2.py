@@ -8,6 +8,8 @@ per model size — 42.4% falling to ~40.4% — plus the micro-batch-8 point
 
 from __future__ import annotations
 
+import functools
+
 from repro.experiments import common
 from repro.gpu.cluster import make_server_i
 from repro.pipeline.analysis import bubble_rate, bubble_shape_stats
@@ -15,6 +17,11 @@ from repro.pipeline.engine import PipelineEngine
 from repro.sim.engine import Engine
 
 MODEL_SIZES = ("1.2B", "3.6B", "6B")
+
+
+def _point(epochs: int, item: tuple[str, int]) -> dict:
+    size, micro_batches = item
+    return _one(size, micro_batches, epochs)
 
 
 def _one(size: str, micro_batches: int, epochs: int) -> dict:
@@ -35,9 +42,11 @@ def _one(size: str, micro_batches: int, epochs: int) -> dict:
 
 
 def run(epochs: int = 4) -> dict:
-    rows = [_one(size, 4, epochs) for size in MODEL_SIZES]
-    micro8 = _one("3.6B", 8, epochs)
-    return {"by_model": rows, "micro_batch_8": micro8}
+    points = common.sweep(
+        [(size, 4) for size in MODEL_SIZES] + [("3.6B", 8)],
+        functools.partial(_point, epochs),
+    )
+    return {"by_model": points[:-1], "micro_batch_8": points[-1]}
 
 
 def render(data: dict) -> str:

@@ -11,6 +11,7 @@ lower savings.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 from repro import calibration
 from repro.baselines.dedicated import run_dedicated
@@ -34,12 +35,10 @@ class Point:
     oom: bool = False
 
 
-def _measure(config, name, batch_size=64) -> Point:
-    t_no = common.baseline_time(config)
-    result = common.run_freeride(
-        config,
-        [(workload_factory(name, batch_size=batch_size), "iterative", True)],
-    )
+def _measure(config, t_no, item) -> Point:
+    """One batch-sweep point; runs in a sweep worker."""
+    name, batch_size = item
+    result = common.run_replicated(config, name, batch_size=batch_size)
     increase = time_increase(result.training.total_time, t_no)
     profile = make_workload(name, batch_size=batch_size).perf
     # The paper's base (batch-64) configurations all run on Server-II by
@@ -63,58 +62,60 @@ def _measure(config, name, batch_size=64) -> Point:
 
 def run_batch_sweep(epochs: int = SWEEP_EPOCHS) -> list[Point]:
     config = common.train_config(epochs=epochs)
-    return [
-        _measure(config, name, batch_size)
-        for name in MODEL_TASKS
-        for batch_size in BATCH_SIZES
-    ]
+    t_no = common.baseline_time(config)  # computed once, shipped to workers
+    return common.sweep(
+        [(name, batch_size)
+         for name in MODEL_TASKS for batch_size in BATCH_SIZES],
+        functools.partial(_measure, config, t_no),
+    )
+
+
+def _sized_point(epochs, baselines, item) -> Point:
+    """One model-size / micro-batch point; runs in a sweep worker."""
+    x, size, micro_batches, name = item
+    config = common.train_config(size=size, micro_batches=micro_batches,
+                                 epochs=epochs)
+    t_no = baselines[(size, micro_batches)]
+    result = common.run_replicated(config, name)
+    profile = calibration.SIDE_TASK_PROFILES[name]
+    return Point(
+        task=name,
+        x=x,
+        time_increase=time_increase(result.training.total_time, t_no),
+        cost_savings=cost_savings(
+            t_no, result.training.total_time,
+            [(result.total_units, profile)],
+        ),
+    )
 
 
 def run_model_size_sweep(epochs: int = SWEEP_EPOCHS,
                          tasks=WORKLOAD_NAMES) -> list[Point]:
-    points = []
-    for size in MODEL_SIZES:
-        config = common.train_config(size=size, epochs=epochs)
-        t_no = common.baseline_time(config)
-        for name in tasks:
-            result = common.run_freeride(
-                config, [(workload_factory(name), "iterative", True)]
-            )
-            profile = calibration.SIDE_TASK_PROFILES[name]
-            points.append(Point(
-                task=name,
-                x=size,
-                time_increase=time_increase(result.training.total_time, t_no),
-                cost_savings=cost_savings(
-                    t_no, result.training.total_time,
-                    [(result.total_units, profile)],
-                ),
-            ))
-    return points
+    # Baselines computed once in the parent and shipped to the workers —
+    # no reliance on fork inheritance of the lru caches.
+    baselines = {
+        (size, 4): common.baseline_time(
+            common.train_config(size=size, epochs=epochs))
+        for size in MODEL_SIZES
+    }
+    return common.sweep(
+        [(size, size, 4, name) for size in MODEL_SIZES for name in tasks],
+        functools.partial(_sized_point, epochs, baselines),
+    )
 
 
 def run_micro_batch_sweep(epochs: int = SWEEP_EPOCHS,
                           tasks=WORKLOAD_NAMES) -> list[Point]:
-    points = []
-    for micro_batches in MICRO_BATCH_NUMBERS:
-        config = common.train_config(micro_batches=micro_batches,
-                                     epochs=epochs)
-        t_no = common.baseline_time(config)
-        for name in tasks:
-            result = common.run_freeride(
-                config, [(workload_factory(name), "iterative", True)]
-            )
-            profile = calibration.SIDE_TASK_PROFILES[name]
-            points.append(Point(
-                task=name,
-                x=micro_batches,
-                time_increase=time_increase(result.training.total_time, t_no),
-                cost_savings=cost_savings(
-                    t_no, result.training.total_time,
-                    [(result.total_units, profile)],
-                ),
-            ))
-    return points
+    baselines = {
+        ("3.6B", micro_batches): common.baseline_time(
+            common.train_config(micro_batches=micro_batches, epochs=epochs))
+        for micro_batches in MICRO_BATCH_NUMBERS
+    }
+    return common.sweep(
+        [(micro_batches, "3.6B", micro_batches, name)
+         for micro_batches in MICRO_BATCH_NUMBERS for name in tasks],
+        functools.partial(_sized_point, epochs, baselines),
+    )
 
 
 def run(epochs: int = SWEEP_EPOCHS) -> dict:

@@ -9,6 +9,8 @@ Image, which exceed the bubbles of stages 0 and 1).
 
 from __future__ import annotations
 
+import functools
+
 from repro import calibration
 from repro.core.middleware import FreeRide
 from repro.experiments import common
@@ -16,15 +18,15 @@ from repro.metrics.breakdown import bubble_breakdown
 from repro.workloads.registry import WORKLOAD_NAMES, workload_factory
 
 
+def _task_row(config, name: str) -> dict:
+    result = common.run_replicated(config, name)
+    breakdown = bubble_breakdown(result)
+    return {"task": name, **breakdown.fractions()}
+
+
 def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES) -> dict:
     config = common.train_config(epochs=epochs)
-    rows = []
-    for name in tasks:
-        result = common.run_freeride(
-            config, [(workload_factory(name), "iterative", True)]
-        )
-        breakdown = bubble_breakdown(result)
-        rows.append({"task": name, **breakdown.fractions()})
+    rows = common.sweep(list(tasks), functools.partial(_task_row, config))
     # mixed workload: one task per stage
     freeride = FreeRide(config)
     for name in calibration.MIXED_WORKLOAD_BY_STAGE:

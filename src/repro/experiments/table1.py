@@ -9,32 +9,33 @@ on one Server-II GPU and on the CPU server.
 
 from __future__ import annotations
 
+import functools
+
 from repro.baselines.dedicated import run_dedicated
 from repro.experiments import common
 from repro.metrics.throughput import throughput_row
 from repro.workloads.registry import WORKLOAD_NAMES, make_workload, workload_factory
 
 
+def _task_row(config, name: str):
+    freeride = common.run_replicated(config, name)
+    server_ii = run_dedicated(make_workload(name), "server_ii",
+                              duration_s=30.0)
+    cpu = run_dedicated(make_workload(name), "cpu", duration_s=30.0)
+    return throughput_row(
+        name,
+        make_workload(name).perf,
+        units_done=freeride.total_units,
+        duration_s=freeride.training.total_time,
+        server_ii_throughput=server_ii.throughput,
+        cpu_throughput=cpu.throughput,
+    )
+
+
 def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES) -> dict:
     config = common.train_config(epochs=epochs)
-    rows = []
-    for name in tasks:
-        freeride = common.run_freeride(
-            config, [(workload_factory(name), "iterative", True)]
-        )
-        server_ii = run_dedicated(make_workload(name), "server_ii",
-                                  duration_s=30.0)
-        cpu = run_dedicated(make_workload(name), "cpu", duration_s=30.0)
-        row = throughput_row(
-            name,
-            make_workload(name).perf,
-            units_done=freeride.total_units,
-            duration_s=freeride.training.total_time,
-            server_ii_throughput=server_ii.throughput,
-            cpu_throughput=cpu.throughput,
-        )
-        rows.append(row)
-    return {"rows": rows}
+    return {"rows": common.sweep(list(tasks),
+                                 functools.partial(_task_row, config))}
 
 
 def render(data: dict) -> str:

@@ -8,6 +8,7 @@ and naive co-location — across the six side tasks plus the mixed workload
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 from repro import calibration
 from repro.baselines.colocation import run_colocation
@@ -28,9 +29,7 @@ class Cell:
 
 
 def _freeride_cell(config, name, interface, t_no) -> Cell:
-    result = common.run_freeride(
-        config, [(workload_factory(name, interface=interface), interface, True)]
-    )
+    result = common.run_replicated(config, name, interface=interface)
     profile = calibration.SIDE_TASK_PROFILES[name]
     return Cell(
         method=interface,
@@ -97,16 +96,22 @@ def _mixed_cells(config, t_no) -> list[Cell]:
     return cells
 
 
+def _method_cell(config, t_no, item) -> Cell:
+    """One (task, method) cell; runs in a sweep worker."""
+    name, method = item
+    if method in ("iterative", "imperative"):
+        return _freeride_cell(config, name, method, t_no)
+    return _baseline_cell(config, name, method, t_no)
+
+
 def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES,
         include_mixed: bool = True) -> dict:
     config = common.train_config(epochs=epochs)
     t_no = common.baseline_time(config)
-    cells: list[Cell] = []
-    for name in tasks:
-        cells.append(_freeride_cell(config, name, "iterative", t_no))
-        cells.append(_freeride_cell(config, name, "imperative", t_no))
-        cells.append(_baseline_cell(config, name, "mps", t_no))
-        cells.append(_baseline_cell(config, name, "naive", t_no))
+    cells: list[Cell] = common.sweep(
+        [(name, method) for name in tasks for method in METHODS],
+        functools.partial(_method_cell, config, t_no),
+    )
     if include_mixed:
         cells.extend(_mixed_cells(config, t_no))
     return {"cells": cells, "baseline_time_s": t_no}

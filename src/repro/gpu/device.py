@@ -133,7 +133,7 @@ class SimGPU:
                     f"{self.name} is in EXCLUSIVE mode; "
                     f"{kernel.proc.name} cannot co-run kernels"
                 )
-        kernel.done = self.engine.event(name=f"{kernel.name}:done")
+        kernel.done = self.engine.event()
         run = _KernelRun(kernel, self.engine.now)
         run.remaining = kernel.work_s / self.speed_factor
         self._runs[kernel.kid] = run
@@ -186,13 +186,21 @@ class SimGPU:
     def _recompute(self) -> None:
         """Settle progress at old rates, assign new rates, reschedule."""
         now = self.engine.now
-        for run in self._runs.values():
+        runs = self._runs
+        training = 0.0
+        side = 0.0
+        for run in runs.values():
             run.remaining -= (now - run.last_update) * run.rate
             if run.remaining < 0:
                 run.remaining = 0.0
             run.last_update = now
-        self._record_occupancy(now)
-        for run in self._runs.values():
+            kernel = run.kernel
+            if kernel.priority >= Priority.TRAINING:
+                training += kernel.sm_demand
+            else:
+                side += kernel.sm_demand
+        self._record_point(now, training, side)
+        for run in runs.values():
             run.rate = 1.0 / self._slowdown(run.kernel)
             run.version += 1
             self._schedule_completion(run)
@@ -221,22 +229,24 @@ class SimGPU:
     # traces
     # ------------------------------------------------------------------
     def _record_occupancy(self, now: float) -> None:
-        training = sum(
-            run.kernel.sm_demand
-            for run in self._runs.values()
-            if run.kernel.priority >= Priority.TRAINING
-        )
-        side = sum(
-            run.kernel.sm_demand
-            for run in self._runs.values()
-            if run.kernel.priority < Priority.TRAINING
-        )
+        training = 0.0
+        side = 0.0
+        for run in self._runs.values():
+            kernel = run.kernel
+            if kernel.priority >= Priority.TRAINING:
+                training += kernel.sm_demand
+            else:
+                side += kernel.sm_demand
+        self._record_point(now, training, side)
+
+    def _record_point(self, now: float, training: float, side: float) -> None:
         total = min(1.0, training + side)
         point = (now, total, min(1.0, training), min(1.0, side))
-        if self.occupancy_trace and self.occupancy_trace[-1][0] == now:
-            self.occupancy_trace[-1] = point
+        trace = self.occupancy_trace
+        if trace and trace[-1][0] == now:
+            trace[-1] = point
         else:
-            self.occupancy_trace.append(point)
+            trace.append(point)
         # busy-time accounting
         if self._runs and self._busy_since is None:
             self._busy_since = now

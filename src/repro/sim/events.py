@@ -10,11 +10,17 @@ An event moves through three states:
     popped from the heap; its callbacks have run.
 
 Processes wait on events by yielding them (see :mod:`repro.sim.process`).
+
+This module is the simulator's innermost hot path: a ten-second FreeRide
+run creates several hundred thousand events, most of them timeouts. The
+classes therefore use ``__slots__`` and keep their constructors free of
+string formatting — display names are computed lazily in ``__repr__``.
 """
 
 from __future__ import annotations
 
 import typing
+from heapq import heappush
 
 from repro.errors import SimulationError
 
@@ -40,6 +46,8 @@ class SimEvent:
     Callbacks are callables of one argument (the event itself) invoked in
     registration order when the event is processed.
     """
+
+    __slots__ = ("engine", "name", "callbacks", "_state", "_value", "_exception")
 
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
@@ -118,18 +126,34 @@ class SimEvent:
 class Timeout(SimEvent):
     """An event that triggers after a fixed delay, created pre-triggered."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, engine: "Engine", delay: float, value: object = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(engine, name=f"Timeout({delay:.6g})")
-        self.delay = delay
+        # Field assignments and scheduling are open-coded (no
+        # super().__init__, no engine._schedule) and the display name is
+        # computed on demand: this constructor runs a few hundred thousand
+        # times per simulated run.
+        self.engine = engine
+        self.callbacks = []
         self._state = TRIGGERED
         self._value = value
-        engine._schedule(self, delay)
+        self._exception = None
+        self.delay = delay
+        seq = engine._sequence
+        engine._sequence = seq + 1
+        heappush(engine._heap, (engine._now + delay, seq, self))
+
+    @property
+    def name(self) -> str:  # shadows the SimEvent slot; computed lazily
+        return f"Timeout({self.delay:.6g})"
 
 
 class _Condition(SimEvent):
     """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, engine: "Engine", events: typing.Sequence[SimEvent]):
         super().__init__(engine, name=self.__class__.__name__)
@@ -142,7 +166,7 @@ class _Condition(SimEvent):
             self.succeed([])
             return
         for event in self.events:
-            if event.processed:
+            if event._state == PROCESSED:
                 self._on_child(event)
             else:
                 event.callbacks.append(self._on_child)
@@ -151,7 +175,7 @@ class _Condition(SimEvent):
         raise NotImplementedError
 
     def _collect_values(self) -> list[object]:
-        return [event._value for event in self.events if event.triggered]
+        return [event._value for event in self.events if event._state != PENDING]
 
 
 class AllOf(_Condition):
@@ -161,8 +185,10 @@ class AllOf(_Condition):
     fails, the condition fails with that child's exception.
     """
 
+    __slots__ = ()
+
     def _on_child(self, event: SimEvent) -> None:
-        if not self.pending:
+        if self._state != PENDING:
             return
         if event._exception is not None:
             self.fail(event._exception)
@@ -178,8 +204,10 @@ class AnyOf(_Condition):
     The value is that child's value; failure propagates a child failure.
     """
 
+    __slots__ = ()
+
     def _on_child(self, event: SimEvent) -> None:
-        if not self.pending:
+        if self._state != PENDING:
             return
         if event._exception is not None:
             self.fail(event._exception)

@@ -15,7 +15,7 @@ from __future__ import annotations
 import typing
 
 from repro.errors import SimulationError
-from repro.sim.events import Interrupt, SimEvent
+from repro.sim.events import PENDING, PROCESSED, Interrupt, SimEvent
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Engine
@@ -23,6 +23,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 class Process(SimEvent):
     """A running simulation process (and the event of its termination)."""
+
+    __slots__ = ("_generator", "_waiting_on")
 
     def __init__(self, engine: "Engine", generator, name: str = "proc"):
         super().__init__(engine, name=name)
@@ -67,7 +69,7 @@ class Process(SimEvent):
     # -- generator driving -------------------------------------------------
     def _resume(self, event: SimEvent) -> None:
         self._waiting_on = None
-        if not self.alive:
+        if self._state != PENDING:
             return
         try:
             if event._exception is not None:
@@ -106,7 +108,7 @@ class Process(SimEvent):
         if target.engine is not self.engine:
             self.fail(SimulationError("process yielded an event from another engine"))
             return
-        if target.processed:
+        if target._state == PROCESSED:
             # Already done: resume at the current instant via a fresh event so
             # ordering stays heap-driven.
             relay = SimEvent(self.engine, name=f"{self.name}:relay")

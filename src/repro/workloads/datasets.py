@@ -13,6 +13,7 @@ stand-in's wall-clock time.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 import scipy.sparse as sp
@@ -25,7 +26,18 @@ def synthetic_power_law_graph(
 
     Preferential attachment (Barabási–Albert flavoured) gives the heavy
     tailed degree distribution of social graphs such as Orkut.
+
+    Generation is deterministic in its arguments, so repeated calls (every
+    profiling probe and every replica builds its own task instance) share
+    one cached build; each caller gets an independent copy it may mutate.
     """
+    return _cached_power_law_graph(num_nodes, edges_per_node, seed).copy()
+
+
+@functools.lru_cache(maxsize=16)
+def _cached_power_law_graph(
+    num_nodes: int, edges_per_node: int, seed: int
+) -> sp.csr_matrix:
     if num_nodes < 2:
         raise ValueError(f"need at least 2 nodes, got {num_nodes}")
     rng = np.random.default_rng(seed)
@@ -62,6 +74,7 @@ class SyntheticClassificationData:
     num_classes: int
 
     @classmethod
+    @functools.lru_cache(maxsize=16)
     def generate(
         cls,
         samples: int = 2048,
@@ -69,6 +82,11 @@ class SyntheticClassificationData:
         num_classes: int = 4,
         seed: int = 0,
     ) -> "SyntheticClassificationData":
+        """Build (or return the cached) dataset for these arguments.
+
+        The returned instance is shared: callers treat ``features`` and
+        ``labels`` as read-only (training state lives in the tasks).
+        """
         rng = np.random.default_rng(seed)
         centers = rng.normal(scale=3.0, size=(num_classes, dimensions))
         labels = rng.integers(0, num_classes, size=samples)
@@ -91,6 +109,7 @@ class SyntheticRatings:
     num_items: int
 
     @classmethod
+    @functools.lru_cache(maxsize=16)
     def generate(
         cls,
         num_users: int = 512,
@@ -99,6 +118,7 @@ class SyntheticRatings:
         rank: int = 8,
         seed: int = 0,
     ) -> "SyntheticRatings":
+        """Build (or return the cached) ratings; arrays are read-only."""
         rng = np.random.default_rng(seed)
         true_user = rng.normal(size=(num_users, rank)) / np.sqrt(rank)
         true_item = rng.normal(size=(num_items, rank)) / np.sqrt(rank)
@@ -115,16 +135,27 @@ class SyntheticRatings:
         )
 
 
+@functools.lru_cache(maxsize=16)
+def _cached_image_pool(
+    count: int, height: int, width: int, seed: int
+) -> tuple[np.ndarray, ...]:
+    rng = np.random.default_rng(seed)
+    return tuple(
+        rng.integers(0, 256, size=(height, width, 3), dtype=np.uint8)
+        for _ in range(count)
+    )
+
+
 class SyntheticImages:
-    """A cyclic pool of RGB images for the resize + watermark task."""
+    """A cyclic pool of RGB images for the resize + watermark task.
+
+    The images themselves are cached per configuration and shared between
+    pools (consumers treat them as read-only); the cursor is per-instance.
+    """
 
     def __init__(self, count: int = 32, height: int = 256, width: int = 256,
                  seed: int = 0):
-        rng = np.random.default_rng(seed)
-        self.images = [
-            rng.integers(0, 256, size=(height, width, 3), dtype=np.uint8)
-            for _ in range(count)
-        ]
+        self.images = list(_cached_image_pool(count, height, width, seed))
         self._cursor = 0
 
     def next_image(self) -> np.ndarray:

@@ -23,6 +23,47 @@ def _softmax(logits: np.ndarray) -> np.ndarray:
     return exp / exp.sum(axis=1, keepdims=True)
 
 
+class _SgdTrajectory:
+    """The shared deterministic loss sequence of one SGD configuration.
+
+    The stand-in computation depends only on ``(batch_size, learning_rate,
+    seed)`` — not on which torchvision model the profile describes — so one
+    trajectory serves every replica of ResNet18/ResNet50/VGG19 alike, and
+    every sweep point re-reads it instead of re-running the updates.
+    """
+
+    def __init__(self, batch_size: int, learning_rate: float, seed: int):
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self._data = SyntheticClassificationData.generate(seed=seed)
+        self._rng = np.random.default_rng(seed + 1)
+        dimensions = self._data.features.shape[1]
+        self._weights = np.zeros((dimensions, self._data.num_classes))
+        self._bias = np.zeros(self._data.num_classes)
+        self.losses: list[float] = []
+
+    def ensure(self, steps: int) -> None:
+        while len(self.losses) < steps:
+            self._step()
+
+    def _step(self) -> None:
+        """One SGD step — arithmetic identical to the original task."""
+        features, labels = self._data.batch(self.batch_size, self._rng)
+        logits = features @ self._weights + self._bias
+        probabilities = _softmax(logits)
+        one_hot = np.eye(self._data.num_classes)[labels]
+        loss = -np.mean(
+            np.log(probabilities[np.arange(len(labels)), labels] + 1e-12)
+        )
+        gradient = (probabilities - one_hot) / len(labels)
+        self._weights -= self.learning_rate * (features.T @ gradient)
+        self._bias -= self.learning_rate * gradient.sum(axis=0)
+        self.losses.append(float(loss))
+
+
+_SGD_TRAJECTORIES: dict[tuple[int, float, int], _SgdTrajectory] = {}
+
+
 class ModelTrainingTask(IterativeSideTask):
     """One of the paper's model-training side tasks."""
 
@@ -40,34 +81,25 @@ class ModelTrainingTask(IterativeSideTask):
         self.learning_rate = learning_rate
         self.seed = seed
         self.losses: list[float] = []
-        self._data: SyntheticClassificationData | None = None
-        self._weights: np.ndarray | None = None
-        self._bias: np.ndarray | None = None
-        self._rng: np.random.Generator | None = None
+        self._trajectory: _SgdTrajectory | None = None
 
     # -- life-cycle hooks -------------------------------------------------
     def create_side_task(self) -> None:
         """CREATED: dataset, model and optimizer state in host memory."""
-        self._data = SyntheticClassificationData.generate(seed=self.seed)
-        self._rng = np.random.default_rng(self.seed + 1)
-        dimensions = self._data.features.shape[1]
-        self._weights = np.zeros((dimensions, self._data.num_classes))
-        self._bias = np.zeros(self._data.num_classes)
+        key = (self.batch_size, self.learning_rate, self.seed)
+        trajectory = _SGD_TRAJECTORIES.get(key)
+        if trajectory is None:
+            if len(_SGD_TRAJECTORIES) >= 16:  # many distinct configs: restart
+                _SGD_TRAJECTORIES.clear()
+            trajectory = _SGD_TRAJECTORIES[key] = _SgdTrajectory(*key)
+        self._trajectory = trajectory
         self.host_loaded = True
 
     def compute_step(self) -> None:
         """One real SGD step; the loss history proves forward progress."""
-        features, labels = self._data.batch(self.batch_size, self._rng)
-        logits = features @ self._weights + self._bias
-        probabilities = _softmax(logits)
-        one_hot = np.eye(self._data.num_classes)[labels]
-        loss = -np.mean(
-            np.log(probabilities[np.arange(len(labels)), labels] + 1e-12)
-        )
-        gradient = (probabilities - one_hot) / len(labels)
-        self._weights -= self.learning_rate * (features.T @ gradient)
-        self._bias -= self.learning_rate * gradient.sum(axis=0)
-        self.losses.append(float(loss))
+        step = len(self.losses) + 1
+        self._trajectory.ensure(step)
+        self.losses.append(self._trajectory.losses[step - 1])
 
     # -- diagnostics -------------------------------------------------------
     @property
