@@ -4,13 +4,14 @@ Examples::
 
     freeride fig1
     freeride table2 --epochs 16
-    freeride fig7
+    freeride serve --seed 7
     python -m repro.cli fig9
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.experiments import EXPERIMENTS
@@ -27,11 +28,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--epochs", type=int, default=None,
                         help="training epochs per run (default: the "
                              "experiment's own default)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="root seed for experiments that accept one "
+                             "(e.g. serve; default: the experiment's own)")
     args = parser.parse_args(argv)
     module = EXPERIMENTS[args.experiment]
+    accepted = inspect.signature(module.run).parameters
     kwargs = {}
-    if args.epochs is not None and "epochs" in module.run.__code__.co_varnames:
-        kwargs["epochs"] = args.epochs
+    for flag in ("epochs", "seed"):
+        value = getattr(args, flag)
+        if value is None:
+            continue
+        if flag not in accepted:
+            print(f"warning: {args.experiment} does not take --{flag}; "
+                  "ignoring", file=sys.stderr)
+            continue
+        kwargs[flag] = value
     data = module.run(**kwargs)
     print(module.render(data))
     return 0

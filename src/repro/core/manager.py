@@ -55,6 +55,11 @@ class SideTaskManager:
         self.grace_period_s = grace_period_s
         self.rpc = RpcChannel(sim, "manager", latency_s=rpc_latency_s)
         self.rejections: list[tuple[str, str]] = []
+        #: called with each task runtime after it reaches a terminal state
+        #: (the serving frontend uses this to re-dispatch queued requests)
+        self.terminal_listeners: list[
+            typing.Callable[[SideTaskRuntime], None]
+        ] = []
         #: per-runtime command the manager sent and has not seen take effect
         self._pending: dict[int, CommandKind] = {}
         self._sweep_scheduled = False
@@ -62,13 +67,20 @@ class SideTaskManager:
     # ------------------------------------------------------------------
     # Algorithm 1: task submission
     # ------------------------------------------------------------------
+    def eligible_workers(self, gpu_memory_gb: float) -> list[SideTaskWorker]:
+        """Algorithm 1 line 5: workers with *strictly* more unreserved
+        bubble memory than the task needs. The single definition of
+        memory eligibility — the middleware and the serving frontend
+        consult it too."""
+        return [
+            worker for worker in self.workers
+            if worker.available_gb > gpu_memory_gb
+        ]
+
     def submit(self, spec: TaskSpec, interface: str = "iterative") -> SideTaskWorker:
         """Assign ``spec`` to a worker or raise :class:`TaskRejectedError`."""
-        eligible = [
-            worker for worker in self.workers
-            if worker.available_gb > spec.profile.gpu_memory_gb
-        ]
-        selected = self.policy(eligible)
+        eligible = self.eligible_workers(spec.profile.gpu_memory_gb)
+        selected = self.policy(eligible, spec)
         if selected is None:
             reason = (
                 f"no worker has more than {spec.profile.gpu_memory_gb:.2f} GB "
@@ -222,6 +234,8 @@ class SideTaskManager:
                 worker.current_task = None
             if task in worker.all_tasks:
                 worker.release(task)
+        for listener in self.terminal_listeners:
+            listener(task)
         self._wake()
 
     def live_tasks(self) -> list[SideTaskRuntime]:

@@ -183,11 +183,15 @@ class FreeRide:
         profile: TaskProfile | None = None,
         name: str = "",
         memory_limit_gb: float | None = None,
+        slo_class: str = "",
+        deadline_s: float | None = None,
     ) -> TaskSpec | None:
         """Profile (if needed) and submit one side task.
 
         Returns the accepted :class:`TaskSpec`, or None when Algorithm 1
-        rejected the task for lack of bubble memory.
+        rejected the task for lack of bubble memory. ``slo_class`` and
+        ``deadline_s`` (absolute sim time) tag the task for SLO-aware
+        policies and the serving layer's goodput accounting.
         """
         if profile is None:
             probe = workload_factory()
@@ -203,6 +207,8 @@ class FreeRide:
             name=name,
             memory_limit_gb=memory_limit_gb,
             submitted_at=self.sim.now,
+            slo_class=slo_class,
+            deadline_s=deadline_s,
         )
         try:
             worker = self.manager.submit(spec, interface)
@@ -222,10 +228,7 @@ class FreeRide:
         stopping at the first rejection. Returns the number accepted."""
         probe = workload_factory()
         profile = profile_side_task(probe, interface=interface)
-        eligible = sum(
-            1 for worker in self.workers
-            if worker.available_gb > profile.gpu_memory_gb
-        )
+        eligible = len(self.manager.eligible_workers(profile.gpu_memory_gb))
         limit = min(copies if copies is not None else eligible, eligible)
         accepted = 0
         for _ in range(limit):
@@ -235,14 +238,26 @@ class FreeRide:
         return accepted
 
     # ------------------------------------------------------------------
-    def run(self, settle_s: float = 2.0) -> FreeRideResult:
-        """Run training to completion, then stop side tasks and report."""
+    def run_training(self) -> TrainingResult:
+        """Start the pipeline and run the simulation until it completes."""
         training_proc = self.pipeline.start()
-        training_result: TrainingResult = self.sim.run(until=training_proc)
+        return self.sim.run(until=training_proc)
+
+    def drain(self, settle_s: float = 2.0) -> None:
+        """Stop live side tasks, let them settle, drain remaining events.
+
+        The canonical end-of-run teardown, shared by :meth:`run` and the
+        serving layer (which interposes its frontend close in between).
+        """
         for task in self.manager.live_tasks():
             self.manager.stop_task(task)
         self.sim.run(until=self.sim.now + settle_s)
         self.sim.run()  # drain any remaining teardown events
+
+    def run(self, settle_s: float = 2.0) -> FreeRideResult:
+        """Run training to completion, then stop side tasks and report."""
+        training_result = self.run_training()
+        self.drain(settle_s)
         reports = [
             self._report(spec, interface, stage)
             for spec, interface, stage in self._submissions
@@ -271,6 +286,10 @@ class FreeRide:
             init_s=runtime.init_s,
             gpu_memory_gb=spec.profile.gpu_memory_gb,
         )
+
+    def runtime_for(self, spec: TaskSpec) -> SideTaskRuntime:
+        """The runtime serving ``spec`` (raises KeyError if unknown)."""
+        return self._find_runtime(spec)
 
     def _find_runtime(self, spec: TaskSpec) -> SideTaskRuntime:
         for worker in self.workers:

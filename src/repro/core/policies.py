@@ -3,8 +3,13 @@
 Algorithm 1 of the paper filters workers by available GPU memory and picks
 the one serving the fewest tasks (:func:`least_loaded_policy`). The paper's
 discussion section anticipates "more sophisticated management" strategies;
-we provide three more as drop-in policies and compare them in the
-ablation benchmarks.
+we provide several more as drop-in policies and compare them in the
+ablation benchmarks and the online serving experiment.
+
+Every policy takes the memory-eligible workers plus (optionally) the
+:class:`~repro.core.task_spec.TaskSpec` being placed, so deadline-aware
+policies can read the request's SLO metadata. Policies that ignore the
+spec simply accept and discard it.
 """
 
 from __future__ import annotations
@@ -12,15 +17,18 @@ from __future__ import annotations
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.task_spec import TaskSpec
     from repro.core.worker import SideTaskWorker
 
-#: Given the memory-eligible workers, pick one (or None to reject).
+#: Given the memory-eligible workers and the spec being placed, pick a
+#: worker (or None to reject).
 AssignmentPolicy = typing.Callable[
-    ["list[SideTaskWorker]"], "SideTaskWorker | None"
+    ["list[SideTaskWorker]", "TaskSpec | None"], "SideTaskWorker | None"
 ]
 
 
-def least_loaded_policy(eligible: "list[SideTaskWorker]"):
+def least_loaded_policy(eligible: "list[SideTaskWorker]",
+                        spec: "TaskSpec | None" = None):
     """Paper Algorithm 1, lines 6-9: fewest tasks wins; ties go to the
     first worker in iteration order."""
     best = None
@@ -33,19 +41,74 @@ def least_loaded_policy(eligible: "list[SideTaskWorker]"):
     return best
 
 
-def first_fit_policy(eligible: "list[SideTaskWorker]"):
+def first_fit_policy(eligible: "list[SideTaskWorker]",
+                     spec: "TaskSpec | None" = None):
     """Take the first memory-eligible worker."""
     return eligible[0] if eligible else None
 
 
-def best_fit_policy(eligible: "list[SideTaskWorker]"):
-    """Tightest memory fit: keeps big-memory workers free for big tasks."""
+def best_fit_policy(eligible: "list[SideTaskWorker]",
+                    spec: "TaskSpec | None" = None):
+    """Tightest memory fit: keeps big-memory workers free for big tasks.
+
+    Ties (equal ``available_gb``) go to the first worker in iteration
+    order — ``min`` keeps the earliest of equal keys."""
     return min(eligible, key=lambda worker: worker.available_gb, default=None)
 
 
-def worst_fit_policy(eligible: "list[SideTaskWorker]"):
-    """Loosest fit: maximizes each task's memory headroom."""
+def worst_fit_policy(eligible: "list[SideTaskWorker]",
+                     spec: "TaskSpec | None" = None):
+    """Loosest fit: maximizes each task's memory headroom.
+
+    Ties go to the first worker in iteration order."""
     return max(eligible, key=lambda worker: worker.available_gb, default=None)
+
+
+def _live_tasks(worker: "SideTaskWorker"):
+    return (task for task in worker.all_tasks if not task.machine.terminated)
+
+
+def edf_policy(eligible: "list[SideTaskWorker]",
+               spec: "TaskSpec | None" = None):
+    """Earliest-deadline-first placement for SLO-tagged requests.
+
+    Place the request on the worker where it would be served soonest
+    under per-worker deadline order: the worker with the fewest live
+    tasks due at or before this request's deadline. Best-effort tasks
+    (no deadline) sort after every deadline, so they never delay an
+    SLO-tagged request's position. Ties fall back to least-loaded, then
+    iteration order.
+    """
+    deadline = spec.effective_deadline if spec is not None else float("inf")
+
+    def key(worker: "SideTaskWorker"):
+        ahead = sum(
+            1 for task in _live_tasks(worker)
+            if task.spec.effective_deadline <= deadline
+        )
+        return (ahead, worker.get_task_num())
+
+    return min(eligible, key=key, default=None)
+
+
+def starvation_aware_policy(eligible: "list[SideTaskWorker]",
+                            spec: "TaskSpec | None" = None):
+    """Steer new work away from workers with long-waiting backlogs.
+
+    A worker whose oldest live task has been waiting longest is the one
+    closest to starving it; stacking more work there buries it further.
+    Pick the eligible worker whose longest-waiting live task is youngest,
+    falling back to least-loaded on ties.
+    """
+    def key(worker: "SideTaskWorker"):
+        now = worker.sim.now
+        longest_wait = max(
+            (now - task.spec.submitted_at for task in _live_tasks(worker)),
+            default=0.0,
+        )
+        return (longest_wait, worker.get_task_num())
+
+    return min(eligible, key=key, default=None)
 
 
 NAMED_POLICIES: dict[str, AssignmentPolicy] = {
@@ -53,4 +116,6 @@ NAMED_POLICIES: dict[str, AssignmentPolicy] = {
     "first_fit": first_fit_policy,
     "best_fit": best_fit_policy,
     "worst_fit": worst_fit_policy,
+    "edf": edf_policy,
+    "starvation_aware": starvation_aware_policy,
 }

@@ -57,6 +57,10 @@ class TaskSpec:
     #: 25% headroom (the worker clamps it to the bubble memory).
     memory_limit_gb: float | None = None
     submitted_at: float = 0.0
+    #: latency class the serving layer assigned ("" = no SLO tracking)
+    slo_class: str = ""
+    #: absolute completion deadline in sim time; None = best effort
+    deadline_s: float | None = None
     task_id: int = dataclasses.field(default_factory=lambda: next(_task_ids))
 
     def __post_init__(self):
@@ -68,3 +72,8 @@ class TaskSpec:
         if self.memory_limit_gb is not None:
             return self.memory_limit_gb
         return self.profile.gpu_memory_gb * 1.25
+
+    @property
+    def effective_deadline(self) -> float:
+        """Deadline for ordering purposes; best-effort sorts last."""
+        return self.deadline_s if self.deadline_s is not None else float("inf")

@@ -19,6 +19,7 @@ from repro.experiments import (  # noqa: F401
     fig7,
     fig8,
     fig9,
+    serve,
     table1,
     table2,
 )
@@ -32,6 +33,7 @@ EXPERIMENTS = {
     "fig8": fig8,
     "fig9": fig9,
     "ablations": ablations,
+    "serve": serve,
 }
 
 __all__ = ["EXPERIMENTS", "common"] + sorted(EXPERIMENTS)

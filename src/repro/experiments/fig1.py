@@ -17,7 +17,8 @@ from repro.sim.engine import Engine
 def run(size: str = "3.6B", micro_batches: int = 4) -> dict:
     config = common.train_config(size, micro_batches, epochs=1)
     sim = Engine()
-    server = make_server_i(sim)
+    # This figure plots the SM-occupancy trace, so recording is opted in.
+    server = make_server_i(sim, record_occupancy=True)
     engine = PipelineEngine(sim, server, config)
     result = engine.run()
     trace = result.trace

@@ -24,7 +24,8 @@ MEMORY_CAP_GB = 8.0
 
 def _stage(workload_factory, limit_gb, bubble_s, horizon_s, interface="iterative"):
     sim = Engine()
-    server = make_server_i(sim)
+    # Figure 8(a) plots the SM-occupancy trace, so recording is opted in.
+    server = make_server_i(sim, record_occupancy=True)
     worker = SideTaskWorker(sim, server.gpu(0), 0, side_task_memory_gb=20.0,
                             mps=server.mps)
     manager = SideTaskManager(sim, [worker])

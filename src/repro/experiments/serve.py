@@ -1,0 +1,116 @@
+"""The `serve` experiment: capacity and SLO behavior under open-loop load.
+
+Beyond the paper's batch evaluation: FreeRide as an online service. A
+seeded open-loop arrival stream (Poisson by default) offers side-task
+requests at a swept rate; each (arrival rate x admission policy x
+assignment policy) point runs one full traffic-driven simulation via
+:func:`repro.serving.frontend.run_serving` and reports rejection rate,
+completion-latency percentiles, and goodput (SLO-met completions per
+second). The table shows the capacity knee: where always-admit lets
+queueing latency blow past the SLOs while token-bucket and backpressure
+admission trade rejections for bounded latency.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.experiments import common
+from repro.metrics.cost import time_increase
+from repro.serving.arrivals import make_arrivals
+from repro.serving.frontend import run_serving
+
+ARRIVAL_RATES = (1.0, 2.0, 4.0, 8.0)
+ADMISSIONS = ("always", "token_bucket", "backpressure")
+POLICIES = ("least_loaded", "edf")
+SERVE_EPOCHS = 4
+#: fraction of the no-side-task training time the service stays open —
+#: arrivals stop before teardown so late requests aren't counted offered
+OPEN_FRACTION = 0.9
+
+
+def _serve_point(config, horizon_s, t_no, arrival_kind, seed, item) -> dict:
+    """One sweep point; module-level so pool workers can unpickle it."""
+    rate, admission, policy = item
+    result = run_serving(
+        config,
+        make_arrivals(arrival_kind, rate, seed=seed),
+        horizon_s=horizon_s,
+        admission=admission,
+        policy=policy,
+        seed=seed,
+    )
+    metrics = result.metrics
+    return {
+        "rate": rate,
+        "admission": admission,
+        "policy": policy,
+        "offered": metrics.offered,
+        "rejection_rate": metrics.rejection_rate,
+        "completed": metrics.completed,
+        "slo_met": metrics.slo_met,
+        "queueing_p95": metrics.queueing.p95,
+        "completion_p50": metrics.completion.p50,
+        "completion_p95": metrics.completion.p95,
+        "completion_p99": metrics.completion.p99,
+        "goodput_rps": metrics.goodput_rps,
+        "time_increase": time_increase(result.training.total_time, t_no),
+    }
+
+
+def run(epochs: int = SERVE_EPOCHS, seed: int = 0,
+        arrival_kind: str = "poisson",
+        rates=ARRIVAL_RATES, admissions=ADMISSIONS,
+        policies=POLICIES) -> dict:
+    config = common.train_config(epochs=epochs, seed=seed)
+    t_no = common.baseline_time(config)  # computed once, shipped to workers
+    horizon_s = t_no * OPEN_FRACTION
+    items = [
+        (rate, admission, policy)
+        for rate in rates
+        for admission in admissions
+        for policy in policies
+    ]
+    rows = common.sweep(
+        items,
+        functools.partial(_serve_point, config, horizon_s, t_no,
+                          arrival_kind, seed),
+    )
+    return {
+        "epochs": epochs,
+        "seed": seed,
+        "arrival_kind": arrival_kind,
+        "horizon_s": horizon_s,
+        "rows": rows,
+    }
+
+
+def render(data: dict) -> str:
+    rows = [
+        [
+            f"{row['rate']:g}",
+            row["admission"],
+            row["policy"],
+            str(row["offered"]),
+            common.pct(row["rejection_rate"]),
+            f"{row['completion_p50']:.2f}",
+            f"{row['completion_p95']:.2f}",
+            f"{row['completion_p99']:.2f}",
+            f"{row['goodput_rps']:.2f}",
+            f"{row['slo_met']}/{row['completed']}",
+            common.pct(row["time_increase"]),
+        ]
+        for row in data["rows"]
+    ]
+    title = (
+        f"Serve: open-loop {data['arrival_kind']} traffic over "
+        f"{data['epochs']}-epoch training (seed {data['seed']}, "
+        f"service open {data['horizon_s']:.1f}s)"
+    )
+    return common.render_table(
+        title,
+        ["rate (req/s)", "admission", "assignment", "offered", "rejected",
+         "p50 (s)", "p95 (s)", "p99 (s)", "goodput (req/s)", "SLO met",
+         "train +I"],
+        rows,
+    )

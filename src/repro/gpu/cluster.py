@@ -40,14 +40,20 @@ class Server:
         return len(self.gpus)
 
 
-def make_server_i(engine: "Engine", sharing: SharingMode = SharingMode.MPS) -> Server:
-    """The 4x RTX 6000 Ada training server."""
+def make_server_i(engine: "Engine", sharing: SharingMode = SharingMode.MPS,
+                  record_occupancy: bool = False) -> Server:
+    """The 4x RTX 6000 Ada training server.
+
+    ``record_occupancy`` enables the per-GPU SM-occupancy trace; only the
+    experiments that plot it (Figures 1 and 8) should pay for it.
+    """
     gpus = [
         SimGPU(
             engine,
             name=f"gpu{i}",
             memory_gb=calibration.SERVER_I_GPU_MEMORY_GB,
             sharing=sharing,
+            record_occupancy=record_occupancy,
         )
         for i in range(calibration.SERVER_I_NUM_GPUS)
     ]

@@ -51,6 +51,7 @@ class SimGPU:
         memory_gb: float,
         sharing: SharingMode = SharingMode.MPS,
         speed_factor: float = 1.0,
+        record_occupancy: bool = False,
     ):
         if memory_gb <= 0:
             raise ValueError(f"GPU memory must be positive, got {memory_gb}")
@@ -63,6 +64,10 @@ class SimGPU:
         self.speed_factor = speed_factor
         self._runs: dict[int, _KernelRun] = {}
         self._allocations: dict[int, float] = {}  # pid -> GB
+        #: record the SM-occupancy trace? Off by default: only Figures 1
+        #: and 8 read it, and on long serving runs the per-recompute
+        #: appends dominate the device's bookkeeping cost.
+        self.record_occupancy = record_occupancy
         #: (time, total_occupancy, training_occupancy, side_occupancy)
         self.occupancy_trace: list[tuple[float, float, float, float]] = []
         #: (time, used_gb)
@@ -231,23 +236,25 @@ class SimGPU:
     def _record_occupancy(self, now: float) -> None:
         training = 0.0
         side = 0.0
-        for run in self._runs.values():
-            kernel = run.kernel
-            if kernel.priority >= Priority.TRAINING:
-                training += kernel.sm_demand
-            else:
-                side += kernel.sm_demand
+        if self.record_occupancy:
+            for run in self._runs.values():
+                kernel = run.kernel
+                if kernel.priority >= Priority.TRAINING:
+                    training += kernel.sm_demand
+                else:
+                    side += kernel.sm_demand
         self._record_point(now, training, side)
 
     def _record_point(self, now: float, training: float, side: float) -> None:
-        total = min(1.0, training + side)
-        point = (now, total, min(1.0, training), min(1.0, side))
-        trace = self.occupancy_trace
-        if trace and trace[-1][0] == now:
-            trace[-1] = point
-        else:
-            trace.append(point)
-        # busy-time accounting
+        if self.record_occupancy:
+            total = min(1.0, training + side)
+            point = (now, total, min(1.0, training), min(1.0, side))
+            trace = self.occupancy_trace
+            if trace and trace[-1][0] == now:
+                trace[-1] = point
+            else:
+                trace.append(point)
+        # busy-time accounting runs regardless of trace recording
         if self._runs and self._busy_since is None:
             self._busy_since = now
         elif not self._runs and self._busy_since is not None:

@@ -1,6 +1,7 @@
 """Evaluation metrics: the paper's time increase ``I`` and cost savings
-``S`` (section 6.1.5), throughput accounting (Table 1), and the bubble
-time breakdown (Figure 9)."""
+``S`` (section 6.1.5), throughput accounting (Table 1), the bubble
+time breakdown (Figure 9), and serving latency/goodput accounting
+(the `serve` experiment)."""
 
 from repro.metrics.breakdown import BubbleBreakdown, bubble_breakdown
 from repro.metrics.cost import (
@@ -10,14 +11,18 @@ from repro.metrics.cost import (
     time_increase,
     training_cost_usd,
 )
+from repro.metrics.latency import LatencyStats, ServingMetrics, serving_metrics
 from repro.metrics.throughput import ThroughputRow, throughput_row
 
 __all__ = [
     "BubbleBreakdown",
+    "LatencyStats",
+    "ServingMetrics",
     "ThroughputRow",
     "bubble_breakdown",
     "cost_savings",
     "dedicated_throughput",
+    "serving_metrics",
     "side_task_cost_usd",
     "throughput_row",
     "time_increase",

@@ -1,0 +1,167 @@
+"""Latency and goodput accounting for the online serving layer.
+
+:class:`LatencyStats` is a streaming accumulator: observations arrive one
+at a time (the frontend records them as requests progress) and quantiles
+are readable at any point. Samples are kept in a sorted list via binary-
+search insertion (the search is O(log n); the list shift makes each
+insert O(n), trivial at serving-experiment scale of hundreds to a few
+thousand requests) — exact quantiles, simpler than an approximate
+sketch, and byte-for-byte deterministic. Swap in a quantile sketch if
+request streams ever grow by orders of magnitude.
+
+:func:`serving_metrics` folds a run's request records into the capacity
+numbers the `serve` experiment tabulates: rejection rate, p50/p95/p99
+queueing and completion latency, throughput, and goodput (SLO-met
+completions per second — the serving analogue of the paper's useful-work
+throughput).
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.frontend import RequestRecord
+
+
+class LatencyStats:
+    """Streaming exact-quantile accumulator over latency samples."""
+
+    def __init__(self):
+        self._samples: list[float] = []
+        self._total = 0.0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"latency cannot be negative, got {value}")
+        bisect.insort(self._samples, value)
+        self._total += value
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self._total / len(self._samples) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._samples[-1] if self._samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile, 0 <= q <= 1 (0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        samples = self._samples
+        if not samples:
+            return 0.0
+        position = q * (len(samples) - 1)
+        low = int(position)
+        high = min(low + 1, len(samples) - 1)
+        fraction = position - low
+        return samples[low] * (1.0 - fraction) + samples[high] * fraction
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def summary(self) -> dict:
+        """Plain-data digest (JSON-safe, used by the determinism tests)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        }
+
+
+@dataclasses.dataclass
+class ServingMetrics:
+    """Aggregate serving statistics over one run's request records."""
+
+    #: requests that arrived while the service was open
+    offered: int
+    admitted: int
+    #: turned away at admission (policy or bounded queue)
+    rejected: int
+    #: admitted and handed to a worker before close
+    assigned: int
+    #: finished their full job before close
+    completed: int
+    #: completed within their deadline (best effort counts on completion)
+    slo_met: int
+    #: admitted but never completed (still queued/running at close)
+    unserved: int
+    #: open-service duration the rates are normalized by
+    duration_s: float
+    #: arrival -> assignment, for assigned requests
+    queueing: LatencyStats
+    #: arrival -> completion, for completed requests
+    completion: LatencyStats
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completions per second of open service."""
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        """SLO-met completions per second — the capacity number."""
+        return self.slo_met / self.duration_s if self.duration_s > 0 else 0.0
+
+
+def serving_metrics(records: "typing.Iterable[RequestRecord]",
+                    duration_s: float) -> ServingMetrics:
+    """Fold request lifecycle records into aggregate serving metrics."""
+    offered = admitted = rejected = assigned = 0
+    completed = slo_met = unserved = 0
+    queueing = LatencyStats()
+    completion = LatencyStats()
+    for record in records:
+        if not record.offered:
+            continue  # arrived after close: never part of the open load
+        offered += 1
+        if record.rejected_at is not None:
+            rejected += 1
+            continue
+        admitted += 1
+        arrival = record.request.arrival_s
+        if record.assigned_at is not None:
+            assigned += 1
+            queueing.observe(record.assigned_at - arrival)
+        if record.completed_at is not None:
+            completed += 1
+            completion.observe(record.completed_at - arrival)
+            if record.met_slo:
+                slo_met += 1
+        else:
+            unserved += 1
+    return ServingMetrics(
+        offered=offered,
+        admitted=admitted,
+        rejected=rejected,
+        assigned=assigned,
+        completed=completed,
+        slo_met=slo_met,
+        unserved=unserved,
+        duration_s=duration_s,
+        queueing=queueing,
+        completion=completion,
+    )

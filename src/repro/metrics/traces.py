@@ -17,7 +17,19 @@ from repro.pipeline.analysis import TrainingTrace
 
 
 def occupancy_csv(gpu: SimGPU) -> str:
-    """CSV of (time, total, training, side) occupancy points."""
+    """CSV of (time, total, training, side) occupancy points.
+
+    Occupancy recording is opt-in (``SimGPU(record_occupancy=True)`` /
+    ``make_server_i(record_occupancy=True)``); exporting from a
+    non-recording device raises rather than silently emitting an empty
+    trace.
+    """
+    if not gpu.record_occupancy:
+        raise ValueError(
+            f"{gpu.name} was built with record_occupancy=False, so its "
+            "occupancy trace is empty; construct it with "
+            "record_occupancy=True to export occupancy"
+        )
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(["time_s", "occupancy", "training", "side"])

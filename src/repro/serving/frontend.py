@@ -1,0 +1,424 @@
+"""The serving frontend: admission control in front of ``FreeRide.submit``.
+
+The batch harness hands the manager a fixed task set; the frontend turns
+FreeRide into a *service*. Requests arrive on an open-loop schedule
+(:mod:`repro.serving.arrivals`), pass an admission policy, wait in a
+bounded queue, and are dispatched to the manager whenever a worker has
+bubble memory for them — with the full lifecycle timestamped per request:
+
+    arrival -> admit/reject -> assign -> first progress -> complete
+
+Admission policies are pluggable (always-admit, token bucket, queue-length
+backpressure); dispatch order comes from :mod:`repro.serving.slo` (FIFO,
+EDF, starvation-aware EDF). :func:`run_serving` is the one-call
+orchestration the `serve` experiment sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.middleware import FreeRide
+from repro.core.policies import NAMED_POLICIES, AssignmentPolicy
+from repro.core.states import SideTaskState
+from repro.core.task_spec import TaskProfile, TaskSpec
+from repro.core.profiler import profile_side_task
+from repro.pipeline.config import TrainConfig
+from repro.pipeline.engine import TrainingResult
+from repro.metrics.latency import ServingMetrics, serving_metrics
+from repro.serving import slo as slo_mod
+from repro.serving.arrivals import ArrivalProcess, TaskRequest
+from repro.workloads.adapters import FiniteJob, ImperativeAdapter
+from repro.workloads.registry import make_workload
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import SideTaskRuntime
+
+#: default bound on the admission queue (requests, not bytes)
+DEFAULT_QUEUE_CAPACITY = 64
+
+
+# ----------------------------------------------------------------------
+# admission policies
+# ----------------------------------------------------------------------
+class AdmissionPolicy:
+    """Decides, per arrival, whether a request enters the queue."""
+
+    name = "admission"
+
+    def admit(self, now: float, request: TaskRequest,
+              queue_length: int) -> tuple[bool, str | None]:
+        """Return ``(admitted, reject_reason)``."""
+        raise NotImplementedError
+
+
+class AlwaysAdmit(AdmissionPolicy):
+    """No admission control: every request enters the (bounded) queue."""
+
+    name = "always"
+
+    def admit(self, now, request, queue_length):
+        return True, None
+
+
+class TokenBucket(AdmissionPolicy):
+    """Classic token bucket: sustained rate with bounded bursts."""
+
+    name = "token_bucket"
+
+    def __init__(self, rate_per_s: float, burst: float = 4.0):
+        if rate_per_s <= 0:
+            raise ValueError(f"refill rate must be positive, got {rate_per_s}")
+        if burst < 1:
+            raise ValueError(f"burst must allow at least one token, got {burst}")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._tokens = burst
+        self._last_refill = 0.0
+
+    def admit(self, now, request, queue_length):
+        elapsed = now - self._last_refill
+        self._last_refill = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, None
+        return False, "token bucket empty"
+
+
+class QueueBackpressure(AdmissionPolicy):
+    """Reject when the admission queue is already deep.
+
+    Bounding queue depth bounds queueing latency: beyond the threshold a
+    request would wait longer than its deadline anyway, so rejecting it
+    immediately is strictly kinder than accepting and missing.
+    """
+
+    name = "backpressure"
+
+    def __init__(self, max_queue: int = 8):
+        if max_queue < 1:
+            raise ValueError(f"queue threshold must be >= 1, got {max_queue}")
+        self.max_queue = max_queue
+
+    def admit(self, now, request, queue_length):
+        if queue_length >= self.max_queue:
+            return False, f"backpressure: queue at {queue_length}"
+        return True, None
+
+
+#: zero-argument factories (admission policies are stateful, so each run
+#: needs a fresh instance); the `serve` experiment's standard settings
+NAMED_ADMISSION: dict[str, typing.Callable[[], AdmissionPolicy]] = {
+    "always": AlwaysAdmit,
+    "token_bucket": lambda: TokenBucket(rate_per_s=1.5, burst=4.0),
+    "backpressure": lambda: QueueBackpressure(max_queue=8),
+}
+
+
+def make_admission(kind: "str | AdmissionPolicy") -> AdmissionPolicy:
+    if isinstance(kind, AdmissionPolicy):
+        return kind
+    try:
+        return NAMED_ADMISSION[kind]()
+    except KeyError:
+        raise KeyError(f"unknown admission policy {kind!r}; "
+                       f"choose from {sorted(NAMED_ADMISSION)}") from None
+
+
+# ----------------------------------------------------------------------
+# request lifecycle
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class RequestRecord:
+    """One request's lifecycle, stamped as the simulation progresses."""
+
+    request: TaskRequest
+    #: absolute completion deadline (arrival + class deadline); None = BE
+    deadline_s: float | None
+    #: arrived while the service was open (post-close arrivals are not
+    #: part of the offered load)
+    offered: bool = True
+    admitted_at: float | None = None
+    rejected_at: float | None = None
+    reject_reason: str | None = None
+    assigned_at: float | None = None
+    stage: int | None = None
+    first_progress_at: float | None = None
+    completed_at: float | None = None
+    final_state: str | None = None
+    steps_done: int = 0
+    units_done: float = 0.0
+    spec: TaskSpec | None = dataclasses.field(default=None, repr=False)
+
+    @property
+    def effective_deadline(self) -> float:
+        """Deadline for EDF ordering; best-effort sorts strictly last
+        (matching :meth:`TaskSpec.effective_deadline`). The
+        starvation-aware discipline maps best-effort to a finite,
+        ageable deadline separately."""
+        return self.deadline_s if self.deadline_s is not None else float("inf")
+
+    @property
+    def met_slo(self) -> bool:
+        return slo_mod.met_slo(self.deadline_s, self.completed_at)
+
+    @property
+    def status(self) -> str:
+        if not self.offered:
+            return "late"
+        if self.rejected_at is not None:
+            return "rejected"
+        if self.completed_at is not None:
+            return "completed"
+        if self.assigned_at is not None:
+            return "assigned"
+        if self.admitted_at is not None:
+            return "queued"
+        return "pending"
+
+    def summary(self) -> dict:
+        """JSON-safe digest (the determinism tests serialize these)."""
+        return {
+            "id": self.request.request_id,
+            "workload": self.request.workload,
+            "slo_class": self.request.slo_class,
+            "arrival_s": self.request.arrival_s,
+            "status": self.status,
+            "reject_reason": self.reject_reason,
+            "admitted_at": self.admitted_at,
+            "assigned_at": self.assigned_at,
+            "stage": self.stage,
+            "first_progress_at": self.first_progress_at,
+            "completed_at": self.completed_at,
+            "met_slo": self.met_slo,
+            "steps_done": self.steps_done,
+            "units_done": self.units_done,
+        }
+
+
+# ----------------------------------------------------------------------
+# the frontend
+# ----------------------------------------------------------------------
+class ServingFrontend:
+    """Bounded admission queue + dispatcher in front of the manager."""
+
+    def __init__(
+        self,
+        freeride: FreeRide,
+        requests: typing.Sequence[TaskRequest],
+        admission: "str | AdmissionPolicy" = "always",
+        discipline: "str | slo_mod.QueueDiscipline" = "edf",
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+    ):
+        if queue_capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {queue_capacity}")
+        self.freeride = freeride
+        self.sim = freeride.sim
+        self.admission = make_admission(admission)
+        if isinstance(discipline, str):
+            discipline = slo_mod.NAMED_DISCIPLINES[discipline]
+        self.discipline = discipline
+        self.queue_capacity = queue_capacity
+        self.queue: list[RequestRecord] = []
+        self.closed_at: float | None = None
+        self.records = [
+            RequestRecord(
+                request=request,
+                deadline_s=slo_mod.slo_class(request.slo_class)
+                .absolute_deadline(request.arrival_s),
+            )
+            for request in requests
+        ]
+        #: one profiling pass per distinct request shape, not per request
+        self._profiles: dict[tuple, TaskProfile] = {}
+        freeride.manager.terminal_listeners.append(self._on_terminal)
+        for record in self.records:
+            delay = record.request.arrival_s - self.sim.now
+            if delay < 0:
+                raise ValueError(
+                    f"request {record.request.request_id} arrives in the past "
+                    f"({record.request.arrival_s} < {self.sim.now})"
+                )
+            timeout = self.sim.timeout(delay)
+            timeout.callbacks.append(
+                lambda _ev, record=record: self._on_arrival(record)
+            )
+
+    # -- workload assembly ---------------------------------------------
+    @staticmethod
+    def _build_workload(request: TaskRequest):
+        job = FiniteJob(
+            make_workload(request.workload, batch_size=request.batch_size),
+            job_steps=request.job_steps,
+        )
+        if request.interface == "imperative":
+            return ImperativeAdapter(job)
+        return job
+
+    def _profile_for(self, request: TaskRequest) -> TaskProfile:
+        key = (request.workload, request.batch_size, request.interface)
+        profile = self._profiles.get(key)
+        if profile is None:
+            probe = self._build_workload(request)
+            profile = profile_side_task(probe, interface=request.interface)
+            self._profiles[key] = profile
+        return profile
+
+    # -- lifecycle events ----------------------------------------------
+    def _on_arrival(self, record: RequestRecord) -> None:
+        now = self.sim.now
+        if self.closed_at is not None:
+            record.offered = False
+            record.rejected_at = now
+            record.reject_reason = "service closed"
+            return
+        # Structural bound first: a full queue rejects without consulting
+        # the admission policy, so stateful policies (the token bucket)
+        # don't burn tokens on requests that could never be queued.
+        if len(self.queue) >= self.queue_capacity:
+            record.rejected_at = now
+            record.reject_reason = "admission queue full"
+            return
+        admitted, reason = self.admission.admit(now, record.request,
+                                                len(self.queue))
+        if not admitted:
+            record.rejected_at = now
+            record.reject_reason = reason
+            return
+        record.admitted_at = now
+        self.queue.append(record)
+        self._dispatch()
+
+    def _on_terminal(self, _task: "SideTaskRuntime") -> None:
+        """A task finished or died: its memory is back, retry the queue."""
+        if self.closed_at is None:
+            self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Hand queued requests to the manager while memory allows.
+
+        Requests are tried in discipline order; one that no worker can
+        fit right now is *deferred*, not allowed to block smaller
+        requests behind it (no head-of-line blocking). Deferred records
+        rejoin the queue in arrival order and are retried when a task
+        terminates and returns its memory.
+        """
+        deferred: list[RequestRecord] = []
+        while self.queue:
+            index = self.discipline(self.queue, self.sim.now)
+            record = self.queue.pop(index)
+            request = record.request
+            profile = self._profile_for(request)
+            if not self.freeride.manager.eligible_workers(
+                    profile.gpu_memory_gb):
+                deferred.append(record)
+                continue
+            spec = self.freeride.submit(
+                lambda request=request: self._build_workload(request),
+                interface=request.interface,
+                profile=profile,
+                name=request.name,
+                slo_class=request.slo_class,
+                deadline_s=record.deadline_s,
+            )
+            if spec is None:  # pragma: no cover - eligibility checked above
+                deferred.append(record)
+                continue
+            record.assigned_at = self.sim.now
+            record.spec = spec
+        if deferred:
+            # request_ids are assigned in arrival order, so this restores
+            # the queue's arrival-order invariant (FIFO and EDF ties).
+            deferred.sort(key=lambda record: record.request.request_id)
+            self.queue = deferred
+
+    def close(self) -> None:
+        """Stop admitting (training over / service shutting down)."""
+        if self.closed_at is None:
+            self.closed_at = self.sim.now
+
+    # -- post-run accounting -------------------------------------------
+    def finalize(self) -> None:
+        """Back-fill per-request outcomes from the runtimes' histories."""
+        for record in self.records:
+            if record.spec is None:
+                continue
+            runtime = self.freeride.runtime_for(record.spec)
+            workload = record.spec.workload
+            record.final_state = runtime.state.value
+            record.steps_done = workload.steps_done
+            record.units_done = workload.units_done
+            for worker in self.freeride.workers:
+                if runtime in worker.all_tasks:
+                    record.stage = worker.stage
+                    break
+            history = runtime.machine.history
+            record.first_progress_at = next(
+                (when for when, state in history
+                 if state is SideTaskState.RUNNING), None,
+            )
+            if workload.is_finished:
+                record.completed_at = next(
+                    (when for when, state in reversed(history)
+                     if state is SideTaskState.STOPPED), None,
+                )
+
+
+# ----------------------------------------------------------------------
+# one-call serving run
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ServingResult:
+    """Outcome of one traffic-driven serving run."""
+
+    training: TrainingResult
+    records: list[RequestRecord]
+    metrics: ServingMetrics
+    #: seconds the service was open to traffic (rates normalize by this)
+    open_duration_s: float
+
+    def summaries(self) -> list[dict]:
+        return [record.summary() for record in self.records]
+
+
+def run_serving(
+    config: TrainConfig,
+    arrivals: ArrivalProcess,
+    horizon_s: float,
+    admission: "str | AdmissionPolicy" = "always",
+    policy: "str | AssignmentPolicy" = "least_loaded",
+    discipline: "str | slo_mod.QueueDiscipline" = "edf",
+    queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+    seed: int = 0,
+    settle_s: float = 2.0,
+) -> ServingResult:
+    """Serve an open-loop request stream from one training job's bubbles.
+
+    Builds FreeRide over ``config``, schedules ``arrivals`` up to
+    ``horizon_s``, runs training to completion with the frontend
+    admitting/dispatching along the way, then closes the service, drains,
+    and reports per-request lifecycles plus aggregate capacity metrics.
+    """
+    if isinstance(policy, str):
+        policy = NAMED_POLICIES[policy]
+    freeride = FreeRide(config, seed=seed, policy=policy)
+    requests = arrivals.generate(horizon_s)
+    frontend = ServingFrontend(
+        freeride, requests,
+        admission=admission,
+        discipline=discipline,
+        queue_capacity=queue_capacity,
+    )
+    training = freeride.run_training()
+    frontend.close()
+    open_duration_s = min(frontend.closed_at, horizon_s)
+    freeride.drain(settle_s)  # also fires (and refuses) late arrivals
+    frontend.finalize()
+    return ServingResult(
+        training=training,
+        records=frontend.records,
+        metrics=serving_metrics(frontend.records, duration_s=open_duration_s),
+        open_duration_s=open_duration_s,
+    )

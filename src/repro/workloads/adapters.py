@@ -13,6 +13,36 @@ from __future__ import annotations
 from repro.core.interfaces import ImperativeSideTask, IterativeSideTask, SideTaskContext
 
 
+class FiniteJob(IterativeSideTask):
+    """Run an iterative workload for a fixed number of steps.
+
+    The batch experiments serve endless tasks (throughput is the metric);
+    a serving request is a *job* that completes, so its completion
+    latency is well defined. ``is_finished`` trips after ``job_steps``
+    steps, or earlier if the inner workload finishes on its own.
+    """
+
+    def __init__(self, inner: IterativeSideTask, job_steps: int):
+        if job_steps < 1:
+            raise ValueError(f"job must run at least one step, got {job_steps}")
+        super().__init__(inner.perf, name=f"{inner.name}-x{job_steps}")
+        self.inner = inner
+        self.job_steps = job_steps
+
+    def create_side_task(self) -> None:
+        self.inner.create_side_task()
+        self.host_loaded = True
+
+    def compute_step(self) -> None:
+        self.inner.compute_step()
+        # keep the inner task's own accounting in step with ours
+        self.inner._account_step()
+
+    @property
+    def is_finished(self) -> bool:
+        return self.steps_done >= self.job_steps or self.inner.is_finished
+
+
 class ImperativeAdapter(ImperativeSideTask):
     """Wraps an :class:`IterativeSideTask` as an imperative workload."""
 

@@ -22,4 +22,7 @@ def rng() -> RandomStreams:
 
 @pytest.fixture
 def gpu(engine: Engine) -> SimGPU:
-    return SimGPU(engine, name="gpu0", memory_gb=48.0, sharing=SharingMode.MPS)
+    # Unit tests inspect the occupancy trace, so recording is opted in
+    # (production servers leave it off; see make_server_i).
+    return SimGPU(engine, name="gpu0", memory_gb=48.0, sharing=SharingMode.MPS,
+                  record_occupancy=True)

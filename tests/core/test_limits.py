@@ -17,7 +17,8 @@ from repro.workloads.model_training import make_resnet18
 
 def build(engine, workload_factory, memory_gb=20.0, limit=None,
           interface="iterative"):
-    server = make_server_i(engine)
+    # record_occupancy: the program-directed-limit test reads the trace.
+    server = make_server_i(engine, record_occupancy=True)
     worker = SideTaskWorker(engine, server.gpu(0), 0,
                             side_task_memory_gb=memory_gb, mps=server.mps)
     manager = SideTaskManager(engine, [worker])

@@ -1,0 +1,182 @@
+"""Direct unit tests for every assignment policy in ``core/policies.py``.
+
+The ablation benchmarks exercise these only end-to-end; here each policy's
+selection rule and tie-breaking are pinned down against hand-built worker
+states, including the deadline-aware policies the serving layer adds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import calibration
+from repro.core.manager import SideTaskManager
+from repro.core.policies import (
+    NAMED_POLICIES,
+    best_fit_policy,
+    edf_policy,
+    first_fit_policy,
+    least_loaded_policy,
+    starvation_aware_policy,
+    worst_fit_policy,
+)
+from repro.core.task_spec import TaskProfile, TaskSpec
+from repro.core.worker import SideTaskWorker
+from repro.gpu.cluster import make_server_i
+from repro.workloads.model_training import ModelTrainingTask
+
+
+def make_workers(engine, memories=(10.0, 20.0, 20.0, 5.0)):
+    server = make_server_i(engine)
+    return [
+        SideTaskWorker(engine, server.gpu(stage), stage,
+                       side_task_memory_gb=memory, mps=server.mps)
+        for stage, memory in enumerate(memories)
+    ]
+
+
+def make_spec(name="spec", gb=2.0, deadline_s=None, submitted_at=0.0):
+    perf = dataclasses.replace(calibration.RESNET18, memory_gb=gb)
+    return TaskSpec(
+        workload=ModelTrainingTask(perf),
+        profile=TaskProfile(gpu_memory_gb=gb, step_time_s=0.03),
+        name=name,
+        deadline_s=deadline_s,
+        submitted_at=submitted_at,
+    )
+
+
+def add_task(worker, name, deadline_s=None, submitted_at=0.0):
+    spec = make_spec(name=name, deadline_s=deadline_s,
+                     submitted_at=submitted_at)
+    return worker.add_task(spec, "iterative")
+
+
+class TestMemoryFitPolicies:
+    def test_best_fit_picks_tightest_memory(self, engine):
+        workers = make_workers(engine, memories=(10.0, 6.0, 20.0))
+        assert best_fit_policy(workers) is workers[1]
+
+    def test_worst_fit_picks_loosest_memory(self, engine):
+        workers = make_workers(engine, memories=(10.0, 6.0, 20.0))
+        assert worst_fit_policy(workers) is workers[2]
+
+    def test_best_fit_tie_goes_to_first_in_order(self, engine):
+        workers = make_workers(engine, memories=(8.0, 8.0, 8.0))
+        assert best_fit_policy(workers) is workers[0]
+
+    def test_worst_fit_tie_goes_to_first_in_order(self, engine):
+        workers = make_workers(engine, memories=(8.0, 8.0, 8.0))
+        assert worst_fit_policy(workers) is workers[0]
+
+    def test_best_fit_sees_reservations_not_raw_capacity(self, engine):
+        """available_gb (capacity minus reservations) drives the fit."""
+        workers = make_workers(engine, memories=(10.0, 9.0))
+        add_task(workers[0], "resident")  # 2 GB reserved -> 8.0 available
+        assert best_fit_policy(workers) is workers[0]
+        assert worst_fit_policy(workers) is workers[1]
+
+    def test_empty_eligible_list_rejects(self, engine):
+        for policy in NAMED_POLICIES.values():
+            assert policy([]) is None
+
+
+class TestLeastLoadedPolicy:
+    def test_fewest_live_tasks_wins(self, engine):
+        workers = make_workers(engine, memories=(20.0, 20.0))
+        add_task(workers[0], "a")
+        assert least_loaded_policy(workers) is workers[1]
+
+    def test_tie_goes_to_first_in_order(self, engine):
+        workers = make_workers(engine, memories=(20.0, 20.0, 20.0))
+        add_task(workers[0], "a")
+        add_task(workers[1], "b")
+        add_task(workers[2], "c")
+        assert least_loaded_policy(workers) is workers[0]
+
+    def test_ignores_terminated_tasks(self, engine):
+        workers = make_workers(engine, memories=(20.0, 20.0))
+        doomed = add_task(workers[0], "a")
+        add_task(workers[1], "b")
+        workers[0].kill_task(doomed, "test")
+        assert least_loaded_policy(workers) is workers[0]
+
+
+class TestFirstFitPolicy:
+    def test_takes_first_eligible(self, engine):
+        workers = make_workers(engine, memories=(3.0, 20.0))
+        assert first_fit_policy(workers) is workers[0]
+
+
+class TestEdfPolicy:
+    def test_prefers_worker_with_fewest_earlier_deadlines(self, engine):
+        workers = make_workers(engine, memories=(20.0, 20.0))
+        # Worker 0 holds two tasks due before the incoming deadline;
+        # worker 1 holds two due *after* it (they don't delay it at all).
+        add_task(workers[0], "a", deadline_s=5.0)
+        add_task(workers[0], "b", deadline_s=8.0)
+        add_task(workers[1], "c", deadline_s=50.0)
+        add_task(workers[1], "d", deadline_s=60.0)
+        spec = make_spec(name="urgent", deadline_s=10.0)
+        assert edf_policy(workers, spec) is workers[1]
+        assert least_loaded_policy(workers, spec) is workers[0]  # contrast
+
+    def test_best_effort_tasks_never_count_as_ahead(self, engine):
+        workers = make_workers(engine, memories=(20.0, 20.0))
+        add_task(workers[0], "be1")  # no deadline
+        add_task(workers[0], "be2")
+        add_task(workers[1], "due", deadline_s=1.0)
+        spec = make_spec(name="urgent", deadline_s=10.0)
+        assert edf_policy(workers, spec) is workers[0]
+
+    def test_tie_falls_back_to_least_loaded(self, engine):
+        workers = make_workers(engine, memories=(20.0, 20.0))
+        add_task(workers[0], "a", deadline_s=50.0)
+        add_task(workers[0], "b", deadline_s=60.0)
+        add_task(workers[1], "c", deadline_s=70.0)
+        spec = make_spec(name="urgent", deadline_s=10.0)
+        # Zero tasks are due before the request on either worker: the
+        # tie breaks on live-task count.
+        assert edf_policy(workers, spec) is workers[1]
+
+    def test_without_spec_degrades_to_least_loaded(self, engine):
+        workers = make_workers(engine, memories=(20.0, 20.0))
+        add_task(workers[0], "a", deadline_s=5.0)
+        assert edf_policy(workers) is workers[1]
+
+
+class TestStarvationAwarePolicy:
+    def test_avoids_worker_with_oldest_backlog(self, engine):
+        workers = make_workers(engine, memories=(20.0, 20.0))
+        engine.run(until=10.0)
+        add_task(workers[0], "ancient", submitted_at=1.0)   # waited 9 s
+        add_task(workers[1], "recent", submitted_at=9.0)    # waited 1 s
+        spec = make_spec(name="new", submitted_at=10.0)
+        assert starvation_aware_policy(workers, spec) is workers[1]
+
+    def test_empty_workers_beat_any_backlog(self, engine):
+        workers = make_workers(engine, memories=(20.0, 20.0))
+        engine.run(until=5.0)
+        add_task(workers[0], "waiting", submitted_at=0.0)
+        assert starvation_aware_policy(workers) is workers[1]
+
+
+class TestManagerIntegration:
+    def test_manager_passes_spec_to_policy(self, engine):
+        seen = []
+
+        def spy_policy(eligible, spec=None):
+            seen.append(spec)
+            return eligible[0] if eligible else None
+
+        workers = make_workers(engine, memories=(20.0,))
+        manager = SideTaskManager(engine, workers, policy=spy_policy)
+        spec = make_spec(name="tracked", deadline_s=3.0)
+        manager.submit(spec)
+        assert seen == [spec]
+
+    def test_registry_names_are_complete(self):
+        assert set(NAMED_POLICIES) == {
+            "least_loaded", "first_fit", "best_fit", "worst_fit",
+            "edf", "starvation_aware",
+        }

@@ -18,7 +18,8 @@ from repro.workloads.model_training import make_resnet18
 
 
 def setup(engine, interface="iterative"):
-    server = make_server_i(engine)
+    # record_occupancy: several tests below read the SM-occupancy trace.
+    server = make_server_i(engine, record_occupancy=True)
     worker = SideTaskWorker(engine, server.gpu(0), 0,
                             side_task_memory_gb=20.0, mps=server.mps)
     manager = SideTaskManager(engine, [worker])

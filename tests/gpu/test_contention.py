@@ -95,7 +95,8 @@ class TestTimeSliceMode:
 
 class TestOccupancyAccounting:
     def test_occupancy_splits_training_and_side(self, engine):
-        gpu = SimGPU(engine, "g", memory_gb=48.0, sharing=SharingMode.MPS)
+        gpu = SimGPU(engine, "g", memory_gb=48.0, sharing=SharingMode.MPS,
+                     record_occupancy=True)
         training, side = procs(engine, gpu, Interference())
         training.launch_kernel(work_s=1.0, sm_demand=0.9)
         side.launch_kernel(work_s=1.0, sm_demand=0.4)
@@ -105,7 +106,8 @@ class TestOccupancyAccounting:
         assert both and both[0] == (0.9, 0.4)
 
     def test_total_occupancy_clipped_at_one(self, engine):
-        gpu = SimGPU(engine, "g", memory_gb=48.0, sharing=SharingMode.MPS)
+        gpu = SimGPU(engine, "g", memory_gb=48.0, sharing=SharingMode.MPS,
+                     record_occupancy=True)
         for i in range(3):
             proc = GPUProcess(engine, gpu, f"p{i}", Priority.SIDE)
             proc.launch_kernel(work_s=1.0, sm_demand=0.8)

@@ -1,0 +1,107 @@
+"""Unit tests for the streaming latency accumulator and serving metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.latency import LatencyStats, serving_metrics
+from repro.serving.arrivals import TaskRequest
+from repro.serving.frontend import RequestRecord
+
+
+class TestLatencyStats:
+    def test_quantiles_on_known_data(self):
+        stats = LatencyStats()
+        for value in [5.0, 1.0, 3.0, 2.0, 4.0]:  # out of order on purpose
+            stats.observe(value)
+        assert stats.count == 5
+        assert stats.p50 == 3.0
+        assert stats.quantile(0.0) == 1.0
+        assert stats.quantile(1.0) == 5.0
+        assert stats.quantile(0.25) == 2.0  # exact grid point
+        assert stats.mean == 3.0
+        assert stats.max == 5.0
+
+    def test_interpolates_between_samples(self):
+        stats = LatencyStats()
+        stats.observe(0.0)
+        stats.observe(10.0)
+        assert stats.p50 == 5.0
+        assert stats.quantile(0.95) == pytest.approx(9.5)
+
+    def test_empty_stats_read_zero(self):
+        stats = LatencyStats()
+        assert stats.count == 0
+        assert stats.p50 == stats.p95 == stats.p99 == 0.0
+        assert stats.mean == 0.0
+
+    def test_rejects_bad_inputs(self):
+        stats = LatencyStats()
+        with pytest.raises(ValueError):
+            stats.observe(-1.0)
+        with pytest.raises(ValueError):
+            stats.quantile(1.5)
+
+    def test_summary_is_json_safe(self):
+        import json
+
+        stats = LatencyStats()
+        stats.observe(1.0)
+        assert json.loads(json.dumps(stats.summary()))["count"] == 1
+
+
+def _record(request_id, arrival_s, *, deadline_s=None, rejected_at=None,
+            admitted_at=None, assigned_at=None, completed_at=None,
+            offered=True):
+    record = RequestRecord(
+        request=TaskRequest(request_id=request_id, arrival_s=arrival_s,
+                            workload="pagerank", job_steps=10),
+        deadline_s=deadline_s,
+        offered=offered,
+    )
+    record.rejected_at = rejected_at
+    record.admitted_at = admitted_at
+    record.assigned_at = assigned_at
+    record.completed_at = completed_at
+    return record
+
+
+class TestServingMetrics:
+    def test_aggregates_lifecycles(self):
+        records = [
+            # completed within its deadline
+            _record(0, 0.0, deadline_s=10.0, admitted_at=0.0,
+                    assigned_at=1.0, completed_at=5.0),
+            # completed but missed its deadline
+            _record(1, 0.0, deadline_s=2.0, admitted_at=0.0,
+                    assigned_at=1.0, completed_at=5.0),
+            # best effort, completed (counts toward goodput)
+            _record(2, 1.0, admitted_at=1.0, assigned_at=1.0,
+                    completed_at=9.0),
+            # rejected at admission
+            _record(3, 2.0, rejected_at=2.0),
+            # admitted but never finished
+            _record(4, 3.0, admitted_at=3.0, assigned_at=4.0),
+            # arrived after close: excluded entirely
+            _record(5, 50.0, offered=False),
+        ]
+        metrics = serving_metrics(records, duration_s=10.0)
+        assert metrics.offered == 5
+        assert metrics.admitted == 4
+        assert metrics.rejected == 1
+        assert metrics.assigned == 4
+        assert metrics.completed == 3
+        assert metrics.slo_met == 2
+        assert metrics.unserved == 1
+        assert metrics.rejection_rate == pytest.approx(0.2)
+        assert metrics.throughput_rps == pytest.approx(0.3)
+        assert metrics.goodput_rps == pytest.approx(0.2)
+        assert metrics.queueing.count == 4
+        assert metrics.queueing.p50 == pytest.approx(1.0)
+        assert metrics.completion.count == 3
+
+    def test_empty_run_is_all_zero(self):
+        metrics = serving_metrics([], duration_s=0.0)
+        assert metrics.offered == 0
+        assert metrics.rejection_rate == 0.0
+        assert metrics.goodput_rps == 0.0

@@ -1,0 +1,147 @@
+"""Unit tests for the open-loop arrival generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.arrivals import (
+    DEFAULT_MIX,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    RequestTemplate,
+    TraceArrivals,
+    make_arrivals,
+)
+
+
+class TestPoissonArrivals:
+    def test_same_seed_is_byte_identical(self):
+        first = PoissonArrivals(2.0, seed=3).generate(50.0)
+        second = PoissonArrivals(2.0, seed=3).generate(50.0)
+        assert first == second
+
+    def test_generate_is_idempotent_on_one_instance(self):
+        """Reusing one process across runs offers identical traffic."""
+        process = PoissonArrivals(2.0, seed=3)
+        assert process.generate(50.0) == process.generate(50.0)
+        bursty = BurstyArrivals(1.0, 4.0, seed=2)
+        assert bursty.generate(50.0) == bursty.generate(50.0)
+
+    def test_different_seeds_differ(self):
+        first = PoissonArrivals(2.0, seed=3).generate(50.0)
+        second = PoissonArrivals(2.0, seed=4).generate(50.0)
+        assert [r.arrival_s for r in first] != [r.arrival_s for r in second]
+
+    def test_rate_matches_over_long_horizon(self):
+        requests = PoissonArrivals(5.0, seed=0).generate(2000.0)
+        assert len(requests) == pytest.approx(5.0 * 2000.0, rel=0.05)
+
+    def test_times_increasing_and_within_horizon(self):
+        requests = PoissonArrivals(3.0, seed=1).generate(30.0)
+        times = [r.arrival_s for r in requests]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 30.0 for t in times)
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+
+    def test_mix_weights_drive_frequencies(self):
+        mix = (RequestTemplate("pagerank", 10, weight=9.0),
+               RequestTemplate("resnet18", 10, weight=1.0))
+        requests = PoissonArrivals(5.0, mix=mix, seed=0).generate(500.0)
+        share = sum(r.workload == "pagerank" for r in requests) / len(requests)
+        assert share == pytest.approx(0.9, abs=0.05)
+
+    def test_request_names_are_stable_and_unique(self):
+        requests = PoissonArrivals(2.0, seed=0).generate(20.0)
+        names = [r.name for r in requests]
+        assert len(set(names)) == len(names)
+        assert names[0] == f"{requests[0].workload}-r0"
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+    def test_empty_horizon_yields_nothing(self):
+        assert PoissonArrivals(2.0, seed=0).generate(0.0) == []
+
+
+class TestBurstyArrivals:
+    def test_mean_rate_between_states(self):
+        process = BurstyArrivals(rate_low=1.0, rate_high=9.0,
+                                 mean_dwell_s=5.0, seed=0)
+        requests = process.generate(2000.0)
+        rate = len(requests) / 2000.0
+        assert 1.0 < rate < 9.0
+        assert rate == pytest.approx(process.mean_rate_per_s, rel=0.2)
+
+    def test_burst_phases_are_denser(self):
+        """Windowed counts should spread much wider than a Poisson's."""
+        requests = BurstyArrivals(rate_low=0.5, rate_high=20.0,
+                                  mean_dwell_s=10.0, seed=1).generate(400.0)
+        counts = [0] * 40
+        for request in requests:
+            counts[min(39, int(request.arrival_s / 10.0))] += 1
+        assert max(counts) >= 5 * max(1, min(counts))
+
+    def test_deterministic(self):
+        a = BurstyArrivals(1.0, 4.0, seed=2).generate(100.0)
+        b = BurstyArrivals(1.0, 4.0, seed=2).generate(100.0)
+        assert a == b
+
+
+class TestDiurnalArrivals:
+    def test_mean_rate_preserved(self):
+        requests = DiurnalArrivals(4.0, period_s=50.0, seed=0).generate(2000.0)
+        assert len(requests) / 2000.0 == pytest.approx(4.0, rel=0.1)
+
+    def test_peak_and_trough_phases_differ(self):
+        process = DiurnalArrivals(4.0, period_s=100.0, amplitude=0.9, seed=0)
+        requests = process.generate(3000.0)
+        peak = trough = 0
+        for request in requests:
+            phase = (request.arrival_s % 100.0) / 100.0
+            if 0.15 <= phase <= 0.35:      # around sin's maximum
+                peak += 1
+            elif 0.65 <= phase <= 0.85:    # around sin's minimum
+                trough += 1
+        assert peak > 3 * trough
+
+    def test_amplitude_bounds(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1.0, amplitude=1.0)
+
+
+class TestTraceArrivals:
+    def test_replays_explicit_trace_in_order(self):
+        template = RequestTemplate("resnet18", job_steps=5, slo_class="batch")
+        trace = [(3.0, template), (1.0, template)]
+        requests = TraceArrivals(trace).generate(10.0)
+        assert [r.arrival_s for r in requests] == [1.0, 3.0]
+        assert all(r.workload == "resnet18" and r.job_steps == 5
+                   for r in requests)
+
+    def test_bare_times_draw_from_mix(self):
+        requests = TraceArrivals([0.5, 1.5, 2.5], seed=0).generate(10.0)
+        assert len(requests) == 3
+        assert all(r.workload in {t.workload for t in DEFAULT_MIX}
+                   for r in requests)
+
+    def test_horizon_truncates(self):
+        requests = TraceArrivals([0.5, 5.0, 50.0]).generate(10.0)
+        assert [r.arrival_s for r in requests] == [0.5, 5.0]
+
+    def test_arrival_times_are_sorted_like_generate(self):
+        """The base-class contract (increasing times) holds for replay."""
+        process = TraceArrivals([3.0, 1.0, 2.0])
+        assert process.arrival_times(10.0) == [1.0, 2.0, 3.0]
+
+
+class TestRegistry:
+    def test_named_kinds_build(self):
+        for kind in ("poisson", "bursty", "diurnal"):
+            process = make_arrivals(kind, 2.0, seed=0)
+            assert process.generate(10.0)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            make_arrivals("lunar", 2.0)

@@ -1,0 +1,75 @@
+"""Determinism regression for the serving subsystem.
+
+Same pattern as ``tests/test_determinism.py``: a reduced `serve`-shaped
+sweep must produce byte-identical results whether the points run
+serially, in process-pool workers, or twice in the same process. Serving
+adds new determinism hazards — arrival generation, admission state,
+dispatch order, streaming quantiles — so the guard covers the whole
+:func:`~repro.serving.frontend.run_serving` path end to end.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import common, serve
+from repro.serving.arrivals import PoissonArrivals
+from repro.serving.frontend import run_serving
+
+
+def _serialize(results) -> bytes:
+    return json.dumps(results, sort_keys=True).encode()
+
+
+#: reduced serve-sweep grid: 1 epoch, two policy pairs, moderate load
+ITEMS = (
+    (2.0, "always", "least_loaded"),
+    (2.0, "token_bucket", "edf"),
+)
+
+
+def _point(item):
+    """One serving point; module-level so pool workers can unpickle it."""
+    rate, admission, policy = item
+    config = common.train_config(epochs=1)
+    result = run_serving(
+        config,
+        PoissonArrivals(rate, seed=0),
+        horizon_s=5.0,
+        admission=admission,
+        policy=policy,
+        seed=0,
+    )
+    metrics = result.metrics
+    return {
+        "rate": rate,
+        "admission": admission,
+        "policy": policy,
+        "training_time": result.training.total_time,
+        "open_s": result.open_duration_s,
+        "queueing": metrics.queueing.summary(),
+        "completion": metrics.completion.summary(),
+        "goodput": metrics.goodput_rps,
+        "records": [record.summary() for record in result.records],
+    }
+
+
+def test_serial_rerun_is_byte_identical():
+    first = _serialize(common.sweep(ITEMS, _point, max_workers=1))
+    second = _serialize(common.sweep(ITEMS, _point, max_workers=1))
+    assert first == second
+
+
+def test_parallel_sweep_matches_serial_byte_for_byte():
+    serial = _serialize(common.sweep(ITEMS, _point, max_workers=1))
+    parallel = _serialize(common.sweep(ITEMS, _point, max_workers=2))
+    assert serial == parallel
+
+
+def test_full_serve_experiment_row_is_reproducible():
+    """The registered experiment's own reduced sweep, run twice."""
+    kwargs = dict(epochs=1, rates=(2.0,), admissions=("backpressure",),
+                  policies=("edf",))
+    first = _serialize(serve.run(**kwargs)["rows"])
+    second = _serialize(serve.run(**kwargs)["rows"])
+    assert first == second

@@ -10,13 +10,13 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import EXPERIMENTS, fig1, fig2, fig8, fig9, table1, table2
-from repro.experiments import ablations, fig7
+from repro.experiments import ablations, fig7, serve
 
 
 def test_registry_contains_all_paper_artifacts():
     assert set(EXPERIMENTS) == {
         "fig1", "fig2", "table1", "table2", "fig7", "fig8", "fig9",
-        "ablations",
+        "ablations", "serve",
     }
 
 
@@ -74,6 +74,28 @@ def test_ablations_reduced():
     assert {row["schedule"] for row in rows} == {"1f1b", "gpipe"}
 
 
+def test_serve_reduced():
+    data = serve.run(epochs=2, rates=(2.0,), admissions=("always",),
+                     policies=("least_loaded",))
+    assert len(data["rows"]) == 1
+    row = data["rows"][0]
+    assert row["offered"] > 0
+    assert row["completed"] > 0
+    assert 0.0 <= row["rejection_rate"] <= 1.0
+    assert row["completion_p50"] <= row["completion_p95"] <= row["completion_p99"]
+    text = serve.render(data)
+    assert "goodput" in text and "rejected" in text
+
+
+def test_serve_seed_changes_traffic():
+    kwargs = dict(epochs=2, rates=(2.0,), admissions=("always",),
+                  policies=("least_loaded",))
+    base = serve.run(seed=0, **kwargs)["rows"][0]
+    other = serve.run(seed=1, **kwargs)["rows"][0]
+    assert base["offered"] != other["offered"] or \
+        base["completion_p50"] != other["completion_p50"]
+
+
 def test_cli_runs_fig1(capsys):
     from repro.cli import main
     assert main(["fig1"]) == 0
@@ -85,3 +107,12 @@ def test_cli_rejects_unknown_experiment():
     from repro.cli import main
     with pytest.raises(SystemExit):
         main(["fig99"])
+
+
+def test_cli_warns_on_inapplicable_seed(capsys):
+    """fig1's run() takes no seed; the flag is ignored with a warning."""
+    from repro.cli import main
+    assert main(["fig1", "--seed", "3"]) == 0
+    captured = capsys.readouterr()
+    assert "does not take --seed" in captured.err
+    assert "Figure 1(a)" in captured.out

@@ -72,7 +72,8 @@ class TestTraceExport:
         from repro.sim.engine import Engine
 
         sim = Engine()
-        server = make_server_i(sim)
+        # The occupancy-CSV test reads the opt-in SM-occupancy trace.
+        server = make_server_i(sim, record_occupancy=True)
         config = TrainConfig(model=model_config("3.6B"), epochs=1,
                              op_jitter=0.0)
         result = PipelineEngine(sim, server, config).run()
@@ -84,6 +85,15 @@ class TestTraceExport:
         lines = text.strip().splitlines()
         assert lines[0] == "time_s,occupancy,training,side"
         assert len(lines) > 5
+
+    def test_occupancy_csv_rejects_non_recording_gpu(self):
+        """Recording is opt-in; exporting without it raises, not empties."""
+        from repro.gpu.device import SimGPU
+        from repro.sim.engine import Engine
+
+        gpu = SimGPU(Engine(), "silent", memory_gb=10.0)
+        with pytest.raises(ValueError, match="record_occupancy"):
+            occupancy_csv(gpu)
 
     def test_memory_csv_parses(self, run):
         server, _result = run
