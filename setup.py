@@ -1,3 +1,20 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.1.0",
+    description="FreeRide reproduction: harvesting bubbles in pipeline "
+                "parallelism, with a declarative scenario/session API",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+            # legacy name, kept for one release (forwards through the
+            # same registry-backed CLI)
+            "freeride = repro.cli:main",
+        ],
+    },
+)

@@ -9,9 +9,12 @@ Public API (stable):
 * :mod:`repro.workloads` — the six evaluation side tasks.
 * :mod:`repro.baselines` — MPS / naive co-location and dedicated runs.
 * :mod:`repro.metrics` — time increase ``I`` and cost savings ``S``.
-* :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.api` — the declarative scenario/session API: ScenarioSpec,
+  Session/Runner, the experiment registry, and artifact export.
+* :mod:`repro.experiments` — one registered scenario per table/figure.
 
-See README.md for a quickstart and DESIGN.md for the architecture.
+See README.md for a quickstart, API.md for the scenario/session API,
+and DESIGN.md for the architecture.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -1,0 +1,25 @@
+"""Deprecation plumbing for the pre-registry entry points.
+
+The module-level ``run(...)`` functions in :mod:`repro.experiments` and
+the positional ``freeride <experiment>`` CLI form remain supported for
+one release; each delegates to the registry and announces itself here.
+The warning text is stable (tests and the pytest filter match on the
+``legacy entry point`` prefix).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def deprecated_entry(legacy: str, replacement: str) -> None:
+    """Warn that a legacy entry point was used.
+
+    The call still works (and produces byte-identical output to the
+    replacement); the warning names where to migrate.
+    """
+    warnings.warn(
+        f"legacy entry point {legacy} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )

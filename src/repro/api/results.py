@@ -1,0 +1,158 @@
+"""Typed result rows and uniform artifact export.
+
+Every registered experiment reports its tabular output as
+:class:`ResultRow` records — small frozen dataclasses whose fields (plus
+any declared ``export_properties``) are JSON-safe scalars. A
+:class:`ResultSet` bundles the scenario that produced the data with the
+data itself and exports uniformly:
+
+* ``<name>.json`` — ``{"experiment", "scenario", "rows"}``; the embedded
+  scenario re-runs the exact result (``ScenarioSpec.from_dict`` +
+  ``registry.run`` — the round-trip the determinism tests pin);
+* ``<name>.csv`` — the rows, one column per field;
+* ``<name>.txt`` — the rendered paper-style table.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+import os
+import typing
+
+from repro.api.spec import ScenarioSpec
+
+
+class ResultRow:
+    """Base class for typed experiment rows (subclasses are dataclasses).
+
+    ``export_properties`` lists computed properties to include alongside
+    the stored fields when exporting (e.g. Table 1's speedup ratios).
+    """
+
+    export_properties: "tuple[str, ...]" = ()
+
+    def to_dict(self) -> dict:
+        out = {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(self)
+        }
+        for name in self.export_properties:
+            out[name] = getattr(self, name)
+        return out
+
+
+def row_dict(row) -> dict:
+    """One row as a flat dict, whether typed or a plain mapping."""
+    if isinstance(row, ResultRow):
+        return row.to_dict()
+    if isinstance(row, dict):
+        return dict(row)
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        return dataclasses.asdict(row)
+    raise TypeError(f"cannot export row of type {type(row).__name__}")
+
+
+def _json_safe(value):
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _json_safe(dataclasses.asdict(value))
+    return value
+
+
+@dataclasses.dataclass
+class ResultSet:
+    """One experiment run: the spec it ran from, its data, its exports."""
+
+    experiment: str
+    scenario: ScenarioSpec
+    #: the experiment-shaped payload (what the legacy ``run()`` returns)
+    data: object
+    _render: "typing.Callable[[object], str]"
+    _rows: "typing.Callable[[object], list] | None" = None
+
+    def render(self) -> str:
+        """The paper-style text table/series for this data."""
+        return self._render(self.data)
+
+    def rows(self) -> list:
+        """Typed rows (empty when the experiment has no tabular form)."""
+        if self._rows is None:
+            return []
+        return list(self._rows(self.data))
+
+    def row_dicts(self) -> "list[dict]":
+        return [_json_safe(row_dict(row)) for row in self.rows()]
+
+    # -- serialization --------------------------------------------------
+    def to_json(self, indent: "int | None" = 2) -> str:
+        payload = {
+            "experiment": self.experiment,
+            "scenario": self.scenario.to_dict(),
+            "rows": self.row_dicts(),
+        }
+        return json.dumps(payload, indent=indent)
+
+    def to_csv(self) -> str:
+        rows = self.row_dicts()
+        if not rows:
+            return ""
+        # Union of keys, in first-appearance order, so irregular rows
+        # (e.g. OOM cells) still line up.
+        headers: "list[str]" = []
+        for row in rows:
+            for key in row:
+                if key not in headers:
+                    headers.append(key)
+        out = io.StringIO()
+        writer = csv.DictWriter(out, fieldnames=headers, lineterminator="\n")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({
+                key: _csv_cell(row.get(key)) for key in headers
+            })
+        return out.getvalue()
+
+    def write_artifacts(
+        self,
+        out_dir: str,
+        formats: "typing.Sequence[str]" = ("json", "csv", "txt"),
+    ) -> "list[str]":
+        """Write ``<out_dir>/<experiment>.{json,csv,txt}``; returns paths.
+
+        CSV is skipped (with no file) for experiments without tabular
+        rows; JSON and txt always export.
+        """
+        os.makedirs(out_dir, exist_ok=True)
+        written = []
+        for fmt in formats:
+            if fmt == "json":
+                content = self.to_json()
+            elif fmt == "csv":
+                content = self.to_csv()
+                if not content:
+                    continue
+            elif fmt == "txt":
+                content = self.render() + "\n"
+            else:
+                raise ValueError(
+                    f"unknown artifact format {fmt!r}; "
+                    "choose from ['csv', 'json', 'txt']"
+                )
+            path = os.path.join(out_dir, f"{self.experiment}.{fmt}")
+            with open(path, "w") as handle:
+                handle.write(content)
+            written.append(path)
+        return written
+
+
+def _csv_cell(value):
+    """Flatten containers into JSON text so CSV cells stay one-line."""
+    if isinstance(value, (list, dict)):
+        return json.dumps(value)
+    return value

@@ -1,0 +1,351 @@
+"""The ``Session`` lifecycle: one declarative spec, one managed run.
+
+A :class:`Session` executes a :class:`~repro.api.spec.ScenarioSpec`
+through the canonical lifecycle::
+
+    configure -> submit -> run -> results
+
+    with Session(spec) as session:
+        result = session.run().results()
+
+Behind the session sits a :class:`Runner` — the single protocol both of
+the repo's front doors implement:
+
+* :class:`BatchRunner` — the paper's batch path: build a
+  :class:`~repro.core.middleware.FreeRide`, submit the spec's workloads
+  (replicated or single), run training to completion, report a
+  :class:`~repro.core.middleware.FreeRideResult`;
+* :class:`ServingRunner` — the online path: generate the spec's arrival
+  stream, put the admission frontend in front of ``FreeRide.submit``,
+  and report a :class:`~repro.serving.frontend.ServingResult`;
+* :class:`PipelineRunner` — training only (no side tasks), for bubble
+  characterization scenarios; reports a
+  :class:`~repro.pipeline.engine.TrainingResult`.
+
+The legacy facades (`FreeRide(...)` driven by hand,
+:func:`repro.serving.frontend.run_serving`) remain supported for one
+release and delegate to / interoperate with these runners.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.api.spec import ScenarioSpec, WorkloadSpec
+from repro.core.middleware import FreeRide, FreeRideResult
+from repro.errors import SessionError, SpecError
+from repro.pipeline.engine import PipelineEngine, TrainingResult
+from repro.sim.engine import Engine
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.policies import AssignmentPolicy
+    from repro.pipeline.config import TrainConfig
+    from repro.serving.arrivals import ArrivalProcess
+    from repro.serving.frontend import AdmissionPolicy, ServingResult
+    from repro.serving.slo import QueueDiscipline
+
+#: default post-training settle window before the final drain
+DEFAULT_SETTLE_S = 2.0
+#: default fraction of the no-side-task training time a serving
+#: scenario stays open to traffic (the `serve` experiment re-exports
+#: this as OPEN_FRACTION) — arrivals stop before teardown so late
+#: requests are not counted as offered load
+DEFAULT_OPEN_FRACTION = 0.9
+
+
+class Runner(typing.Protocol):
+    """What a scenario execution backend must provide."""
+
+    #: the scenario kind this runner executes ("batch" / "serving" / ...)
+    kind: str
+
+    def prepare(self) -> None:
+        """Build the simulation (idempotent; called by :meth:`run`)."""
+
+    def run(self) -> object:
+        """Execute to completion and return the result object."""
+
+
+class BatchRunner:
+    """The batch path: FreeRide + the spec's fixed submissions."""
+
+    kind = "batch"
+
+    def __init__(self, spec: ScenarioSpec, *,
+                 config: "TrainConfig | None" = None):
+        self.spec = spec
+        self.config = config if config is not None else spec.train_config()
+        self.freeride: "FreeRide | None" = None
+        self.result: "FreeRideResult | None" = None
+
+    def prepare(self) -> None:
+        if self.freeride is not None:
+            return
+        self.freeride = FreeRide(
+            self.config,
+            server_factory=self.spec.cluster.factory(),
+            seed=self.spec.seed,
+            **self.spec.policy.freeride_kwargs(),
+        )
+        for workload in self.spec.workloads:
+            self._place(workload)
+
+    def submit(self, workload: WorkloadSpec) -> int:
+        """Submit one extra workload; returns the number of copies placed."""
+        self.prepare()
+        return self._place(workload)
+
+    def _place(self, workload: WorkloadSpec) -> int:
+        if workload.replicate:
+            return self.freeride.submit_replicated(
+                workload.factory(), workload.interface, copies=workload.copies
+            )
+        accepted = self.freeride.submit(workload.factory(), workload.interface)
+        return 0 if accepted is None else 1
+
+    def run(self) -> FreeRideResult:
+        self.prepare()
+        settle_s = self.spec.param("settle_s", DEFAULT_SETTLE_S)
+        self.result = self.freeride.run(settle_s=settle_s)
+        return self.result
+
+
+class PipelineRunner:
+    """Training only: the bare pipeline engine, no middleware attached."""
+
+    kind = "pipeline"
+
+    def __init__(self, spec: ScenarioSpec, *,
+                 config: "TrainConfig | None" = None):
+        self.spec = spec
+        self.config = config if config is not None else spec.train_config()
+        self.sim: "Engine | None" = None
+        self.server = None
+        self.engine: "PipelineEngine | None" = None
+        self.result: "TrainingResult | None" = None
+
+    def prepare(self) -> None:
+        if self.engine is not None:
+            return
+        self.sim = Engine()
+        self.server = self.spec.cluster.factory()(self.sim)
+        self.engine = PipelineEngine(self.sim, self.server, self.config)
+
+    def run(self) -> TrainingResult:
+        self.prepare()
+        self.result = self.engine.run()
+        return self.result
+
+
+class ServingRunner:
+    """The online path: arrivals -> admission frontend -> FreeRide.
+
+    Construction is spec-driven; the keyword overrides exist for the
+    legacy :func:`~repro.serving.frontend.run_serving` facade and for
+    programmatic callers injecting policy *objects* or a trace-replay
+    arrival process that a JSON spec cannot name.
+    """
+
+    kind = "serving"
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        config: "TrainConfig | None" = None,
+        arrivals: "ArrivalProcess | None" = None,
+        admission: "AdmissionPolicy | None" = None,
+        policy: "AssignmentPolicy | None" = None,
+        discipline: "QueueDiscipline | None" = None,
+        horizon_s: "float | None" = None,
+    ):
+        self.spec = spec
+        self.config = config if config is not None else spec.train_config()
+        self._arrivals = arrivals
+        self._admission = admission
+        self._policy = policy
+        self._discipline = discipline
+        self._horizon_s = horizon_s
+        self.freeride: "FreeRide | None" = None
+        self.frontend = None
+        self.result: "ServingResult | None" = None
+
+    def horizon_s(self) -> float:
+        """Seconds the service accepts traffic.
+
+        Priority: constructor override, then ``params.horizon_s``, then
+        ``params.open_fraction`` (default :data:`DEFAULT_OPEN_FRACTION`)
+        of the no-side-task training time — arrivals stop before
+        teardown so late requests are not counted as offered load.
+        """
+        if self._horizon_s is not None:
+            return self._horizon_s
+        horizon = self.spec.param("horizon_s")
+        if horizon is not None:
+            return float(horizon)
+        from repro.experiments.common import baseline_time
+
+        fraction = float(self.spec.param("open_fraction",
+                                         DEFAULT_OPEN_FRACTION))
+        return baseline_time(self.config) * fraction
+
+    def prepare(self) -> None:
+        if self.freeride is not None:
+            return
+        if self._arrivals is None and self.spec.arrivals is None:
+            raise SpecError(
+                f"serving scenario {self.spec.name!r} has no arrivals section"
+            )
+        from repro.serving.frontend import ServingFrontend
+
+        kwargs = self.spec.policy.freeride_kwargs()
+        if self._policy is not None:
+            kwargs["policy"] = self._policy
+        self.freeride = FreeRide(
+            self.config,
+            server_factory=self.spec.cluster.factory(),
+            seed=self.spec.seed,
+            **kwargs,
+        )
+        arrivals = (
+            self._arrivals if self._arrivals is not None
+            else self.spec.arrivals.build(self.spec.seed)
+        )
+        self._open_horizon = self.horizon_s()
+        requests = arrivals.generate(self._open_horizon)
+        self.frontend = ServingFrontend(
+            self.freeride,
+            requests,
+            admission=(self._admission if self._admission is not None
+                       else self.spec.policy.admission),
+            discipline=(self._discipline if self._discipline is not None
+                        else self.spec.policy.discipline),
+            queue_capacity=self.spec.policy.queue_capacity,
+        )
+
+    def run(self) -> "ServingResult":
+        from repro.metrics.latency import serving_metrics
+        from repro.serving.frontend import ServingResult
+
+        self.prepare()
+        training = self.freeride.run_training()
+        self.frontend.close()
+        open_duration_s = min(self.frontend.closed_at, self._open_horizon)
+        settle_s = self.spec.param("settle_s", DEFAULT_SETTLE_S)
+        self.freeride.drain(settle_s)  # also fires (and refuses) late arrivals
+        self.frontend.finalize()
+        self.result = ServingResult(
+            training=training,
+            records=self.frontend.records,
+            metrics=serving_metrics(self.frontend.records,
+                                    duration_s=open_duration_s),
+            open_duration_s=open_duration_s,
+        )
+        return self.result
+
+
+_RUNNERS: "dict[str, type]" = {
+    "batch": BatchRunner,
+    "serving": ServingRunner,
+    "pipeline": PipelineRunner,
+}
+
+
+def make_runner(spec: ScenarioSpec, **kwargs) -> Runner:
+    """The runner class for ``spec.kind``, constructed over ``spec``."""
+    try:
+        runner_cls = _RUNNERS[spec.kind]
+    except KeyError:
+        raise SpecError(
+            f"no runner for scenario kind {spec.kind!r}; "
+            f"choose from {sorted(_RUNNERS)}"
+        ) from None
+    return runner_cls(spec, **kwargs)
+
+
+class Session:
+    """One scenario's lifecycle: ``configure -> submit -> run -> results``.
+
+    The session owns spec mutation before the run (extra :meth:`submit`
+    calls extend the spec's workload list) and freezes once the runner
+    is built; :meth:`results` hands back the runner's result object
+    after :meth:`run` completes. Usable as a context manager::
+
+        with Session(spec) as session:
+            session.submit(WorkloadSpec(name="pagerank"))
+            report = session.run().results()
+    """
+
+    def __init__(self, spec: "ScenarioSpec | None" = None, **runner_kwargs):
+        self._spec = spec
+        self._runner_kwargs = runner_kwargs
+        self._runner: "Runner | None" = None
+        self._result: object = None
+
+    # -- configure ------------------------------------------------------
+    def configure(self, spec: ScenarioSpec) -> "Session":
+        """Set (or replace) the scenario; only before the run starts."""
+        if self._runner is not None:
+            raise SessionError(
+                "session already prepared its runner; configure() a new "
+                "Session instead of reconfiguring this one"
+            )
+        self._spec = spec
+        return self
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        if self._spec is None:
+            raise SessionError("session has no scenario; call configure()")
+        return self._spec
+
+    @property
+    def runner(self) -> Runner:
+        """The backing runner (built on first access)."""
+        if self._runner is None:
+            self._runner = make_runner(self.spec, **self._runner_kwargs)
+        return self._runner
+
+    # -- submit ---------------------------------------------------------
+    def submit(self, workload: "WorkloadSpec | str", **fields) -> "Session":
+        """Add a batch workload (a :class:`WorkloadSpec`, or a registry
+        name plus field overrides) on top of the spec's own list."""
+        if self._result is not None:
+            raise SessionError("session already ran; submit() comes first")
+        if isinstance(workload, str):
+            workload = WorkloadSpec(name=workload, **fields)
+        elif fields:
+            workload = dataclasses.replace(workload, **fields)
+        if self.spec.kind != "batch":
+            raise SessionError(
+                f"submit() extends batch scenarios; {self.spec.kind!r} "
+                "scenarios take their work from the spec (arrivals/mix)"
+            )
+        if self._runner is None:
+            self._spec = dataclasses.replace(
+                self._spec, workloads=self._spec.workloads + (workload,)
+            )
+        else:
+            self._runner.submit(workload)
+        return self
+
+    # -- run / results --------------------------------------------------
+    def run(self) -> "Session":
+        """Execute the scenario to completion (idempotent)."""
+        if self._result is None:
+            self._result = self.runner.run()
+        return self
+
+    def results(self):
+        """The runner's result object; raises until :meth:`run` finishes."""
+        if self._result is None:
+            raise SessionError("session has not run; call run() first")
+        return self._result
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False

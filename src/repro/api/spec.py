@@ -1,0 +1,469 @@
+"""The declarative scenario language: everything a run is, as data.
+
+A :class:`ScenarioSpec` describes one FreeRide scenario — the cluster,
+the training job, the side-task workloads (batch) or the workload mix
+and arrival process (serving), the policies, and an optional sweep grid
+— as a frozen dataclass family that serializes losslessly to and from
+plain dicts/JSON. Specs are the single currency of the system: the
+experiment registry stores them, :class:`~repro.api.session.Session`
+executes them, ``experiments/common.sweep`` fans them across the
+process pool, and the CLI overrides them with ``--set key=value``.
+
+The round-trip contract is strict: ``ScenarioSpec.from_dict(s.to_dict())
+== s``, and re-running a re-hydrated spec reproduces the original run
+byte for byte (every source of randomness derives from fields of the
+spec). ``tests/api/test_spec.py`` pins both properties.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import itertools
+import json
+import typing
+
+from repro import calibration
+from repro.errors import SpecError
+from repro.pipeline.config import TrainConfig, model_config
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.cluster import Server
+    from repro.serving.arrivals import ArrivalProcess, RequestTemplate
+    from repro.sim.engine import Engine
+
+
+# ----------------------------------------------------------------------
+# dict codec helpers
+# ----------------------------------------------------------------------
+def _to_jsonable(value):
+    """Recursively convert a spec value into JSON-shaped data (lists,
+    dicts, scalars) — the exact structure ``json.loads`` hands back."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    return value
+
+
+def _require_mapping(data, cls) -> dict:
+    if not isinstance(data, dict):
+        raise SpecError(
+            f"{cls.__name__}.from_dict expects a mapping, got {type(data).__name__}"
+        )
+    known = {field.name for field in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise SpecError(
+            f"unknown {cls.__name__} field(s) {sorted(unknown)}; "
+            f"known fields: {sorted(known)}"
+        )
+    return data
+
+
+class SpecBase:
+    """Shared dict codec for the spec dataclasses.
+
+    ``to_dict`` emits JSON-shaped data; ``from_dict`` validates field
+    names (unknown keys are a :class:`SpecError`). Classes with nested
+    spec fields override ``from_dict`` to coerce them first.
+    """
+
+    def to_dict(self) -> dict:
+        return _to_jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: dict):
+        return cls(**_require_mapping(data, cls))
+
+
+# ----------------------------------------------------------------------
+# the spec family
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec(SpecBase):
+    """Which simulated server runs the scenario."""
+
+    #: "server_i" (the 4-GPU training testbed), "server_ii", or "cpu"
+    server: str = "server_i"
+    #: record per-GPU SM occupancy traces (off by default: it is the
+    #: single hottest allocation in long runs; Figures 1 and 8 opt in)
+    record_occupancy: bool = False
+
+    def factory(self) -> "typing.Callable[[Engine], Server]":
+        from repro.gpu.cluster import make_server_cpu, make_server_i, make_server_ii
+
+        if self.server == "server_i":
+            if self.record_occupancy:
+                return functools.partial(make_server_i, record_occupancy=True)
+            return make_server_i
+        if self.server == "server_ii":
+            return make_server_ii
+        if self.server == "cpu":
+            return make_server_cpu
+        raise SpecError(
+            f"unknown server {self.server!r}; "
+            "choose from ['cpu', 'server_i', 'server_ii']"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainingSpec(SpecBase):
+    """The pipeline-training job whose bubbles the scenario harvests.
+
+    Mirrors :class:`~repro.pipeline.config.TrainConfig` field for field,
+    minus the seed (the scenario's root ``seed`` feeds every stream).
+    """
+
+    #: model preset label ("1.2B" / "3.6B" / "6B") or a size in billions
+    model: "str | float" = "3.6B"
+    num_stages: int = calibration.NUM_STAGES
+    micro_batches: int = calibration.DEFAULT_MICRO_BATCHES
+    epochs: int = 8
+    op_jitter: float = calibration.OP_TIME_REL_JITTER
+    schedule: str = "1f1b"
+
+    def to_config(self, seed: int = 0) -> TrainConfig:
+        return TrainConfig(
+            model=model_config(self.model),
+            num_stages=self.num_stages,
+            micro_batches=self.micro_batches,
+            epochs=self.epochs,
+            seed=seed,
+            op_jitter=self.op_jitter,
+            schedule=self.schedule,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec(SpecBase):
+    """One batch side-task submission (a row of the paper's deployments)."""
+
+    #: workload registry name (see :mod:`repro.workloads.registry`)
+    name: str = "resnet18"
+    batch_size: int = 64
+    interface: str = "iterative"
+    #: one copy on every worker with enough bubble memory (the paper's
+    #: standard deployment) vs a single submission
+    replicate: bool = True
+    #: cap on replicated copies (None = every eligible worker)
+    copies: "int | None" = None
+
+    def factory(self):
+        from repro.workloads.registry import workload_factory
+
+        return workload_factory(self.name, batch_size=self.batch_size,
+                                interface=self.interface)
+
+
+@dataclasses.dataclass(frozen=True)
+class MixEntrySpec(SpecBase):
+    """One entry of a serving workload mix (request template)."""
+
+    workload: str
+    job_steps: int
+    slo_class: str = "standard"
+    batch_size: int = 64
+    interface: str = "iterative"
+    weight: float = 1.0
+
+    def to_template(self) -> "RequestTemplate":
+        from repro.serving.arrivals import RequestTemplate
+
+        return RequestTemplate(
+            workload=self.workload,
+            job_steps=self.job_steps,
+            slo_class=self.slo_class,
+            batch_size=self.batch_size,
+            interface=self.interface,
+            weight=self.weight,
+        )
+
+
+def default_mix() -> "tuple[MixEntrySpec, ...]":
+    """The serving layer's standard mix, as spec entries."""
+    from repro.serving.arrivals import DEFAULT_MIX
+
+    return tuple(
+        MixEntrySpec(
+            workload=template.workload,
+            job_steps=template.job_steps,
+            slo_class=template.slo_class,
+            batch_size=template.batch_size,
+            interface=template.interface,
+            weight=template.weight,
+        )
+        for template in DEFAULT_MIX
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrivalSpec(SpecBase):
+    """The open-loop arrival process of a serving scenario."""
+
+    #: "poisson", "bursty", or "diurnal" (trace replay is programmatic —
+    #: build a TraceArrivals and hand it to the Session directly)
+    kind: str = "poisson"
+    rate_per_s: float = 2.0
+    mix: "tuple[MixEntrySpec, ...]" = dataclasses.field(default_factory=default_mix)
+
+    def build(self, seed: int = 0) -> "ArrivalProcess":
+        from repro.serving.arrivals import make_arrivals
+
+        return make_arrivals(
+            self.kind, self.rate_per_s, seed=seed,
+            mix=tuple(entry.to_template() for entry in self.mix),
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArrivalSpec":
+        data = dict(_require_mapping(data, cls))
+        if "mix" in data:
+            data["mix"] = tuple(
+                MixEntrySpec.from_dict(entry) for entry in data["mix"]
+            )
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicySpec(SpecBase):
+    """Every pluggable policy decision of a scenario, by name."""
+
+    #: worker assignment (Algorithm 1): a :data:`NAMED_POLICIES` key
+    assignment: str = "least_loaded"
+    #: serving admission policy: a :data:`NAMED_ADMISSION` key
+    admission: str = "always"
+    #: serving queue dispatch discipline: a :data:`NAMED_DISCIPLINES` key
+    discipline: str = "edf"
+    #: bound on the serving admission queue
+    queue_capacity: int = 64
+    #: framework-enforced grace period (None = calibrated default)
+    grace_period_s: "float | None" = None
+    #: manager RPC latency (None = calibrated default)
+    rpc_latency_s: "float | None" = None
+
+    def assignment_policy(self):
+        from repro.core.policies import NAMED_POLICIES
+
+        try:
+            return NAMED_POLICIES[self.assignment]
+        except KeyError:
+            raise SpecError(
+                f"unknown assignment policy {self.assignment!r}; "
+                f"choose from {sorted(NAMED_POLICIES)}"
+            ) from None
+
+    def freeride_kwargs(self) -> dict:
+        """Keyword overrides for :class:`~repro.core.middleware.FreeRide`
+        (only the fields that deviate from the calibrated defaults)."""
+        kwargs: dict = {"policy": self.assignment_policy()}
+        if self.grace_period_s is not None:
+            kwargs["grace_period_s"] = self.grace_period_s
+        if self.rpc_latency_s is not None:
+            kwargs["rpc_latency_s"] = self.rpc_latency_s
+        return kwargs
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec(SpecBase):
+    """The sweep grid: either a cartesian product of override axes, or an
+    explicit list of override points (for zipped/irregular grids).
+
+    Keys are dotted override paths into the scenario (see
+    :meth:`ScenarioSpec.override`); the product iterates the *last* axis
+    fastest, matching the nested-loop order the experiments print in.
+    """
+
+    #: {"arrivals.rate_per_s": (1.0, 2.0), "policy.admission": (...)}
+    axes: "dict[str, tuple]" = dataclasses.field(default_factory=dict)
+    #: explicit points, each a {dotted-path: value} mapping
+    points: "tuple[dict, ...]" = ()
+
+    def __post_init__(self):
+        if self.axes and self.points:
+            raise SpecError("a sweep is either axes or points, not both")
+
+    def overrides(self) -> "list[dict]":
+        """The per-point override mappings, in sweep order."""
+        if self.points:
+            return [dict(point) for point in self.points]
+        keys = list(self.axes)
+        return [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(self.axes[key] for key in keys))
+        ]
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        data = dict(_require_mapping(data, cls))
+        if "axes" in data:
+            data["axes"] = {key: tuple(values)
+                            for key, values in data["axes"].items()}
+        if "points" in data:
+            data["points"] = tuple(dict(point) for point in data["points"])
+        return cls(**data)
+
+
+def _set_path(node, path: "list[str]", value, full: str) -> None:
+    """Set ``value`` at a dotted ``path`` inside JSON-shaped ``node``."""
+    head, rest = path[0], path[1:]
+    if isinstance(node, list):
+        try:
+            index = int(head)
+        except ValueError:
+            raise SpecError(
+                f"cannot override {full!r}: {head!r} is not a list index"
+            ) from None
+        if not 0 <= index < len(node):
+            raise SpecError(
+                f"cannot override {full!r}: index {index} out of range "
+                f"(list has {len(node)} entries)"
+            )
+        if rest:
+            _set_path(node[index], rest, value, full)
+        else:
+            node[index] = value
+        return
+    if not isinstance(node, dict):
+        raise SpecError(
+            f"cannot override {full!r}: {head!r} is not a settable field "
+            f"of a {type(node).__name__}"
+        )
+    if rest:
+        if head not in node or node[head] is None:
+            raise SpecError(
+                f"cannot override {full!r}: the scenario has no "
+                f"{head!r} section"
+            )
+        _set_path(node[head], rest, value, full)
+    else:
+        node[head] = value
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec(SpecBase):
+    """One declarative FreeRide scenario, sweep grid included."""
+
+    name: str = "scenario"
+    #: "batch" (FreeRide + fixed submissions), "serving" (open-loop
+    #: traffic through the admission frontend), or "pipeline" (training
+    #: only, no side tasks)
+    kind: str = "batch"
+    #: root seed: feeds training jitter, worker RNG streams, and (for
+    #: serving scenarios) the arrival process
+    seed: int = 0
+    cluster: ClusterSpec = dataclasses.field(default_factory=ClusterSpec)
+    training: TrainingSpec = dataclasses.field(default_factory=TrainingSpec)
+    #: batch submissions (ignored by "serving"/"pipeline" scenarios)
+    workloads: "tuple[WorkloadSpec, ...]" = ()
+    #: serving traffic (required for "serving" scenarios)
+    arrivals: "ArrivalSpec | None" = None
+    policy: PolicySpec = dataclasses.field(default_factory=PolicySpec)
+    sweep: "SweepSpec | None" = None
+    #: free-form, JSON-safe experiment knobs (durations, method names,
+    #: cached derived values such as a precomputed baseline time)
+    params: dict = dataclasses.field(default_factory=dict)
+
+    KINDS = ("batch", "serving", "pipeline")
+
+    def __post_init__(self):
+        if self.kind not in self.KINDS:
+            raise SpecError(
+                f"unknown scenario kind {self.kind!r}; "
+                f"choose from {sorted(self.KINDS)}"
+            )
+
+    # -- config assembly ------------------------------------------------
+    def train_config(self) -> TrainConfig:
+        return self.training.to_config(self.seed)
+
+    def param(self, key: str, default=None):
+        return self.params.get(key, default)
+
+    # -- dict / JSON codec ----------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        data = dict(_require_mapping(data, cls))
+        if "cluster" in data:
+            data["cluster"] = ClusterSpec.from_dict(data["cluster"])
+        if "training" in data:
+            data["training"] = TrainingSpec.from_dict(data["training"])
+        if "workloads" in data:
+            data["workloads"] = tuple(
+                WorkloadSpec.from_dict(entry) for entry in data["workloads"]
+            )
+        if data.get("arrivals") is not None:
+            data["arrivals"] = ArrivalSpec.from_dict(data["arrivals"])
+        if "policy" in data:
+            data["policy"] = PolicySpec.from_dict(data["policy"])
+        if data.get("sweep") is not None:
+            data["sweep"] = SweepSpec.from_dict(data["sweep"])
+        if "params" in data:
+            data["params"] = dict(data["params"])
+        return cls(**data)
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- overrides and sweep materialization ----------------------------
+    def override(self, overrides: "typing.Mapping[str, object]") -> "ScenarioSpec":
+        """A new spec with dotted-path overrides applied.
+
+        Paths navigate nested sections ("training.epochs"), list entries
+        ("workloads.0.batch_size"), and the free-form params dict
+        ("params.method" — params keys may be created, spec fields must
+        exist). Values replace whole subtrees: ``{"sweep.axes": {...}}``
+        swaps the grid in one assignment.
+        """
+        if not overrides:
+            return self
+        data = self.to_dict()
+        for path, value in overrides.items():
+            _set_path(data, path.split("."), _to_jsonable(value), path)
+        return type(self).from_dict(data)
+
+    def sweep_points(
+        self,
+        extra: "typing.Mapping | typing.Callable[[dict], typing.Mapping] | None" = None,
+    ) -> "list[ScenarioSpec]":
+        """Materialize the sweep grid into self-contained point specs.
+
+        Each point is this spec with one grid entry's overrides applied
+        and the grid itself cleared (a point re-runs alone). ``extra``
+        merges additional overrides into every point — either a constant
+        mapping or a callable of the point's own overrides, which is how
+        experiments bake derived context (e.g. a precomputed baseline
+        time) into the specs they ship to pool workers.
+        """
+        grid = self.sweep.overrides() if self.sweep is not None else [{}]
+        points = []
+        for overrides in grid:
+            merged = dict(overrides)
+            if callable(extra):
+                merged.update(extra(overrides))
+            elif extra:
+                merged.update(extra)
+            merged["sweep"] = None
+            points.append(self.override(merged))
+        return points
+
+    def with_points(
+        self,
+        points: "typing.Iterable[dict]",
+        extra: "typing.Mapping | typing.Callable[[dict], typing.Mapping] | None" = None,
+    ) -> "list[ScenarioSpec]":
+        """:meth:`sweep_points` over an ad-hoc grid, ignoring any sweep
+        already on the spec — how experiments with several sub-sweeps
+        (fig7's three sensitivity axes, the ablations) materialize each
+        one from the same base scenario."""
+        swept = dataclasses.replace(self, sweep=SweepSpec(points=tuple(points)))
+        return swept.sweep_points(extra)

@@ -25,7 +25,6 @@ from repro.gpu.process import GPUProcess
 from repro.gpu.sharing import SharingMode
 from repro.pipeline.config import TrainConfig
 from repro.pipeline.engine import PipelineEngine, TrainingResult
-from repro.pipeline.memory_model import MemoryModel
 from repro.sim.engine import Engine
 from repro.sim.events import Interrupt
 from repro.sim.rng import RandomStreams

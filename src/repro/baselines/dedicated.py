@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro import calibration
 from repro.core.interfaces import IterativeSideTask, SideTaskContext
 from repro.errors import GpuOutOfMemoryError
 from repro.gpu.cluster import Server, make_server_cpu, make_server_ii

@@ -1,51 +1,182 @@
-"""Command-line entry point: regenerate any table or figure.
+"""Command-line entry point over the experiment registry.
+
+Every table/figure is a registered scenario whose parameters are spec
+fields — there is no signature probing: any scenario takes any
+``--set`` path its spec defines, and ``--seed``/``--epochs`` are sugar
+for the two most common ones.
 
 Examples::
 
-    freeride fig1
-    freeride table2 --epochs 16
-    freeride serve --seed 7
-    python -m repro.cli fig9
+    repro list
+    repro list --json
+    repro run fig1
+    repro run table2 --epochs 16
+    repro run serve --seed 7 --set policy.admission=backpressure
+    repro run serve --set 'sweep.axes={"arrivals.rate_per_s": [2.0]}'
+    repro export serve --out artifacts/            # json + csv + txt
+    repro export fig2 --spec-only > fig2.json      # the spec, no run
+    repro run fig2 --spec fig2.json                # re-run it exactly
+
+The pre-registry positional form (``freeride fig1``) keeps working for
+one release and forwards to ``run`` with a deprecation notice.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
+import json
 import sys
 
-from repro.experiments import EXPERIMENTS
+from repro.api import registry
+from repro.api.spec import ScenarioSpec
+from repro.errors import ReproError
+
+EXPORT_FORMATS = ("json", "csv", "txt")
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="freeride",
-        description="FreeRide reproduction: regenerate the paper's "
-                    "tables and figures on the simulated substrate.",
-    )
-    parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
-                        help="which table/figure to regenerate")
+def _parse_set(pairs: "list[str]") -> dict:
+    """``key=value`` pairs -> override mapping (values parse as JSON,
+    falling back to the raw string, so ``--set training.model=6B`` and
+    ``--set training.epochs=16`` both do what they look like)."""
+    overrides = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"error: --set expects key=value, got {pair!r}"
+            )
+        try:
+            overrides[key] = json.loads(value)
+        except json.JSONDecodeError:
+            overrides[key] = value
+    return overrides
+
+
+def _overrides(args: argparse.Namespace) -> dict:
+    overrides = _parse_set(args.set)
+    if args.epochs is not None:
+        overrides.setdefault("training.epochs", args.epochs)
+    if args.seed is not None:
+        overrides.setdefault("seed", args.seed)
+    return overrides
+
+
+def _base_spec(args: argparse.Namespace) -> "ScenarioSpec | None":
+    """Load --spec FILE: either a bare ScenarioSpec JSON (--spec-only)
+    or a full export artifact, whose spec lives under "scenario"."""
+    if args.spec is None:
+        return None
+    try:
+        with open(args.spec) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise SystemExit(f"error: cannot read --spec file: {error}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"error: {args.spec} is not valid JSON: {error}")
+    if isinstance(data, dict) and isinstance(data.get("scenario"), dict):
+        data = data["scenario"]
+    return ScenarioSpec.from_dict(data)
+
+
+def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("scenario", choices=registry.names(),
+                        help="which registered scenario to use")
+    parser.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="override a spec field by dotted path "
+                             "(repeatable); values parse as JSON")
     parser.add_argument("--epochs", type=int, default=None,
-                        help="training epochs per run (default: the "
-                             "experiment's own default)")
+                        help="shorthand for --set training.epochs=N")
     parser.add_argument("--seed", type=int, default=None,
-                        help="root seed for experiments that accept one "
-                             "(e.g. serve; default: the experiment's own)")
+                        help="shorthand for --set seed=N (every scenario "
+                             "takes one)")
+    parser.add_argument("--spec", metavar="FILE", default=None,
+                        help="load the base ScenarioSpec from a JSON file "
+                             "(e.g. one written by `repro export`) instead "
+                             "of the scenario's default")
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # One release of back-compat: `freeride fig1 --epochs 2` == `repro
+    # run fig1 --epochs 2`.
+    if argv and argv[0] in registry.names():
+        print(f"warning: positional `{argv[0]}` is deprecated; "
+              f"use `repro run {argv[0]}`", file=sys.stderr)
+        argv = ["run"] + argv
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FreeRide reproduction: run registered scenarios "
+                    "(the paper's tables/figures plus the serving "
+                    "capacity sweep) on the simulated substrate.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = commands.add_parser(
+        "list", help="list registered scenarios")
+    list_parser.add_argument("--json", action="store_true",
+                             help="machine-readable listing")
+
+    run_parser = commands.add_parser(
+        "run", help="run a scenario and print its table/figure")
+    _add_scenario_options(run_parser)
+    run_parser.add_argument("--export", metavar="DIR", default=None,
+                            help="also write json/csv/txt artifacts here")
+
+    export_parser = commands.add_parser(
+        "export", help="run a scenario and write its artifacts")
+    _add_scenario_options(export_parser)
+    export_parser.add_argument("--out", metavar="DIR", default="artifacts",
+                               help="artifact directory (default: "
+                                    "artifacts/)")
+    export_parser.add_argument("--format", choices=EXPORT_FORMATS + ("all",),
+                               default="all",
+                               help="which artifact(s) to write")
+    export_parser.add_argument("--spec-only", action="store_true",
+                               help="print the (overridden) spec as JSON "
+                                    "and exit without running")
+
     args = parser.parse_args(argv)
-    module = EXPERIMENTS[args.experiment]
-    accepted = inspect.signature(module.run).parameters
-    kwargs = {}
-    for flag in ("epochs", "seed"):
-        value = getattr(args, flag)
-        if value is None:
-            continue
-        if flag not in accepted:
-            print(f"warning: {args.experiment} does not take --{flag}; "
-                  "ignoring", file=sys.stderr)
-            continue
-        kwargs[flag] = value
-    data = module.run(**kwargs)
-    print(module.render(data))
+
+    if args.command == "list":
+        if args.json:
+            print(json.dumps(registry.describe(), indent=2))
+        else:
+            for entry in registry.describe():
+                print(f"{entry['name']:<10s} [{entry['kind']}] "
+                      f"{entry['title']}")
+        return 0
+
+    try:
+        base = _base_spec(args)
+        overrides = _overrides(args)
+        if args.command == "export" and args.spec_only:
+            spec = base if base is not None else registry.get(args.scenario).spec()
+            print(spec.override(overrides).to_json())
+            return 0
+        result = registry.run(args.scenario, overrides=overrides, spec=base)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.command == "run":
+        print(result.render())
+        if args.export:
+            for path in result.write_artifacts(args.export):
+                print(f"wrote {path}", file=sys.stderr)
+        return 0
+
+    formats = EXPORT_FORMATS if args.format == "all" else (args.format,)
+    written = result.write_artifacts(args.out, formats=formats)
+    if not written:
+        # Only reachable for an explicitly requested single format that
+        # the experiment cannot produce (csv without tabular rows).
+        print(f"error: {args.scenario} has no tabular rows; nothing to "
+              f"write for --format {args.format}", file=sys.stderr)
+        return 2
+    for path in written:
+        print(path)
     return 0
 
 

@@ -77,17 +77,37 @@ class SideTaskManager:
             if worker.available_gb > gpu_memory_gb
         ]
 
-    def submit(self, spec: TaskSpec, interface: str = "iterative") -> SideTaskWorker:
-        """Assign ``spec`` to a worker or raise :class:`TaskRejectedError`."""
+    def submit(self, spec: TaskSpec, interface: str = "iterative",
+               queue_depth: int = 0) -> SideTaskWorker:
+        """Assign ``spec`` to a worker or raise :class:`TaskRejectedError`.
+
+        ``queue_depth`` is informational: how many requests the caller
+        already has waiting (the serving frontend's admission queue; 0
+        for the batch path), attached to the rejection so operators can
+        tell "nothing fits" apart from "nothing fits *and* the backlog
+        is growing".
+        """
         eligible = self.eligible_workers(spec.profile.gpu_memory_gb)
         selected = self.policy(eligible, spec)
         if selected is None:
+            policy_name = getattr(self.policy, "__name__", repr(self.policy))
+            most_free = max(
+                (worker.available_gb for worker in self.workers), default=0.0
+            )
             reason = (
                 f"no worker has more than {spec.profile.gpu_memory_gb:.2f} GB "
-                "of bubble memory available"
+                f"of bubble memory available (policy={policy_name}, "
+                f"{len(eligible)}/{len(self.workers)} workers eligible, "
+                f"max free {most_free:.2f} GB, queue depth {queue_depth})"
             )
             self.rejections.append((spec.name, reason))
-            raise TaskRejectedError(f"{spec.name} rejected: {reason}")
+            raise TaskRejectedError(
+                f"{spec.name} rejected: {reason}",
+                task_name=spec.name,
+                policy=policy_name,
+                queue_depth=queue_depth,
+                eligible_workers=len(eligible),
+            )
         runtime = selected.add_task(
             spec, interface, on_terminal=self._on_task_terminal
         )

@@ -8,12 +8,26 @@
 3. one **side-task worker per GPU** sized by its stage's bubble memory,
 4. the **side-task manager** running Algorithms 1 and 2.
 
-Typical use::
+``FreeRide`` remains a supported facade for one more release, but new
+code should drive it through the declarative session API
+(:mod:`repro.api`), which wraps this class behind the ``Runner``
+protocol::
+
+    from repro.api import ScenarioSpec, Session
+
+    spec = ScenarioSpec.from_dict({
+        "training": {"epochs": 8},
+        "workloads": [{"name": "pagerank", "replicate": False}],
+    })
+    with Session(spec) as session:
+        result = session.run().results()
+    print(result.tasks[0].units_done, result.training.total_time)
+
+Direct (legacy) use — still exercised by the unit tests::
 
     freeride = FreeRide(train_config)
     freeride.submit(lambda: PageRankTask(), interface="iterative")
     result = freeride.run()
-    print(result.tasks[0].units_done, result.training.total_time)
 """
 
 from __future__ import annotations
@@ -185,13 +199,16 @@ class FreeRide:
         memory_limit_gb: float | None = None,
         slo_class: str = "",
         deadline_s: float | None = None,
+        queue_depth: int = 0,
     ) -> TaskSpec | None:
         """Profile (if needed) and submit one side task.
 
         Returns the accepted :class:`TaskSpec`, or None when Algorithm 1
-        rejected the task for lack of bubble memory. ``slo_class`` and
-        ``deadline_s`` (absolute sim time) tag the task for SLO-aware
-        policies and the serving layer's goodput accounting.
+        rejected the task for lack of bubble memory (the manager's
+        ``rejections`` list records the full context: policy, eligible
+        workers, and the caller-supplied ``queue_depth``). ``slo_class``
+        and ``deadline_s`` (absolute sim time) tag the task for
+        SLO-aware policies and the serving layer's goodput accounting.
         """
         if profile is None:
             probe = workload_factory()
@@ -211,7 +228,8 @@ class FreeRide:
             deadline_s=deadline_s,
         )
         try:
-            worker = self.manager.submit(spec, interface)
+            worker = self.manager.submit(spec, interface,
+                                         queue_depth=queue_depth)
         except TaskRejectedError:
             return None
         self._submissions.append((spec, interface, worker.stage))

@@ -55,8 +55,33 @@ class IllegalTransitionError(SideTaskError):
 
 
 class TaskRejectedError(SideTaskError):
-    """Algorithm 1 rejected a side task (no worker has enough GPU memory)."""
+    """Algorithm 1 rejected a side task (no worker has enough GPU memory).
+
+    Carries the context a caller needs to act on the rejection: which
+    assignment policy said no, how many workers were eligible, and how
+    deep the submission queue was at the time (0 for the batch path,
+    which has no queue). The message embeds all of it.
+    """
+
+    def __init__(self, message: str, task_name: str = "",
+                 policy: str = "", queue_depth: int = 0,
+                 eligible_workers: int = 0):
+        super().__init__(message)
+        self.task_name = task_name
+        self.policy = policy
+        self.queue_depth = queue_depth
+        self.eligible_workers = eligible_workers
 
 
 class RpcError(ReproError):
     """An RPC could not be delivered (e.g. the peer is gone)."""
+
+
+class SpecError(ReproError):
+    """An invalid scenario spec: unknown field, bad override path, or a
+    value outside the declarative API's vocabulary."""
+
+
+class SessionError(ReproError):
+    """A :class:`repro.api.session.Session` was driven out of order
+    (results before run, submit after run, reconfigure mid-flight)."""

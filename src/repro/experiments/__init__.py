@@ -1,9 +1,12 @@
 """One module per table/figure of the paper's evaluation.
 
-Each module exposes ``run(...) -> dict`` (the data) and ``render(data) ->
-str`` (the paper-like text table/series). ``repro.cli`` and the
-``benchmarks/`` harness drive them; EXPERIMENTS.md records the outputs
-against the paper's numbers.
+Each module registers a declarative scenario with
+:mod:`repro.api.registry` (a default :class:`~repro.api.spec.
+ScenarioSpec` plus a spec-driven ``run_spec``, a renderer, and typed
+result rows) and keeps a thin legacy shim — ``run(...) -> dict`` with
+the historical keyword arguments — for one release. ``repro.cli`` and
+the ``benchmarks/`` harness drive the registry; EXPERIMENTS.md records
+the outputs against the paper's numbers.
 
 The paper trains for 128 epochs; since epochs are repetitive and stable
 (section 8), these experiments default to 8 epochs (4 for the large
@@ -24,6 +27,8 @@ from repro.experiments import (  # noqa: F401
     table2,
 )
 
+#: legacy name -> module mapping (the registry in :mod:`repro.api.
+#: registry` is the supported lookup; this stays for one release)
 EXPERIMENTS = {
     "fig1": fig1,
     "fig2": fig2,

@@ -9,24 +9,28 @@
 * **step granularity** — finer steps utilize bubble tails better but pay
   more interface overhead (the PageRank effect of Figure 9);
 * **schedule** — 1F1B vs GPipe bubble structure.
+
+Five sub-sweeps over one base scenario: each swept knob is a real spec
+field (``policy.grace_period_s``, ``policy.rpc_latency_s``,
+``policy.assignment``, ``training.schedule``) or a params entry
+(``step_scale``), so every ablation point is a self-contained spec.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import functools
 
 from repro import calibration
-from repro.core.middleware import FreeRide
-from repro.core.policies import NAMED_POLICIES
+from repro.api import registry
+from repro.api.compat import deprecated_entry
+from repro.api.session import Session
+from repro.api.spec import ScenarioSpec, TrainingSpec, WorkloadSpec
 from repro.experiments import common
 from repro.gpu.cluster import make_server_i
 from repro.metrics.cost import time_increase
 from repro.pipeline.analysis import bubble_rate
-from repro.pipeline.engine import PipelineEngine
 from repro.sim.engine import Engine
 from repro.workloads.model_training import ModelTrainingTask
-from repro.workloads.registry import workload_factory
 
 GRACE_PERIODS = (0.1, 0.25, 0.5, 1.0)
 RPC_LATENCIES = (0.0001, 0.001, 0.005, 0.02)
@@ -38,13 +42,31 @@ STEP_SCALES = (0.3, 1.0, 3.0, 10.0)
 ABLATION_POLICIES = ("least_loaded", "first_fit", "best_fit", "worst_fit")
 
 
-def _grace_row(grace: float) -> dict:
+def default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="ablations",
+        kind="batch",
+        training=TrainingSpec(epochs=4),
+        workloads=(WorkloadSpec(name="resnet18"),),
+        params={
+            "grace_periods": list(GRACE_PERIODS),
+            "rpc_latencies": list(RPC_LATENCIES),
+            "policies": list(ABLATION_POLICIES),
+            "step_scales": list(STEP_SCALES),
+            "schedules": ["1f1b", "gpipe"],
+            "policy_tasks": ["pagerank", "resnet18", "resnet50", "pagerank"],
+        },
+    )
+
+
+def _grace_row(spec: ScenarioSpec) -> dict:
     from repro.core.manager import SideTaskManager
     from repro.core.profiler import profile_side_task
     from repro.core.task_spec import TaskSpec
     from repro.core.worker import ManagedBubble, SideTaskWorker
     from repro.workloads.misbehaving import NonPausingTask
 
+    grace = spec.policy.grace_period_s
     sim = Engine()
     server = make_server_i(sim)
     worker = SideTaskWorker(sim, server.gpu(0), 0,
@@ -72,61 +94,67 @@ def _grace_row(grace: float) -> dict:
     }
 
 
-def run_grace_period() -> list[dict]:
+def _grace_sweep(spec: ScenarioSpec) -> list[dict]:
     """Kill latency of the framework-enforced limit vs the grace period.
 
     A longer grace tolerates slow-but-honest pauses; a shorter one bounds
     how long a runaway side task can trespass on training time.
     """
-    return common.sweep(GRACE_PERIODS, _grace_row)
+    points = [{"policy.grace_period_s": grace}
+              for grace in spec.param("grace_periods", GRACE_PERIODS)]
+    return common.sweep(spec.with_points(points), _grace_row)
 
 
-def _rpc_latency_row(config, t_no, latency: float) -> dict:
-    freeride = FreeRide(config, rpc_latency_s=latency)
-    freeride.submit_replicated(workload_factory("resnet18"))
-    result = freeride.run()
+def _rpc_latency_row(spec: ScenarioSpec) -> dict:
+    result = Session(spec).run().results()
     return {
-        "rpc_latency_s": latency,
-        "time_increase": time_increase(result.training.total_time, t_no),
+        "rpc_latency_s": spec.policy.rpc_latency_s,
+        "time_increase": time_increase(result.training.total_time,
+                                       spec.param("t_no")),
         "units": result.total_units,
     }
 
 
-def run_rpc_latency(epochs: int = 4) -> list[dict]:
-    config = common.train_config(epochs=epochs)
-    t_no = common.baseline_time(config)
-    return common.sweep(RPC_LATENCIES,
-                        functools.partial(_rpc_latency_row, config, t_no))
+def _rpc_latency_sweep(spec: ScenarioSpec) -> list[dict]:
+    t_no = common.baseline_time(spec.train_config())
+    points = [{"policy.rpc_latency_s": latency, "params.t_no": t_no}
+              for latency in spec.param("rpc_latencies", RPC_LATENCIES)]
+    return common.sweep(spec.with_points(points), _rpc_latency_row)
 
 
-def _policy_row(config, name: str) -> dict:
-    freeride = FreeRide(config, policy=NAMED_POLICIES[name])
-    for task in ("pagerank", "resnet18", "resnet50", "pagerank"):
-        freeride.submit(workload_factory(task))
-    result = freeride.run()
+def _policy_row(spec: ScenarioSpec) -> dict:
+    session = Session(dataclasses.replace(spec, workloads=()))
+    for task in spec.param("policy_tasks", ()):
+        session.submit(WorkloadSpec(name=task, replicate=False))
+    result = session.run().results()
     stages = sorted(report.stage for report in result.tasks)
     return {
-        "policy": name,
+        "policy": spec.policy.assignment,
         "placement": stages,
         "distinct_workers": len(set(stages)),
         "units": result.total_units,
     }
 
 
-def run_policies(epochs: int = 4) -> list[dict]:
-    config = common.train_config(epochs=epochs)
-    return common.sweep(ABLATION_POLICIES,
-                        functools.partial(_policy_row, config))
+def _policy_sweep(spec: ScenarioSpec) -> list[dict]:
+    points = [{"policy.assignment": name}
+              for name in spec.param("policies", ABLATION_POLICIES)]
+    return common.sweep(spec.with_points(points), _policy_row)
 
 
-def _granularity_row(config, scale: float) -> dict:
+def _granularity_row(spec: ScenarioSpec) -> dict:
+    scale = spec.param("step_scale", 1.0)
     base = calibration.RESNET18
     perf = dataclasses.replace(
         base,
         step_time_s=base.step_time_s * scale,
         units_per_step=base.units_per_step * scale,
     )
-    freeride = FreeRide(config)
+    from repro.core.middleware import FreeRide
+
+    # A scaled synthetic task has no registry name, so this row drives
+    # FreeRide directly rather than through a WorkloadSpec.
+    freeride = FreeRide(spec.train_config())
     freeride.submit_replicated(lambda perf=perf: ModelTrainingTask(perf))
     result = freeride.run()
     running = sum(report.running_s for report in result.tasks)
@@ -141,39 +169,68 @@ def _granularity_row(config, scale: float) -> dict:
     }
 
 
-def run_step_granularity(epochs: int = 4) -> list[dict]:
+def _granularity_sweep(spec: ScenarioSpec) -> list[dict]:
     """Scale ResNet18's step size; measure utilization vs overhead."""
-    config = common.train_config(epochs=epochs)
-    return common.sweep(STEP_SCALES,
-                        functools.partial(_granularity_row, config))
+    points = [{"params.step_scale": scale}
+              for scale in spec.param("step_scales", STEP_SCALES)]
+    return common.sweep(spec.with_points(points), _granularity_row)
 
 
-def _schedule_row(epochs: int, schedule: str) -> dict:
-    config = dataclasses.replace(
-        common.train_config(epochs=epochs), schedule=schedule
-    )
-    sim = Engine()
-    result = PipelineEngine(sim, make_server_i(sim), config).run()
+def _schedule_row(spec: ScenarioSpec) -> dict:
+    result = Session(spec).run().results()
     return {
-        "schedule": schedule,
+        "schedule": spec.training.schedule,
         "epoch_time_s": result.trace.mean_epoch_time(),
         "bubble_rate": bubble_rate(result.trace),
     }
 
 
+def _schedule_sweep(spec: ScenarioSpec) -> list[dict]:
+    points = [{"kind": "pipeline", "training.schedule": schedule}
+              for schedule in spec.param("schedules", ("1f1b", "gpipe"))]
+    return common.sweep(spec.with_points(points), _schedule_row)
+
+
+def run_spec(spec: ScenarioSpec) -> dict:
+    return {
+        "grace_period": _grace_sweep(spec),
+        "rpc_latency": _rpc_latency_sweep(spec),
+        "policies": _policy_sweep(spec),
+        "step_granularity": _granularity_sweep(spec),
+        "schedules": _schedule_sweep(spec),
+    }
+
+
+# ----------------------------------------------------------------------
+# legacy entry points (one release of back-compat)
+# ----------------------------------------------------------------------
+def run_grace_period() -> list[dict]:
+    return _grace_sweep(default_spec())
+
+
+def run_rpc_latency(epochs: int = 4) -> list[dict]:
+    return _rpc_latency_sweep(
+        default_spec().override({"training.epochs": epochs}))
+
+
+def run_policies(epochs: int = 4) -> list[dict]:
+    return _policy_sweep(default_spec().override({"training.epochs": epochs}))
+
+
+def run_step_granularity(epochs: int = 4) -> list[dict]:
+    return _granularity_sweep(
+        default_spec().override({"training.epochs": epochs}))
+
+
 def run_schedules(epochs: int = 4) -> list[dict]:
-    return common.sweep(("1f1b", "gpipe"),
-                        functools.partial(_schedule_row, epochs))
+    return _schedule_sweep(
+        default_spec().override({"training.epochs": epochs}))
 
 
 def run(epochs: int = 4) -> dict:
-    return {
-        "grace_period": run_grace_period(),
-        "rpc_latency": run_rpc_latency(epochs),
-        "policies": run_policies(epochs),
-        "step_granularity": run_step_granularity(epochs),
-        "schedules": run_schedules(epochs),
-    }
+    """Legacy entry point; delegates to the registered scenario."""
+    deprecated_entry("ablations.run()", "repro run ablations")
+    return run_spec(default_spec().override({"training.epochs": epochs}))
 
 
 def render(data: dict) -> str:
@@ -214,3 +271,19 @@ def render(data: dict) -> str:
           common.pct(row["bubble_rate"])] for row in data["schedules"]],
     ))
     return "\n\n".join(sections)
+
+
+def rows(data: dict) -> list[dict]:
+    return [
+        {"section": section, **row}
+        for section in ("grace_period", "rpc_latency", "policies",
+                        "step_granularity", "schedules")
+        for row in data[section]
+    ]
+
+
+registry.register(
+    "ablations",
+    "Grace period, RPC latency, assignment policy, step granularity, schedule",
+    default_spec, run_spec, render, rows,
+)

@@ -12,7 +12,7 @@ import typing
 from repro.core.middleware import FreeRide, FreeRideResult
 from repro.gpu.cluster import make_server_i
 from repro.pipeline.config import TrainConfig, model_config
-from repro.pipeline.engine import PipelineEngine, TrainingResult
+from repro.pipeline.engine import PipelineEngine
 from repro.sim import engine as sim_engine
 from repro.sim.engine import Engine
 from repro.sim.rng import RandomStreams

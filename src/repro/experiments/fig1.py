@@ -3,27 +3,51 @@
 (a) per-stage op timeline with SM occupancy — bubbles are the shaded
 gaps, annotated with their Type (stage 0 reads "B C C C", stage 1
 "A B C C A", ...); (b) per-stage GPU memory, utilized vs unutilized.
+
+Registered as the ``fig1`` scenario; the spec-driven entry point is
+:func:`run_spec`, and :func:`run` is the legacy shim.
 """
 
 from __future__ import annotations
 
-from repro.experiments import common
-from repro.gpu.cluster import make_server_i
-from repro.pipeline.config import TrainConfig
-from repro.pipeline.engine import PipelineEngine
-from repro.sim.engine import Engine
+import dataclasses
+
+from repro.api import registry
+from repro.api.compat import deprecated_entry
+from repro.api.results import ResultRow
+from repro.api.session import Session
+from repro.api.spec import ClusterSpec, ScenarioSpec, TrainingSpec
 
 
-def run(size: str = "3.6B", micro_batches: int = 4) -> dict:
-    config = common.train_config(size, micro_batches, epochs=1)
-    sim = Engine()
-    # This figure plots the SM-occupancy trace, so recording is opted in.
-    server = make_server_i(sim, record_occupancy=True)
-    engine = PipelineEngine(sim, server, config)
-    result = engine.run()
+@dataclasses.dataclass(frozen=True)
+class StageRow(ResultRow):
+    """One stage's bubble pattern and memory split."""
+
+    stage: int
+    pattern: str
+    bubble_count: int
+    bubble_time_s: float
+    used_gb: float
+    available_gb: float
+
+
+def default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig1",
+        kind="pipeline",
+        # This figure plots the SM-occupancy trace, so recording opts in.
+        cluster=ClusterSpec(record_occupancy=True),
+        training=TrainingSpec(epochs=1),
+    )
+
+
+def run_spec(spec: ScenarioSpec) -> dict:
+    session = Session(spec).run()
+    result = session.results()
+    runner = session.runner
     trace = result.trace
     stages = []
-    for stage in range(config.num_stages):
+    for stage in range(spec.training.num_stages):
         ops = [
             {
                 "op": str(record.op),
@@ -42,7 +66,7 @@ def run(size: str = "3.6B", micro_batches: int = 4) -> dict:
             for bubble in sorted(trace.bubbles_of(stage=stage),
                                  key=lambda b: b.start)
         ]
-        memory_row = engine.memory.per_stage_summary()[stage]
+        memory_row = runner.engine.memory.per_stage_summary()[stage]
         stages.append(
             {
                 "stage": stage,
@@ -57,10 +81,19 @@ def run(size: str = "3.6B", micro_batches: int = 4) -> dict:
         "epoch_time": result.total_time,
         "stages": stages,
         "occupancy": {
-            stage: server.gpu(stage).occupancy_trace
-            for stage in range(config.num_stages)
+            stage: runner.server.gpu(stage).occupancy_trace
+            for stage in range(spec.training.num_stages)
         },
     }
+
+
+def run(size: str = "3.6B", micro_batches: int = 4) -> dict:
+    """Legacy entry point; delegates to the registered scenario."""
+    deprecated_entry("fig1.run()", "repro run fig1")
+    return run_spec(default_spec().override({
+        "training.model": size,
+        "training.micro_batches": micro_batches,
+    }))
 
 
 def _gantt(stage_row: dict, epoch_time: float, width: int = 72) -> str:
@@ -105,3 +138,24 @@ def render(data: dict) -> str:
             f"used {used:5.1f} GB / unutilized {avail:5.1f} GB"
         )
     return "\n".join(lines)
+
+
+def rows(data: dict) -> list[StageRow]:
+    return [
+        StageRow(
+            stage=row["stage"],
+            pattern=row["pattern"],
+            bubble_count=len(row["bubbles"]),
+            bubble_time_s=sum(b["duration"] for b in row["bubbles"]),
+            used_gb=row["used_gb"],
+            available_gb=row["available_gb"],
+        )
+        for row in data["stages"]
+    ]
+
+
+registry.register(
+    "fig1",
+    "One pipeline epoch: per-stage op timeline, bubble types, memory split",
+    default_spec, run_spec, render, rows,
+)

@@ -4,34 +4,60 @@
 3.6B and 6B models; (b) epoch time, per-stage bubble time and bubble rate
 per model size — 42.4% falling to ~40.4% — plus the micro-batch-8 point
 (26.2%).
+
+The sweep grid (three model sizes at 4 micro-batches, plus the 3.6B /
+8-micro-batch point) lives in the scenario spec; each point is a
+self-contained ``pipeline``-kind spec run by the shared sweep executor.
 """
 
 from __future__ import annotations
 
-import functools
+import dataclasses
 
+from repro.api import registry
+from repro.api.compat import deprecated_entry
+from repro.api.results import ResultRow
+from repro.api.session import Session
+from repro.api.spec import ScenarioSpec, SweepSpec, TrainingSpec
 from repro.experiments import common
-from repro.gpu.cluster import make_server_i
 from repro.pipeline.analysis import bubble_rate, bubble_shape_stats
-from repro.pipeline.engine import PipelineEngine
-from repro.sim.engine import Engine
 
 MODEL_SIZES = ("1.2B", "3.6B", "6B")
 
 
-def _point(epochs: int, item: tuple[str, int]) -> dict:
-    size, micro_batches = item
-    return _one(size, micro_batches, epochs)
+@dataclasses.dataclass(frozen=True)
+class BubbleStatsRow(ResultRow):
+    """One (model size, micro-batch) point of Figure 2(b)."""
+
+    model: str
+    micro_batches: int
+    epoch_time_s: float
+    bubble_time_s: float
+    bubble_rate: float
+    min_duration_s: float
+    max_duration_s: float
 
 
-def _one(size: str, micro_batches: int, epochs: int) -> dict:
-    config = common.train_config(size, micro_batches, epochs)
-    sim = Engine()
-    result = PipelineEngine(sim, make_server_i(sim), config).run()
+def default_spec() -> ScenarioSpec:
+    points = tuple(
+        {"training.model": size, "training.micro_batches": 4}
+        for size in MODEL_SIZES
+    ) + ({"training.model": "3.6B", "training.micro_batches": 8},)
+    return ScenarioSpec(
+        name="fig2",
+        kind="pipeline",
+        training=TrainingSpec(epochs=4),
+        sweep=SweepSpec(points=points),
+    )
+
+
+def _point(spec: ScenarioSpec) -> dict:
+    """One sweep point; module-level so pool workers can unpickle it."""
+    result = Session(spec).run().results()
     stats = bubble_shape_stats(result.trace)
     return {
-        "model": size,
-        "micro_batches": micro_batches,
+        "model": spec.training.model,
+        "micro_batches": spec.training.micro_batches,
         "epoch_time_s": result.trace.mean_epoch_time(),
         "bubble_time_s": result.trace.mean_stage_bubble_time(),
         "bubble_rate": bubble_rate(result.trace),
@@ -41,12 +67,15 @@ def _one(size: str, micro_batches: int, epochs: int) -> dict:
     }
 
 
-def run(epochs: int = 4) -> dict:
-    points = common.sweep(
-        [(size, 4) for size in MODEL_SIZES] + [("3.6B", 8)],
-        functools.partial(_point, epochs),
-    )
+def run_spec(spec: ScenarioSpec) -> dict:
+    points = common.sweep(spec.sweep_points(), _point)
     return {"by_model": points[:-1], "micro_batch_8": points[-1]}
+
+
+def run(epochs: int = 4) -> dict:
+    """Legacy entry point; delegates to the registered scenario."""
+    deprecated_entry("fig2.run()", "repro run fig2")
+    return run_spec(default_spec().override({"training.epochs": epochs}))
 
 
 def render(data: dict) -> str:
@@ -82,3 +111,25 @@ def render(data: dict) -> str:
                 f"{stage_stats['count']} bubbles"
             )
     return table + extra + "\n" + "\n".join(scatter)
+
+
+def rows(data: dict) -> list[BubbleStatsRow]:
+    return [
+        BubbleStatsRow(
+            model=row["model"],
+            micro_batches=row["micro_batches"],
+            epoch_time_s=row["epoch_time_s"],
+            bubble_time_s=row["bubble_time_s"],
+            bubble_rate=row["bubble_rate"],
+            min_duration_s=row["duration_range_s"][0],
+            max_duration_s=row["duration_range_s"][1],
+        )
+        for row in data["by_model"] + [data["micro_batch_8"]]
+    ]
+
+
+registry.register(
+    "fig2",
+    "Bubble characterization across model sizes (rate, shape, memory)",
+    default_spec, run_spec, render, rows,
+)

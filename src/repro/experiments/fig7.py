@@ -6,18 +6,25 @@ Server-II cannot hold the configuration;
 (c, d) model size 1.2B / 3.6B / 6B for all six tasks;
 (e, f) micro-batch number 4 / 6 / 8 — more micro-batches, fewer bubbles,
 lower savings.
+
+Three sweeps over one base scenario: each point is a self-contained
+``batch``-kind spec (swept axis + precomputed baseline time baked into
+``params``) shipped to the pool by the shared sweep executor.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import functools
 
 from repro import calibration
+from repro.api import registry
+from repro.api.compat import deprecated_entry
+from repro.api.results import ResultRow
+from repro.api.spec import ScenarioSpec, TrainingSpec, WorkloadSpec
 from repro.baselines.dedicated import run_dedicated
 from repro.experiments import common
-from repro.metrics.cost import cost_savings, dedicated_throughput, time_increase
-from repro.workloads.registry import WORKLOAD_NAMES, make_workload, workload_factory
+from repro.metrics.cost import cost_savings, time_increase
+from repro.workloads.registry import WORKLOAD_NAMES, make_workload
 
 BATCH_SIZES = (16, 32, 64, 96, 128)
 MODEL_SIZES = ("1.2B", "3.6B", "6B")
@@ -27,18 +34,41 @@ SWEEP_EPOCHS = 4
 
 
 @dataclasses.dataclass(frozen=True)
-class Point:
+class Point(ResultRow):
     task: str
     x: object
     time_increase: float
     cost_savings: float | None  # None = OOM on Server-II
     oom: bool = False
+    #: which of the three sweeps the point belongs to (set on export)
+    sweep: str = ""
 
 
-def _measure(config, t_no, item) -> Point:
-    """One batch-sweep point; runs in a sweep worker."""
-    name, batch_size = item
-    result = common.run_replicated(config, name, batch_size=batch_size)
+def default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig7",
+        kind="batch",
+        training=TrainingSpec(epochs=SWEEP_EPOCHS),
+        workloads=(WorkloadSpec(name="resnet18"),),
+        # Three sweeps share one base scenario, so the grids live in
+        # params rather than the single `sweep` slot.
+        params={
+            "batch_sizes": list(BATCH_SIZES),
+            "model_sizes": list(MODEL_SIZES),
+            "micro_batch_numbers": list(MICRO_BATCH_NUMBERS),
+            "model_tasks": list(MODEL_TASKS),
+            "tasks": list(WORKLOAD_NAMES),
+        },
+    )
+
+
+def _measure(spec: ScenarioSpec) -> Point:
+    """One batch-sweep point; module-level so pool workers can unpickle it."""
+    workload = spec.workloads[0]
+    name, batch_size = workload.name, workload.batch_size
+    t_no = spec.param("t_no")
+    result = common.run_replicated(spec.train_config(), name,
+                                   batch_size=batch_size)
     increase = time_increase(result.training.total_time, t_no)
     profile = make_workload(name, batch_size=batch_size).perf
     # The paper's base (batch-64) configurations all run on Server-II by
@@ -60,27 +90,26 @@ def _measure(config, t_no, item) -> Point:
                  cost_savings=savings)
 
 
-def run_batch_sweep(epochs: int = SWEEP_EPOCHS) -> list[Point]:
-    config = common.train_config(epochs=epochs)
-    t_no = common.baseline_time(config)  # computed once, shipped to workers
-    return common.sweep(
-        [(name, batch_size)
-         for name in MODEL_TASKS for batch_size in BATCH_SIZES],
-        functools.partial(_measure, config, t_no),
-    )
+def _batch_sweep(spec: ScenarioSpec) -> list[Point]:
+    t_no = common.baseline_time(spec.train_config())
+    points = [
+        {"workloads.0.name": name, "workloads.0.batch_size": batch_size,
+         "params.t_no": t_no}
+        for name in spec.param("model_tasks", MODEL_TASKS)
+        for batch_size in spec.param("batch_sizes", BATCH_SIZES)
+    ]
+    return common.sweep(spec.with_points(points), _measure)
 
 
-def _sized_point(epochs, baselines, item) -> Point:
+def _sized_point(spec: ScenarioSpec) -> Point:
     """One model-size / micro-batch point; runs in a sweep worker."""
-    x, size, micro_batches, name = item
-    config = common.train_config(size=size, micro_batches=micro_batches,
-                                 epochs=epochs)
-    t_no = baselines[(size, micro_batches)]
-    result = common.run_replicated(config, name)
+    name = spec.workloads[0].name
+    result = common.run_replicated(spec.train_config(), name)
     profile = calibration.SIDE_TASK_PROFILES[name]
+    t_no = spec.param("t_no")
     return Point(
         task=name,
-        x=x,
+        x=spec.param("x"),
         time_increase=time_increase(result.training.total_time, t_no),
         cost_savings=cost_savings(
             t_no, result.training.total_time,
@@ -89,41 +118,72 @@ def _sized_point(epochs, baselines, item) -> Point:
     )
 
 
+def _model_size_sweep(spec: ScenarioSpec) -> list[Point]:
+    # Baselines computed once in the parent and baked into the point
+    # specs — no reliance on fork inheritance of the lru caches.
+    baselines = {
+        size: common.baseline_time(
+            spec.override({"training.model": size}).train_config())
+        for size in spec.param("model_sizes", MODEL_SIZES)
+    }
+    points = [
+        {"training.model": size, "workloads.0.name": name,
+         "params.x": size, "params.t_no": baselines[size]}
+        for size in spec.param("model_sizes", MODEL_SIZES)
+        for name in spec.param("tasks", WORKLOAD_NAMES)
+    ]
+    return common.sweep(spec.with_points(points), _sized_point)
+
+
+def _micro_batch_sweep(spec: ScenarioSpec) -> list[Point]:
+    baselines = {
+        micro_batches: common.baseline_time(
+            spec.override({"training.micro_batches": micro_batches})
+            .train_config())
+        for micro_batches in spec.param("micro_batch_numbers",
+                                        MICRO_BATCH_NUMBERS)
+    }
+    points = [
+        {"training.micro_batches": micro_batches, "workloads.0.name": name,
+         "params.x": micro_batches, "params.t_no": baselines[micro_batches]}
+        for micro_batches in spec.param("micro_batch_numbers",
+                                        MICRO_BATCH_NUMBERS)
+        for name in spec.param("tasks", WORKLOAD_NAMES)
+    ]
+    return common.sweep(spec.with_points(points), _sized_point)
+
+
+def run_spec(spec: ScenarioSpec) -> dict:
+    return {
+        "batch_sweep": _batch_sweep(spec),
+        "model_size_sweep": _model_size_sweep(spec),
+        "micro_batch_sweep": _micro_batch_sweep(spec),
+    }
+
+
+# ----------------------------------------------------------------------
+# legacy entry points (one release of back-compat)
+# ----------------------------------------------------------------------
+def run_batch_sweep(epochs: int = SWEEP_EPOCHS) -> list[Point]:
+    return _batch_sweep(default_spec().override({"training.epochs": epochs}))
+
+
 def run_model_size_sweep(epochs: int = SWEEP_EPOCHS,
                          tasks=WORKLOAD_NAMES) -> list[Point]:
-    # Baselines computed once in the parent and shipped to the workers —
-    # no reliance on fork inheritance of the lru caches.
-    baselines = {
-        (size, 4): common.baseline_time(
-            common.train_config(size=size, epochs=epochs))
-        for size in MODEL_SIZES
-    }
-    return common.sweep(
-        [(size, size, 4, name) for size in MODEL_SIZES for name in tasks],
-        functools.partial(_sized_point, epochs, baselines),
-    )
+    return _model_size_sweep(default_spec().override(
+        {"training.epochs": epochs, "params.tasks": list(tasks)}))
 
 
 def run_micro_batch_sweep(epochs: int = SWEEP_EPOCHS,
                           tasks=WORKLOAD_NAMES) -> list[Point]:
-    baselines = {
-        ("3.6B", micro_batches): common.baseline_time(
-            common.train_config(micro_batches=micro_batches, epochs=epochs))
-        for micro_batches in MICRO_BATCH_NUMBERS
-    }
-    return common.sweep(
-        [(micro_batches, "3.6B", micro_batches, name)
-         for micro_batches in MICRO_BATCH_NUMBERS for name in tasks],
-        functools.partial(_sized_point, epochs, baselines),
-    )
+    return _micro_batch_sweep(default_spec().override(
+        {"training.epochs": epochs, "params.tasks": list(tasks)}))
 
 
 def run(epochs: int = SWEEP_EPOCHS) -> dict:
-    return {
-        "batch_sweep": run_batch_sweep(epochs),
-        "model_size_sweep": run_model_size_sweep(epochs),
-        "micro_batch_sweep": run_micro_batch_sweep(epochs),
-    }
+    """Legacy entry point; delegates to the registered scenario."""
+    deprecated_entry("fig7.run()", "repro run fig7")
+    return run_spec(default_spec().override({"training.epochs": epochs}))
 
 
 def _sweep_table(title: str, points: list[Point], x_name: str) -> str:
@@ -151,3 +211,19 @@ def render(data: dict) -> str:
         _sweep_table("Figure 7(e,f): varying micro-batch number",
                      data["micro_batch_sweep"], "micro-batches"),
     ])
+
+
+def rows(data: dict) -> list[Point]:
+    return [
+        dataclasses.replace(point, sweep=sweep_name)
+        for sweep_name in ("batch_sweep", "model_size_sweep",
+                           "micro_batch_sweep")
+        for point in data[sweep_name]
+    ]
+
+
+registry.register(
+    "fig7",
+    "Sensitivity sweeps: batch size, model size, micro-batch count",
+    default_spec, run_spec, render, rows,
+)

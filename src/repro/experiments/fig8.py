@@ -6,20 +6,40 @@ its kernels would keep occupying SMs into training time;
 (b) a side task that keeps allocating past its 8 GB MPS memory limit is
 OOM-killed, releasing its memory; without the limit it would grow until
 it endangered the training process.
+
+Both demonstrations are millisecond-scale staged scenarios (a hand-built
+worker + manager, not a full training run); the spec's params carry the
+stage knobs (memory cap, runaway kernel length, bubble lengths).
 """
 
 from __future__ import annotations
 
+from repro.api import registry
+from repro.api.compat import deprecated_entry
+from repro.api.spec import ScenarioSpec
 from repro.core.manager import SideTaskManager
 from repro.core.profiler import profile_side_task
 from repro.core.task_spec import TaskSpec
 from repro.core.worker import ManagedBubble, SideTaskWorker
-from repro.experiments import common
 from repro.gpu.cluster import make_server_i
 from repro.sim.engine import Engine
 from repro.workloads.misbehaving import MemoryLeakTask, NonPausingTask
 
 MEMORY_CAP_GB = 8.0
+
+
+def default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig8",
+        kind="batch",
+        params={
+            "memory_cap_gb": MEMORY_CAP_GB,
+            "runaway_kernel_s": 6.0,
+            "time_bubble_s": 0.65,
+            "leak_bubble_s": 3.0,
+            "horizon_s": 4.0,
+        },
+    )
 
 
 def _stage(workload_factory, limit_gb, bubble_s, horizon_s, interface="iterative"):
@@ -47,12 +67,15 @@ def _stage(workload_factory, limit_gb, bubble_s, horizon_s, interface="iterative
     return sim, server, worker, runtime, bubble_start
 
 
-def _time_limit_scenario(_item=None) -> dict:
+def _time_limit_scenario(spec: ScenarioSpec) -> dict:
     """(a) execution-time limit: the task launches a runaway kernel inside
     the bubble and ignores the pause."""
+    bubble_s = spec.param("time_bubble_s", 0.65)
     sim_a, server_a, worker_a, runtime_a, t0_a = _stage(
-        lambda: NonPausingTask(actual_kernel_s=6.0),
-        limit_gb=20.0, bubble_s=0.65, horizon_s=4.0,
+        lambda: NonPausingTask(actual_kernel_s=spec.param("runaway_kernel_s",
+                                                          6.0)),
+        limit_gb=20.0, bubble_s=bubble_s,
+        horizon_s=spec.param("horizon_s", 4.0),
     )
     occupancy = [
         (t - t0_a, side)
@@ -64,7 +87,7 @@ def _time_limit_scenario(_item=None) -> dict:
          if state.value == "STOPPED"), None,
     )
     return {
-        "bubble_end_s": 0.65,
+        "bubble_end_s": bubble_s,
         "grace_period_s": 0.5,
         "killed_at_s": killed_at_a,
         "kill_reason": runtime_a.failure,
@@ -72,17 +95,20 @@ def _time_limit_scenario(_item=None) -> dict:
     }
 
 
-def _memory_limit_scenario(_item=None) -> dict:
+def _memory_limit_scenario(spec: ScenarioSpec) -> dict:
     """(b) memory limit: the task leaks 1 GB per step against an 8 GB cap."""
+    cap_gb = spec.param("memory_cap_gb", MEMORY_CAP_GB)
     sim_b, server_b, worker_b, runtime_b, t0_b = _stage(
-        MemoryLeakTask, limit_gb=MEMORY_CAP_GB, bubble_s=3.0, horizon_s=4.0,
+        MemoryLeakTask, limit_gb=cap_gb,
+        bubble_s=spec.param("leak_bubble_s", 3.0),
+        horizon_s=spec.param("horizon_s", 4.0),
     )
     memory = [
         (t - t0_b, gb) for t, gb in runtime_b.proc.memory_trace
         if t >= t0_b - 0.5
     ]
     return {
-        "cap_gb": MEMORY_CAP_GB,
+        "cap_gb": cap_gb,
         "peak_gb": max(gb for _t, gb in runtime_b.proc.memory_trace),
         "killed": not runtime_b.proc.alive,
         "kill_reason": runtime_b.failure,
@@ -90,13 +116,19 @@ def _memory_limit_scenario(_item=None) -> dict:
     }
 
 
-def run() -> dict:
+def run_spec(spec: ScenarioSpec) -> dict:
     # Both scenarios are millisecond-scale: running them inline is faster
     # than any pool could be.
     return {
-        "time_limit": _time_limit_scenario(),
-        "memory_limit": _memory_limit_scenario(),
+        "time_limit": _time_limit_scenario(spec),
+        "memory_limit": _memory_limit_scenario(spec),
     }
+
+
+def run() -> dict:
+    """Legacy entry point; delegates to the registered scenario."""
+    deprecated_entry("fig8.run()", "repro run fig8")
+    return run_spec(default_spec())
 
 
 def render(data: dict) -> str:
@@ -120,3 +152,10 @@ def render(data: dict) -> str:
                    memory_limit["memory"][:12]),
     ]
     return "\n".join(lines)
+
+
+registry.register(
+    "fig8",
+    "GPU resource limits: framework-enforced kill + MPS memory cap",
+    default_spec, run_spec, render,
+)

@@ -5,35 +5,87 @@ time went to running steps, to FreeRide runtime, to tails too short for
 another step, and to bubbles left unused because the task did not fit the
 stage's memory ("No side task: OOM" — half the bubble time for VGG19 and
 Image, which exceed the bubbles of stages 0 and 1).
+
+The per-task sweep is the scenario's grid; the mixed row is a second,
+non-replicated ``batch`` scenario (one task per stage) run through the
+Session API.
 """
 
 from __future__ import annotations
 
-import functools
+import dataclasses
 
 from repro import calibration
-from repro.core.middleware import FreeRide
+from repro.api import registry
+from repro.api.compat import deprecated_entry
+from repro.api.results import ResultRow
+from repro.api.session import Session
+from repro.api.spec import ScenarioSpec, SweepSpec, TrainingSpec, WorkloadSpec
 from repro.experiments import common
 from repro.metrics.breakdown import bubble_breakdown
-from repro.workloads.registry import WORKLOAD_NAMES, workload_factory
+from repro.workloads.registry import WORKLOAD_NAMES
 
 
-def _task_row(config, name: str) -> dict:
-    result = common.run_replicated(config, name)
+@dataclasses.dataclass(frozen=True)
+class BreakdownRow(ResultRow):
+    """One task's bubble-time fractions."""
+
+    task: str
+    running: float
+    freeride_runtime: float
+    insufficient_time: float
+    no_task_oom: float
+
+
+def default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig9",
+        kind="batch",
+        training=TrainingSpec(epochs=common.DEFAULT_EPOCHS),
+        workloads=(WorkloadSpec(name="resnet18"),),
+        sweep=SweepSpec(points=tuple(
+            {"workloads.0.name": name} for name in WORKLOAD_NAMES
+        )),
+        params={"include_mixed": True},
+    )
+
+
+def _task_row(spec: ScenarioSpec) -> dict:
+    """One task's breakdown; module-level so pool workers unpickle it."""
+    name = spec.workloads[0].name
+    result = common.run_replicated(spec.train_config(), name)
     breakdown = bubble_breakdown(result)
     return {"task": name, **breakdown.fractions()}
 
 
-def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES) -> dict:
-    config = common.train_config(epochs=epochs)
-    rows = common.sweep(list(tasks), functools.partial(_task_row, config))
-    # mixed workload: one task per stage
-    freeride = FreeRide(config)
-    for name in calibration.MIXED_WORKLOAD_BY_STAGE:
-        freeride.submit(workload_factory(name))
-    breakdown = bubble_breakdown(freeride.run())
-    rows.append({"task": "mixed", **breakdown.fractions()})
+def _mixed_row(spec: ScenarioSpec) -> dict:
+    """The mixed workload (one task per stage), as a Session run."""
+    mixed_spec = dataclasses.replace(
+        spec,
+        sweep=None,
+        workloads=tuple(
+            WorkloadSpec(name=name, replicate=False)
+            for name in calibration.MIXED_WORKLOAD_BY_STAGE
+        ),
+    )
+    result = Session(mixed_spec).run().results()
+    return {"task": "mixed", **bubble_breakdown(result).fractions()}
+
+
+def run_spec(spec: ScenarioSpec) -> dict:
+    rows = common.sweep(spec.sweep_points(), _task_row)
+    if spec.param("include_mixed", True):
+        rows.append(_mixed_row(spec))
     return {"rows": rows}
+
+
+def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES) -> dict:
+    """Legacy entry point; delegates to the registered scenario."""
+    deprecated_entry("fig9.run()", "repro run fig9")
+    return run_spec(default_spec().override({
+        "training.epochs": epochs,
+        "sweep.points": [{"workloads.0.name": name} for name in tasks],
+    }))
 
 
 def render(data: dict) -> str:
@@ -53,3 +105,14 @@ def render(data: dict) -> str:
          "no task (OOM)"],
         rows,
     )
+
+
+def rows(data: dict) -> list[BreakdownRow]:
+    return [BreakdownRow(**row) for row in data["rows"]]
+
+
+registry.register(
+    "fig9",
+    "Bubble-time breakdown (running / overhead / insufficient / OOM)",
+    default_spec, run_spec, render, rows,
+)

@@ -3,48 +3,79 @@
 Beyond the paper's batch evaluation: FreeRide as an online service. A
 seeded open-loop arrival stream (Poisson by default) offers side-task
 requests at a swept rate; each (arrival rate x admission policy x
-assignment policy) point runs one full traffic-driven simulation via
-:func:`repro.serving.frontend.run_serving` and reports rejection rate,
-completion-latency percentiles, and goodput (SLO-met completions per
-second). The table shows the capacity knee: where always-admit lets
-queueing latency blow past the SLOs while token-bucket and backpressure
-admission trade rejections for bounded latency.
+assignment policy) point is a self-contained ``serving``-kind
+:class:`~repro.api.spec.ScenarioSpec` executed through the Session API,
+and reports rejection rate, completion-latency percentiles, and goodput
+(SLO-met completions per second). The table shows the capacity knee:
+where always-admit lets queueing latency blow past the SLOs while
+token-bucket and backpressure admission trade rejections for bounded
+latency.
 """
 
 from __future__ import annotations
 
-import functools
+import dataclasses
 
+from repro.api import registry
+from repro.api.compat import deprecated_entry
+from repro.api.results import ResultRow
+from repro.api.session import DEFAULT_OPEN_FRACTION, Session
+from repro.api.spec import ArrivalSpec, ScenarioSpec, SweepSpec, TrainingSpec
 from repro.experiments import common
 from repro.metrics.cost import time_increase
-from repro.serving.arrivals import make_arrivals
-from repro.serving.frontend import run_serving
 
 ARRIVAL_RATES = (1.0, 2.0, 4.0, 8.0)
 ADMISSIONS = ("always", "token_bucket", "backpressure")
 POLICIES = ("least_loaded", "edf")
 SERVE_EPOCHS = 4
 #: fraction of the no-side-task training time the service stays open —
-#: arrivals stop before teardown so late requests aren't counted offered
-OPEN_FRACTION = 0.9
+#: the ServingRunner's shared default, re-exported for the legacy name
+OPEN_FRACTION = DEFAULT_OPEN_FRACTION
 
 
-def _serve_point(config, horizon_s, t_no, arrival_kind, seed, item) -> dict:
-    """One sweep point; module-level so pool workers can unpickle it."""
-    rate, admission, policy = item
-    result = run_serving(
-        config,
-        make_arrivals(arrival_kind, rate, seed=seed),
-        horizon_s=horizon_s,
-        admission=admission,
-        policy=policy,
-        seed=seed,
+@dataclasses.dataclass(frozen=True)
+class ServeRow(ResultRow):
+    """One capacity-table point."""
+
+    rate: float
+    admission: str
+    policy: str
+    offered: int
+    rejection_rate: float
+    completed: int
+    slo_met: int
+    queueing_p95: float
+    completion_p50: float
+    completion_p95: float
+    completion_p99: float
+    goodput_rps: float
+    time_increase: float
+
+
+def default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="serve",
+        kind="serving",
+        training=TrainingSpec(epochs=SERVE_EPOCHS),
+        arrivals=ArrivalSpec(kind="poisson", rate_per_s=ARRIVAL_RATES[0]),
+        sweep=SweepSpec(axes={
+            "arrivals.rate_per_s": ARRIVAL_RATES,
+            "policy.admission": ADMISSIONS,
+            "policy.assignment": POLICIES,
+        }),
+        params={"open_fraction": OPEN_FRACTION},
     )
+
+
+def _serve_point(spec: ScenarioSpec) -> dict:
+    """One sweep point; module-level so pool workers can unpickle it."""
+    with Session(spec) as session:
+        result = session.run().results()
     metrics = result.metrics
     return {
-        "rate": rate,
-        "admission": admission,
-        "policy": policy,
+        "rate": spec.arrivals.rate_per_s,
+        "admission": spec.policy.admission,
+        "policy": spec.policy.assignment,
         "offered": metrics.offered,
         "rejection_rate": metrics.rejection_rate,
         "completed": metrics.completed,
@@ -54,7 +85,31 @@ def _serve_point(config, horizon_s, t_no, arrival_kind, seed, item) -> dict:
         "completion_p95": metrics.completion.p95,
         "completion_p99": metrics.completion.p99,
         "goodput_rps": metrics.goodput_rps,
-        "time_increase": time_increase(result.training.total_time, t_no),
+        "time_increase": time_increase(result.training.total_time,
+                                       spec.param("t_no")),
+    }
+
+
+def run_spec(spec: ScenarioSpec) -> dict:
+    config = spec.train_config()
+    # Computed once here and baked into the point specs (pool workers
+    # re-derive nothing): the service horizon and the baseline time the
+    # training-slowdown column compares against.
+    t_no = common.baseline_time(config)
+    horizon_s = spec.param("horizon_s")
+    if horizon_s is None:
+        horizon_s = t_no * float(spec.param("open_fraction", OPEN_FRACTION))
+    rows = common.sweep(
+        spec.sweep_points({"params.horizon_s": horizon_s,
+                           "params.t_no": t_no}),
+        _serve_point,
+    )
+    return {
+        "epochs": spec.training.epochs,
+        "seed": spec.seed,
+        "arrival_kind": spec.arrivals.kind,
+        "horizon_s": horizon_s,
+        "rows": rows,
     }
 
 
@@ -62,27 +117,18 @@ def run(epochs: int = SERVE_EPOCHS, seed: int = 0,
         arrival_kind: str = "poisson",
         rates=ARRIVAL_RATES, admissions=ADMISSIONS,
         policies=POLICIES) -> dict:
-    config = common.train_config(epochs=epochs, seed=seed)
-    t_no = common.baseline_time(config)  # computed once, shipped to workers
-    horizon_s = t_no * OPEN_FRACTION
-    items = [
-        (rate, admission, policy)
-        for rate in rates
-        for admission in admissions
-        for policy in policies
-    ]
-    rows = common.sweep(
-        items,
-        functools.partial(_serve_point, config, horizon_s, t_no,
-                          arrival_kind, seed),
-    )
-    return {
-        "epochs": epochs,
+    """Legacy entry point; delegates to the registered scenario."""
+    deprecated_entry("serve.run()", "repro run serve")
+    return run_spec(default_spec().override({
+        "training.epochs": epochs,
         "seed": seed,
-        "arrival_kind": arrival_kind,
-        "horizon_s": horizon_s,
-        "rows": rows,
-    }
+        "arrivals.kind": arrival_kind,
+        "sweep.axes": {
+            "arrivals.rate_per_s": list(rates),
+            "policy.admission": list(admissions),
+            "policy.assignment": list(policies),
+        },
+    }))
 
 
 def render(data: dict) -> str:
@@ -114,3 +160,14 @@ def render(data: dict) -> str:
          "train +I"],
         rows,
     )
+
+
+def rows(data: dict) -> list[ServeRow]:
+    return [ServeRow(**row) for row in data["rows"]]
+
+
+registry.register(
+    "serve",
+    "Online serving capacity: open-loop traffic x admission x assignment",
+    default_spec, run_spec, render, rows,
+)

@@ -5,23 +5,43 @@ of a standalone lower-tier GPU, and 7-59.9x of the CPU" — the FreeRide
 column is the aggregate across the standard deployment (the same task on
 every worker with enough bubble memory), compared against the task alone
 on one Server-II GPU and on the CPU server.
+
+The per-task sweep is the scenario's grid: one ``batch``-kind point spec
+per side task, each carrying the dedicated-baseline run length.
 """
 
 from __future__ import annotations
 
-import functools
-
+from repro.api import registry
+from repro.api.compat import deprecated_entry
+from repro.api.spec import ScenarioSpec, SweepSpec, TrainingSpec, WorkloadSpec
 from repro.baselines.dedicated import run_dedicated
 from repro.experiments import common
 from repro.metrics.throughput import throughput_row
-from repro.workloads.registry import WORKLOAD_NAMES, make_workload, workload_factory
+from repro.workloads.registry import WORKLOAD_NAMES, make_workload
 
 
-def _task_row(config, name: str):
-    freeride = common.run_replicated(config, name)
+def default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table1",
+        kind="batch",
+        training=TrainingSpec(epochs=common.DEFAULT_EPOCHS),
+        workloads=(WorkloadSpec(name="resnet18"),),
+        sweep=SweepSpec(points=tuple(
+            {"workloads.0.name": name} for name in WORKLOAD_NAMES
+        )),
+        params={"dedicated_duration_s": 30.0},
+    )
+
+
+def _task_row(spec: ScenarioSpec):
+    """One task's row; module-level so pool workers can unpickle it."""
+    name = spec.workloads[0].name
+    duration_s = spec.param("dedicated_duration_s", 30.0)
+    freeride = common.run_replicated(spec.train_config(), name)
     server_ii = run_dedicated(make_workload(name), "server_ii",
-                              duration_s=30.0)
-    cpu = run_dedicated(make_workload(name), "cpu", duration_s=30.0)
+                              duration_s=duration_s)
+    cpu = run_dedicated(make_workload(name), "cpu", duration_s=duration_s)
     return throughput_row(
         name,
         make_workload(name).perf,
@@ -32,10 +52,17 @@ def _task_row(config, name: str):
     )
 
 
+def run_spec(spec: ScenarioSpec) -> dict:
+    return {"rows": common.sweep(spec.sweep_points(), _task_row)}
+
+
 def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES) -> dict:
-    config = common.train_config(epochs=epochs)
-    return {"rows": common.sweep(list(tasks),
-                                 functools.partial(_task_row, config))}
+    """Legacy entry point; delegates to the registered scenario."""
+    deprecated_entry("table1.run()", "repro run table1")
+    return run_spec(default_spec().override({
+        "training.epochs": epochs,
+        "sweep.points": [{"workloads.0.name": name} for name in tasks],
+    }))
 
 
 def render(data: dict) -> str:
@@ -56,3 +83,14 @@ def render(data: dict) -> str:
          "vs Server-II", "vs CPU"],
         rows,
     )
+
+
+def rows(data: dict) -> list:
+    return list(data["rows"])
+
+
+registry.register(
+    "table1",
+    "Side-task throughput: FreeRide vs dedicated GPU vs CPU",
+    default_spec, run_spec, render, rows,
+)

@@ -3,16 +3,22 @@
 Four methods — FreeRide iterative, FreeRide imperative, raw Nvidia MPS,
 and naive co-location — across the six side tasks plus the mixed workload
 (PageRank, ResNet18, Image, VGG19 on the GPUs of stages 0-3).
+
+The (task x method) product is the scenario's sweep grid; the baseline
+training time is computed once and baked into the point specs.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import functools
 
 from repro import calibration
+from repro.api import registry
+from repro.api.compat import deprecated_entry
+from repro.api.results import ResultRow
+from repro.api.session import Session
+from repro.api.spec import ScenarioSpec, SweepSpec, TrainingSpec, WorkloadSpec
 from repro.baselines.colocation import run_colocation
-from repro.core.middleware import FreeRide
 from repro.experiments import common
 from repro.metrics.cost import cost_savings, time_increase
 from repro.workloads.registry import WORKLOAD_NAMES, workload_factory
@@ -21,18 +27,40 @@ METHODS = ("iterative", "imperative", "mps", "naive")
 
 
 @dataclasses.dataclass(frozen=True)
-class Cell:
+class Cell(ResultRow):
     method: str
     task: str
     time_increase: float
     cost_savings: float
 
 
-def _freeride_cell(config, name, interface, t_no) -> Cell:
-    result = common.run_replicated(config, name, interface=interface)
+def default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table2",
+        kind="batch",
+        training=TrainingSpec(epochs=common.DEFAULT_EPOCHS),
+        workloads=(WorkloadSpec(name="resnet18"),),
+        sweep=SweepSpec(axes={
+            "workloads.0.name": WORKLOAD_NAMES,
+            "params.method": METHODS,
+        }),
+        params={"include_mixed": True},
+    )
+
+
+def _method_cell(spec: ScenarioSpec) -> Cell:
+    """One (task, method) cell; runs in a sweep worker."""
+    name = spec.workloads[0].name
+    method = spec.param("method")
+    t_no = spec.param("t_no")
+    config = spec.train_config()
+    if method in ("iterative", "imperative"):
+        result = common.run_replicated(config, name, interface=method)
+    else:
+        result = run_colocation(config, workload_factory(name), mode=method)
     profile = calibration.SIDE_TASK_PROFILES[name]
     return Cell(
-        method=interface,
+        method=method,
         task=name,
         time_increase=time_increase(result.training.total_time, t_no),
         cost_savings=cost_savings(
@@ -42,30 +70,21 @@ def _freeride_cell(config, name, interface, t_no) -> Cell:
     )
 
 
-def _baseline_cell(config, name, mode, t_no) -> Cell:
-    result = run_colocation(config, workload_factory(name), mode=mode)
-    profile = calibration.SIDE_TASK_PROFILES[name]
-    return Cell(
-        method=mode,
-        task=name,
-        time_increase=time_increase(result.training.total_time, t_no),
-        cost_savings=cost_savings(
-            t_no, result.training.total_time,
-            [(result.total_units, profile)],
-        ),
-    )
-
-
-def _mixed_cells(config, t_no) -> list[Cell]:
+def _mixed_cells(spec: ScenarioSpec, t_no: float) -> list[Cell]:
     """The mixed workload: one task per stage (paper section 6.2)."""
     mixed = calibration.MIXED_WORKLOAD_BY_STAGE
+    config = spec.train_config()
     cells = []
     for interface in ("iterative", "imperative"):
-        freeride = FreeRide(config)
-        for name in mixed:
-            freeride.submit(workload_factory(name, interface=interface),
-                            interface)
-        result = freeride.run()
+        mixed_spec = dataclasses.replace(
+            spec,
+            sweep=None,
+            workloads=tuple(
+                WorkloadSpec(name=name, interface=interface, replicate=False)
+                for name in mixed
+            ),
+        )
+        result = Session(mixed_spec).run().results()
         work = [
             (report.units_done,
              calibration.SIDE_TASK_PROFILES[mixed[report.stage]])
@@ -96,25 +115,26 @@ def _mixed_cells(config, t_no) -> list[Cell]:
     return cells
 
 
-def _method_cell(config, t_no, item) -> Cell:
-    """One (task, method) cell; runs in a sweep worker."""
-    name, method = item
-    if method in ("iterative", "imperative"):
-        return _freeride_cell(config, name, method, t_no)
-    return _baseline_cell(config, name, method, t_no)
+def run_spec(spec: ScenarioSpec) -> dict:
+    t_no = common.baseline_time(spec.train_config())
+    cells: list[Cell] = common.sweep(
+        spec.sweep_points({"params.t_no": t_no}), _method_cell
+    )
+    if spec.param("include_mixed", True):
+        cells.extend(_mixed_cells(spec, t_no))
+    return {"cells": cells, "baseline_time_s": t_no}
 
 
 def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES,
         include_mixed: bool = True) -> dict:
-    config = common.train_config(epochs=epochs)
-    t_no = common.baseline_time(config)
-    cells: list[Cell] = common.sweep(
-        [(name, method) for name in tasks for method in METHODS],
-        functools.partial(_method_cell, config, t_no),
-    )
-    if include_mixed:
-        cells.extend(_mixed_cells(config, t_no))
-    return {"cells": cells, "baseline_time_s": t_no}
+    """Legacy entry point; delegates to the registered scenario."""
+    deprecated_entry("table2.run()", "repro run table2")
+    return run_spec(default_spec().override({
+        "training.epochs": epochs,
+        "sweep.axes": {"workloads.0.name": list(tasks),
+                       "params.method": list(METHODS)},
+        "params.include_mixed": include_mixed,
+    }))
 
 
 def render(data: dict) -> str:
@@ -144,3 +164,14 @@ def render(data: dict) -> str:
          "naive I", "naive S"],
         rows,
     )
+
+
+def rows(data: dict) -> list[Cell]:
+    return list(data["cells"])
+
+
+registry.register(
+    "table2",
+    "Time increase I and cost savings S for all tasks and baselines",
+    default_spec, run_spec, render, rows,
+)

@@ -13,13 +13,16 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.api.results import ResultRow
 from repro.calibration import SideTaskProfile
 from repro.metrics.cost import dedicated_throughput
 
 
 @dataclasses.dataclass(frozen=True)
-class ThroughputRow:
+class ThroughputRow(ResultRow):
     """One row of Table 1 (units per second)."""
+
+    export_properties = ("speedup_vs_server_ii", "speedup_vs_cpu")
 
     name: str
     freeride_iterative: float

@@ -17,7 +17,6 @@ import dataclasses
 import functools
 import typing
 
-from repro import calibration
 from repro.gpu.kernel import TRAINING_INTERFERENCE, Priority
 from repro.gpu.process import GPUProcess
 from repro.pipeline.analysis import (

@@ -17,12 +17,8 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-import typing
 
 from repro.pipeline.analysis import BubbleType, TrainingTrace
-
-if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.pipeline.memory_model import MemoryModel
 
 
 @dataclasses.dataclass(frozen=True)

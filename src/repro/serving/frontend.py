@@ -20,13 +20,13 @@ import dataclasses
 import typing
 
 from repro.core.middleware import FreeRide
-from repro.core.policies import NAMED_POLICIES, AssignmentPolicy
+from repro.core.policies import AssignmentPolicy
 from repro.core.states import SideTaskState
 from repro.core.task_spec import TaskProfile, TaskSpec
 from repro.core.profiler import profile_side_task
 from repro.pipeline.config import TrainConfig
 from repro.pipeline.engine import TrainingResult
-from repro.metrics.latency import ServingMetrics, serving_metrics
+from repro.metrics.latency import ServingMetrics
 from repro.serving import slo as slo_mod
 from repro.serving.arrivals import ArrivalProcess, TaskRequest
 from repro.workloads.adapters import FiniteJob, ImperativeAdapter
@@ -279,7 +279,10 @@ class ServingFrontend:
         # don't burn tokens on requests that could never be queued.
         if len(self.queue) >= self.queue_capacity:
             record.rejected_at = now
-            record.reject_reason = "admission queue full"
+            record.reject_reason = (
+                f"admission queue full ({len(self.queue)}/"
+                f"{self.queue_capacity}; admission={self.admission.name})"
+            )
             return
         admitted, reason = self.admission.admit(now, record.request,
                                                 len(self.queue))
@@ -322,6 +325,7 @@ class ServingFrontend:
                 name=request.name,
                 slo_class=request.slo_class,
                 deadline_s=record.deadline_s,
+                queue_depth=len(self.queue) + len(deferred),
             )
             if spec is None:  # pragma: no cover - eligibility checked above
                 deferred.append(record)
@@ -396,29 +400,36 @@ def run_serving(
 ) -> ServingResult:
     """Serve an open-loop request stream from one training job's bubbles.
 
-    Builds FreeRide over ``config``, schedules ``arrivals`` up to
-    ``horizon_s``, runs training to completion with the frontend
-    admitting/dispatching along the way, then closes the service, drains,
-    and reports per-request lifecycles plus aggregate capacity metrics.
+    The one-call legacy facade: builds the serving scenario ad hoc and
+    delegates to :class:`repro.api.session.ServingRunner` — the same
+    runner a declarative :class:`~repro.api.spec.ScenarioSpec` executes
+    through. Policy/admission/discipline accept names or instances
+    (instances bypass the spec vocabulary, e.g. a custom
+    :class:`AdmissionPolicy` or a trace-replay arrival process).
     """
-    if isinstance(policy, str):
-        policy = NAMED_POLICIES[policy]
-    freeride = FreeRide(config, seed=seed, policy=policy)
-    requests = arrivals.generate(horizon_s)
-    frontend = ServingFrontend(
-        freeride, requests,
-        admission=admission,
-        discipline=discipline,
+    # Imported here: the session layer sits above this module.
+    from repro.api.session import ServingRunner
+    from repro.api.spec import PolicySpec, ScenarioSpec
+
+    policy_spec = PolicySpec(
+        assignment=policy if isinstance(policy, str) else "least_loaded",
+        admission=admission if isinstance(admission, str) else "always",
+        discipline=discipline if isinstance(discipline, str) else "edf",
         queue_capacity=queue_capacity,
     )
-    training = freeride.run_training()
-    frontend.close()
-    open_duration_s = min(frontend.closed_at, horizon_s)
-    freeride.drain(settle_s)  # also fires (and refuses) late arrivals
-    frontend.finalize()
-    return ServingResult(
-        training=training,
-        records=frontend.records,
-        metrics=serving_metrics(frontend.records, duration_s=open_duration_s),
-        open_duration_s=open_duration_s,
+    spec = ScenarioSpec(
+        name="run_serving",
+        kind="serving",
+        seed=seed,
+        policy=policy_spec,
+        params={"horizon_s": horizon_s, "settle_s": settle_s},
     )
+    runner = ServingRunner(
+        spec,
+        config=config,
+        arrivals=arrivals,
+        admission=None if isinstance(admission, str) else admission,
+        policy=None if isinstance(policy, str) else policy,
+        discipline=None if isinstance(discipline, str) else discipline,
+    )
+    return runner.run()

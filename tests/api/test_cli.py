@@ -1,0 +1,109 @@
+"""CLI tests for the registry-backed `repro` command."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_names_every_scenario(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig1", "table2", "serve", "ablations"):
+        assert name in out
+
+
+def test_list_json_is_machine_readable(capsys):
+    assert main(["list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert {entry["name"] for entry in payload} >= {"fig1", "serve"}
+    assert all({"name", "title", "kind"} <= set(entry) for entry in payload)
+
+
+def test_run_with_set_overrides(capsys):
+    assert main(["run", "fig1", "--set", "training.micro_batches=8"]) == 0
+    assert "Figure 1(a)" in capsys.readouterr().out
+
+
+def test_run_rejects_bad_set_syntax():
+    with pytest.raises(SystemExit):
+        main(["run", "fig1", "--set", "nonsense"])
+
+
+def test_run_reports_spec_errors_cleanly(capsys):
+    assert main(["run", "fig1", "--set", "training.epoch=2"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_export_spec_only_round_trips(capsys):
+    assert main(["export", "fig1", "--spec-only", "--seed", "5"]) == 0
+    from repro.api.spec import ScenarioSpec
+
+    spec = ScenarioSpec.from_json(capsys.readouterr().out)
+    assert spec.name == "fig1"
+    assert spec.seed == 5
+
+
+def test_run_from_spec_file(tmp_path, capsys):
+    assert main(["export", "fig1", "--spec-only"]) == 0
+    spec_path = tmp_path / "fig1.json"
+    spec_path.write_text(capsys.readouterr().out)
+    assert main(["run", "fig1", "--spec", str(spec_path)]) == 0
+    assert "Figure 1(a)" in capsys.readouterr().out
+
+
+def test_run_from_exported_artifact(tmp_path, capsys):
+    """The documented flow: `repro export` then `repro run --spec` on
+    the artifact itself (the spec lives under its "scenario" key)."""
+    assert main(["export", "fig1", "--out", str(tmp_path),
+                 "--format", "json"]) == 0
+    capsys.readouterr()
+    assert main(["run", "fig1", "--spec", str(tmp_path / "fig1.json")]) == 0
+    assert "Figure 1(a)" in capsys.readouterr().out
+
+
+def test_spec_file_errors_are_clean(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig1", "--spec", str(tmp_path / "missing.json")])
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SystemExit):
+        main(["run", "fig1", "--spec", str(bad)])
+
+
+def test_export_writes_artifacts(tmp_path, capsys):
+    assert main(["export", "fig1", "--out", str(tmp_path)]) == 0
+    printed = capsys.readouterr().out.splitlines()
+    assert len(printed) == 3
+    assert (tmp_path / "fig1.json").exists()
+    assert (tmp_path / "fig1.csv").exists()
+    assert (tmp_path / "fig1.txt").exists()
+
+
+def test_export_single_format(tmp_path, capsys):
+    assert main(["export", "fig1", "--out", str(tmp_path),
+                 "--format", "json"]) == 0
+    assert (tmp_path / "fig1.json").exists()
+    assert not (tmp_path / "fig1.csv").exists()
+
+
+def test_export_explicit_csv_without_rows_fails_loudly(tmp_path, capsys):
+    """fig8 has no tabular rows: --format csv must not exit 0 having
+    written nothing."""
+    assert main(["export", "fig8", "--out", str(tmp_path),
+                 "--format", "csv"]) == 2
+    assert "no tabular rows" in capsys.readouterr().err
+    assert not (tmp_path / "fig8.csv").exists()
+
+
+def test_mismatched_spec_file_is_a_clean_error(tmp_path, capsys):
+    """A serve export fed to fig1 errors instead of running the wrong
+    simulation and crashing."""
+    assert main(["export", "serve", "--spec-only"]) == 0
+    spec_path = tmp_path / "serve.json"
+    spec_path.write_text(capsys.readouterr().out)
+    assert main(["run", "fig1", "--spec", str(spec_path)]) == 2
+    assert "different experiment" in capsys.readouterr().err

@@ -1,0 +1,57 @@
+"""Deprecation-shim tests: the legacy entry points still work, warn,
+and print byte-identically to the registry path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import registry
+from repro.experiments import fig8, serve
+
+
+def test_legacy_run_warns_deprecation():
+    with pytest.warns(DeprecationWarning, match="legacy entry point"):
+        fig8.run()
+
+
+def test_legacy_fig8_output_matches_registry_byte_for_byte():
+    with pytest.warns(DeprecationWarning):
+        legacy = fig8.render(fig8.run())
+    assert legacy == registry.run("fig8").render()
+
+
+def test_legacy_serve_output_matches_registry_byte_for_byte():
+    kwargs = dict(epochs=1, rates=(2.0,), admissions=("always",),
+                  policies=("least_loaded",))
+    with pytest.warns(DeprecationWarning):
+        legacy = serve.render(serve.run(**kwargs))
+    via_registry = registry.run("serve", overrides={
+        "training.epochs": 1,
+        "sweep.axes": {
+            "arrivals.rate_per_s": [2.0],
+            "policy.admission": ["always"],
+            "policy.assignment": ["least_loaded"],
+        },
+    })
+    assert legacy == via_registry.render()
+
+
+def test_legacy_freeride_facade_still_works():
+    """FreeRide(...) driven by hand remains supported for one release."""
+    from repro.core.middleware import FreeRide
+    from repro.experiments.common import train_config
+    from repro.workloads.registry import workload_factory
+
+    freeride = FreeRide(train_config(epochs=1))
+    assert freeride.submit(workload_factory("pagerank")) is not None
+    result = freeride.run()
+    assert result.tasks[0].steps_done > 0
+
+
+def test_legacy_experiments_mapping_still_importable():
+    from repro.experiments import EXPERIMENTS
+
+    assert set(EXPERIMENTS) == set(registry.names())
+    for name, module in EXPERIMENTS.items():
+        assert callable(module.run)
+        assert callable(module.render)

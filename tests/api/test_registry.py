@@ -1,0 +1,118 @@
+"""Registry tests: contents, seed acceptance, rows, artifact export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import registry
+from repro.api.results import ResultRow, ResultSet
+from repro.api.spec import ScenarioSpec
+
+ALL_SCENARIOS = (
+    "fig1", "fig2", "table1", "table2", "fig7", "fig8", "fig9",
+    "ablations", "serve",
+)
+
+
+def test_registry_contains_every_paper_artifact():
+    assert tuple(registry.names()) == tuple(sorted(ALL_SCENARIOS))
+
+
+def test_describe_is_json_safe():
+    text = json.dumps(registry.describe())
+    assert all(name in text for name in ALL_SCENARIOS)
+
+
+def test_unknown_scenario_raises_with_choices():
+    with pytest.raises(KeyError, match="fig1"):
+        registry.get("fig99")
+
+
+def test_duplicate_registration_rejected():
+    definition = registry.get("fig1")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register(definition.name, definition.title,
+                          definition.spec, definition.run_spec,
+                          definition.render)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SCENARIOS))
+def test_every_scenario_accepts_seed(name):
+    """The --seed regression guard: with the registry there is no
+    signature probing, so seed must be an overridable field of every
+    scenario's spec (the CLI maps --seed to it)."""
+    definition = registry.get(name)
+    spec = definition.spec()
+    overridden = spec.override({"seed": 1234})
+    assert overridden.seed == 1234
+    assert overridden.train_config().seed == 1234
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SCENARIOS))
+def test_every_default_spec_round_trips(name):
+    spec = registry.get(name).spec()
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
+def test_run_applies_overrides_and_wraps_result():
+    result = registry.run("fig1", overrides={"training.micro_batches": 8})
+    assert isinstance(result, ResultSet)
+    assert result.scenario.training.micro_batches == 8
+    assert "Figure 1(a)" in result.render()
+    assert result.rows()
+    assert all(isinstance(row, ResultRow) for row in result.rows())
+
+
+def test_artifact_export_writes_all_formats(tmp_path):
+    result = registry.run("fig1")
+    written = result.write_artifacts(str(tmp_path))
+    names = sorted(p.rsplit("/", 1)[-1] for p in written)
+    assert names == ["fig1.csv", "fig1.json", "fig1.txt"]
+    payload = json.loads((tmp_path / "fig1.json").read_text())
+    assert payload["experiment"] == "fig1"
+    # The embedded scenario re-hydrates to the spec that ran.
+    assert ScenarioSpec.from_dict(payload["scenario"]) == result.scenario
+    assert payload["rows"]
+    csv_text = (tmp_path / "fig1.csv").read_text()
+    assert csv_text.splitlines()[0].startswith("stage,")
+    assert (tmp_path / "fig1.txt").read_text().startswith("Figure 1(a)")
+
+
+def test_rowless_experiment_skips_csv(tmp_path):
+    result = registry.run("fig8")
+    written = result.write_artifacts(str(tmp_path))
+    names = sorted(p.rsplit("/", 1)[-1] for p in written)
+    assert names == ["fig8.json", "fig8.txt"]
+
+
+def test_override_of_swept_axis_pins_it():
+    """--set on a swept field must win, not be silently re-swept."""
+    result = registry.run("serve", overrides={
+        "training.epochs": 1,
+        "policy.admission": "backpressure",
+        "sweep.axes": {
+            "arrivals.rate_per_s": [2.0],
+            "policy.admission": ["always", "token_bucket"],
+            "policy.assignment": ["least_loaded"],
+        },
+    })
+    rows = result.data["rows"]
+    assert len(rows) == 1
+    assert rows[0]["admission"] == "backpressure"
+
+
+def test_override_colliding_with_sweep_points_is_an_error():
+    from repro.errors import SpecError
+
+    with pytest.raises(SpecError, match="sweep points"):
+        registry.run("table1", overrides={"workloads.0.name": "vgg19"})
+
+
+def test_spec_kind_must_match_the_experiment():
+    from repro.errors import SpecError
+
+    serving_spec = registry.get("serve").spec()
+    with pytest.raises(SpecError, match="different"):
+        registry.run("fig1", spec=serving_spec)

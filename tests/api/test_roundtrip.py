@@ -1,0 +1,65 @@
+"""Acceptance guard: export -> from_dict -> re-run is byte-identical.
+
+The JSON a spec exports must contain everything that determines the
+run: re-hydrating it and re-running reproduces the rows byte for byte,
+for both the serving path and a figure (the two kinds of runner).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import registry
+from repro.api.spec import ScenarioSpec
+
+#: reduced serve scenario: one point, one epoch
+SERVE_OVERRIDES = {
+    "training.epochs": 1,
+    "sweep.axes": {
+        "arrivals.rate_per_s": [2.0],
+        "policy.admission": ["backpressure"],
+        "policy.assignment": ["edf"],
+    },
+}
+
+
+def _rows_bytes(result) -> bytes:
+    return json.dumps(result.row_dicts(), sort_keys=True).encode()
+
+
+def test_serve_json_round_trip_rerun_is_byte_identical():
+    first = registry.run("serve", overrides=SERVE_OVERRIDES)
+    spec = ScenarioSpec.from_json(first.scenario.to_json())
+    assert spec == first.scenario
+    second = registry.run("serve", spec=spec)
+    assert _rows_bytes(first) == _rows_bytes(second)
+    assert first.render() == second.render()
+
+
+def test_fig2_json_round_trip_rerun_is_byte_identical():
+    first = registry.run("fig2", overrides={"training.epochs": 1})
+    spec = ScenarioSpec.from_json(first.scenario.to_json())
+    second = registry.run("fig2", spec=spec)
+    assert _rows_bytes(first) == _rows_bytes(second)
+    assert first.render() == second.render()
+
+
+def test_exported_point_spec_reruns_one_point():
+    """A materialized sweep point (what a pool worker ran) is itself a
+    complete, re-runnable scenario: re-hydrating it through JSON and
+    running it alone reproduces the full sweep's row byte for byte."""
+    from repro.experiments.common import baseline_time
+    from repro.experiments.serve import _serve_point
+
+    base = registry.get("serve").spec().override(SERVE_OVERRIDES)
+    data = registry.get("serve").run_spec(base)
+    t_no = baseline_time(base.train_config())
+    point = base.sweep_points({
+        "params.horizon_s": data["horizon_s"],
+        "params.t_no": t_no,
+    })[0]
+    rehydrated = ScenarioSpec.from_json(point.to_json())
+    assert rehydrated == point
+    row = _serve_point(rehydrated)
+    assert json.dumps(row, sort_keys=True) == \
+        json.dumps(data["rows"][0], sort_keys=True)

@@ -70,6 +70,27 @@ class TestAlgorithm1:
             manager.submit(spec_with_memory(30.0))
         assert len(manager.rejections) == 1
 
+    def test_rejection_carries_policy_and_queue_context(self, engine):
+        """A rejection names the policy that said no, the eligibility
+        count, and the caller's queue depth (satellite of the API
+        redesign: no more bare TaskRejectedError)."""
+        workers, _ = make_workers(engine)
+        manager = SideTaskManager(engine, workers)
+        with pytest.raises(TaskRejectedError) as exc_info:
+            manager.submit(spec_with_memory(30.0), queue_depth=5)
+        error = exc_info.value
+        assert error.policy == "least_loaded_policy"
+        assert error.queue_depth == 5
+        assert error.eligible_workers == 0
+        assert error.task_name
+        message = str(error)
+        assert "policy=least_loaded_policy" in message
+        assert "0/4 workers eligible" in message
+        assert "queue depth 5" in message
+        # The manager's rejection log records the same context.
+        _name, reason = manager.rejections[0]
+        assert "queue depth 5" in reason
+
     def test_reservation_prevents_memory_oversubscription(self, engine):
         workers, _ = make_workers(engine)
         manager = SideTaskManager(engine, workers)

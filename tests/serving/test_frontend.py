@@ -188,8 +188,8 @@ class TestAdmissionQueueInteraction:
             queue_capacity=2,
             seed=0,
         )
-        overflow = [r for r in result.records
-                    if r.reject_reason == "admission queue full"]
+        overflow = [r for r in result.records if r.reject_reason
+                    and r.reject_reason.startswith("admission queue full")]
         assert overflow  # the bounded queue did overflow
         assert spy.calls == result.metrics.offered - len(overflow)
 
@@ -242,7 +242,10 @@ class TestBoundedQueueAndBackpressure:
         )
         reasons = {r.reject_reason for r in result.records
                    if r.status == "rejected"}
-        assert "admission queue full" in reasons
+        assert any(reason.startswith("admission queue full")
+                   for reason in reasons)
+        # The enriched reason names the queue bound and admission policy.
+        assert any("4; admission=always" in reason for reason in reasons)
         assert result.metrics.rejected > 0
         assert result.metrics.rejection_rate > 0
 

@@ -97,22 +97,35 @@ def test_serve_seed_changes_traffic():
 
 
 def test_cli_runs_fig1(capsys):
+    """`repro run fig1` prints the figure."""
+    from repro.cli import main
+    assert main(["run", "fig1"]) == 0
+    captured = capsys.readouterr()
+    assert "Figure 1(a)" in captured.out
+
+
+def test_cli_legacy_positional_form_still_works(capsys):
+    """One release of back-compat: `freeride fig1` forwards to run."""
     from repro.cli import main
     assert main(["fig1"]) == 0
     captured = capsys.readouterr()
     assert "Figure 1(a)" in captured.out
+    assert "deprecated" in captured.err
 
 
 def test_cli_rejects_unknown_experiment():
     from repro.cli import main
     with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+    with pytest.raises(SystemExit):
         main(["fig99"])
 
 
-def test_cli_warns_on_inapplicable_seed(capsys):
-    """fig1's run() takes no seed; the flag is ignored with a warning."""
+def test_cli_seed_flag_applies_to_every_scenario(capsys):
+    """--seed is spec-level now: fig1 (which ignored it pre-registry)
+    accepts it and reseeds the training jitter."""
     from repro.cli import main
-    assert main(["fig1", "--seed", "3"]) == 0
+    assert main(["run", "fig1", "--seed", "3"]) == 0
     captured = capsys.readouterr()
-    assert "does not take --seed" in captured.err
+    assert "does not take" not in captured.err
     assert "Figure 1(a)" in captured.out
