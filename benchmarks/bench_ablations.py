@@ -6,8 +6,9 @@ from repro.experiments import ablations
 
 
 def test_grace_period_ablation(benchmark, record_output):
-    rows = benchmark.pedantic(ablations.run_grace_period, rounds=1,
-                              iterations=1)
+    rows = benchmark.pedantic(ablations.grace_sweep,
+                              (ablations.default_spec(),),
+                              rounds=1, iterations=1)
     record_output("ablation_grace", str(rows))
     # Every grace period eventually kills the runaway task...
     assert all(row["killed"] for row in rows)
@@ -19,8 +20,9 @@ def test_grace_period_ablation(benchmark, record_output):
 
 
 def test_rpc_latency_ablation(benchmark, record_output):
-    rows = benchmark.pedantic(ablations.run_rpc_latency, rounds=1,
-                              iterations=1)
+    rows = benchmark.pedantic(ablations.rpc_latency_sweep,
+                              (ablations.default_spec(),),
+                              rounds=1, iterations=1)
     record_output("ablation_rpc", str(rows))
     # Slower RPCs harvest less work.
     assert rows[0]["units"] >= rows[-1]["units"]
@@ -29,7 +31,9 @@ def test_rpc_latency_ablation(benchmark, record_output):
 
 
 def test_policy_ablation(benchmark, record_output):
-    rows = benchmark.pedantic(ablations.run_policies, rounds=1, iterations=1)
+    rows = benchmark.pedantic(ablations.policy_sweep,
+                              (ablations.default_spec(),),
+                              rounds=1, iterations=1)
     record_output("ablation_policy", str(rows))
     by_name = {row["policy"]: row for row in rows}
     # The paper's least-loaded rule spreads tasks across workers...
@@ -40,8 +44,9 @@ def test_policy_ablation(benchmark, record_output):
 
 
 def test_step_granularity_ablation(benchmark, record_output):
-    rows = benchmark.pedantic(ablations.run_step_granularity, rounds=1,
-                              iterations=1)
+    rows = benchmark.pedantic(ablations.granularity_sweep,
+                              (ablations.default_spec(),),
+                              rounds=1, iterations=1)
     record_output("ablation_step", str(rows))
     # Finer steps -> more interface overhead; coarser -> more bubble-tail
     # waste (Figure 9's PageRank-vs-SGD effect, made explicit).
@@ -50,7 +55,9 @@ def test_step_granularity_ablation(benchmark, record_output):
 
 
 def test_schedule_ablation(benchmark, record_output):
-    rows = benchmark.pedantic(ablations.run_schedules, rounds=1, iterations=1)
+    rows = benchmark.pedantic(ablations.schedule_sweep,
+                              (ablations.default_spec(),),
+                              rounds=1, iterations=1)
     record_output("ablation_schedule", str(rows))
     by_name = {row["schedule"]: row for row in rows}
     # Both schedules leave large bubbles; 1F1B is what the paper measures.

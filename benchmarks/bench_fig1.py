@@ -6,7 +6,9 @@ from repro.experiments import fig1
 
 
 def test_fig1(benchmark, record_output):
-    data = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    data = benchmark.pedantic(
+        lambda: fig1.run_spec(fig1.default_spec()),
+        rounds=1, iterations=1)
     record_output("fig1", fig1.render(data))
     stages = {row["stage"]: row for row in data["stages"]}
     # The paper's Figure 1 annotations, verbatim.

@@ -6,7 +6,9 @@ from repro.experiments import fig2
 
 
 def test_fig2(benchmark, record_output):
-    data = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    data = benchmark.pedantic(
+        lambda: fig2.run_spec(fig2.default_spec()),
+        rounds=1, iterations=1)
     record_output("fig2", fig2.render(data))
     rows = {row["model"]: row for row in data["by_model"]}
     # Bubble rate: 42.4% at 1.2B, falling only slightly to ~40% at 6B.

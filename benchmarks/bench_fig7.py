@@ -6,7 +6,8 @@ from repro.experiments import fig7
 
 
 def test_fig7_batch_sizes(benchmark, record_output):
-    points = benchmark.pedantic(fig7.run_batch_sweep, rounds=1, iterations=1)
+    points = benchmark.pedantic(fig7.batch_sweep, (fig7.default_spec(),),
+                                rounds=1, iterations=1)
     record_output(
         "fig7_batch",
         fig7._sweep_table("Figure 7(a,b): varying side-task batch size",
@@ -23,8 +24,9 @@ def test_fig7_batch_sizes(benchmark, record_output):
 
 
 def test_fig7_model_sizes(benchmark, record_output):
-    points = benchmark.pedantic(fig7.run_model_size_sweep, rounds=1,
-                                iterations=1)
+    points = benchmark.pedantic(fig7.model_size_sweep,
+                                (fig7.default_spec(),),
+                                rounds=1, iterations=1)
     record_output(
         "fig7_model",
         fig7._sweep_table("Figure 7(c,d): varying model size", points,
@@ -44,8 +46,9 @@ def test_fig7_model_sizes(benchmark, record_output):
 
 
 def test_fig7_micro_batches(benchmark, record_output):
-    points = benchmark.pedantic(fig7.run_micro_batch_sweep, rounds=1,
-                                iterations=1)
+    points = benchmark.pedantic(fig7.micro_batch_sweep,
+                                (fig7.default_spec(),),
+                                rounds=1, iterations=1)
     record_output(
         "fig7_micro",
         fig7._sweep_table("Figure 7(e,f): varying micro-batch number",

@@ -8,7 +8,9 @@ from repro.experiments import fig8
 
 
 def test_fig8(benchmark, record_output):
-    data = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    data = benchmark.pedantic(
+        lambda: fig8.run_spec(fig8.default_spec()),
+        rounds=1, iterations=1)
     record_output("fig8", fig8.render(data))
 
     time_limit = data["time_limit"]

@@ -6,7 +6,9 @@ from repro.experiments import fig9
 
 
 def test_fig9(benchmark, record_output):
-    data = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    data = benchmark.pedantic(
+        lambda: fig9.run_spec(fig9.default_spec()),
+        rounds=1, iterations=1)
     record_output("fig9", fig9.render(data))
     rows = {row["task"]: row for row in data["rows"]}
 

@@ -6,7 +6,9 @@ from repro.experiments import serve
 
 
 def test_serve(benchmark, record_output):
-    data = benchmark.pedantic(serve.run, rounds=1, iterations=1)
+    data = benchmark.pedantic(
+        lambda: serve.run_spec(serve.default_spec()),
+        rounds=1, iterations=1)
     record_output("serve", serve.render(data))
 
     rows = data["rows"]

@@ -5,43 +5,50 @@ each on its own simulated 4-GPU server, report their bubbles to a single
 shared side-task manager, which spreads eight PageRank side tasks across
 the combined worker pool.
 
+This is the programmatic :class:`~repro.cluster.ClusterBuilder` route;
+see ``examples/cluster_session.py`` for the declarative spec/Session
+version of the same deployment, and ``repro run cluster`` for the swept
+experiment.
+
 Run with::
 
-    python examples/multi_server.py
+    PYTHONPATH=src python examples/multi_server.py
 """
 
 from __future__ import annotations
 
-from repro.extensions.multi_server import MultiServerFreeRide
+from repro.cluster import ClusterBuilder
 from repro.pipeline.config import TrainConfig, model_config
 from repro.workloads.registry import workload_factory
 
 
 def main() -> None:
-    configs = [
-        TrainConfig(model=model_config("3.6B"), epochs=6, op_jitter=0.01),
-        TrainConfig(model=model_config("1.2B"), epochs=6, op_jitter=0.01,
-                    seed=1),
-    ]
-    deployment = MultiServerFreeRide(configs)
+    cluster = (
+        ClusterBuilder()
+        .add_job(TrainConfig(model=model_config("3.6B"), epochs=6,
+                             op_jitter=0.01))
+        .add_job(TrainConfig(model=model_config("1.2B"), epochs=6,
+                             op_jitter=0.01, seed=1), name="small")
+        .build()
+    )
     accepted = sum(
         1 for _ in range(8)
-        if deployment.submit(workload_factory("pagerank")) is not None
+        if cluster.submit(workload_factory("pagerank")) is not None
     )
     print(f"submitted {accepted} PageRank tasks across "
-          f"{len(deployment.workers)} workers on {len(configs)} servers")
+          f"{len(cluster.workers)} workers on {cluster.num_jobs} servers")
 
-    result = deployment.run()
+    result = cluster.run()
 
-    for job, training in enumerate(result.trainings):
-        print(f"job {job} ({configs[job].model.name}): "
-              f"{training.total_time:.1f}s over "
-              f"{len(training.trace.epochs)} epochs")
+    for job in result.jobs:
+        print(f"{job.name}: {job.training.total_time:.1f}s over "
+              f"{len(job.training.trace.epochs)} epochs, "
+              f"{job.utilization:.0%} bubble utilization")
     print("\nper-worker harvest:")
     for report in sorted(result.tasks, key=lambda r: r.stage):
-        job, stage = divmod(report.stage, 4)
-        print(f"  job {job} stage {stage}: {report.steps_done:6d} PageRank "
-              f"iterations, running {report.running_s:5.1f}s, "
+        job_index, stage = cluster.job_of_worker(report.stage)
+        print(f"  job {job_index} stage {stage}: {report.steps_done:6d} "
+              f"PageRank iterations, running {report.running_s:5.1f}s, "
               f"state {report.final_state.value}")
     print(f"\ntotal harvested iterations: {result.total_units:.0f}")
 

@@ -2,9 +2,10 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description="FreeRide reproduction: harvesting bubbles in pipeline "
-                "parallelism, with a declarative scenario/session API",
+                "parallelism, with a declarative scenario/session API "
+                "and a multi-job cluster layer",
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.10",
@@ -12,9 +13,6 @@ setup(
     entry_points={
         "console_scripts": [
             "repro = repro.cli:main",
-            # legacy name, kept for one release (forwards through the
-            # same registry-backed CLI)
-            "freeride = repro.cli:main",
         ],
     },
 )

@@ -30,6 +30,7 @@ from repro.api import registry
 from repro.api.results import ResultRow, ResultSet
 from repro.api.session import (
     BatchRunner,
+    ClusterRunner,
     PipelineRunner,
     Runner,
     ServingRunner,
@@ -39,6 +40,7 @@ from repro.api.session import (
 from repro.api.spec import (
     ArrivalSpec,
     ClusterSpec,
+    JobSpec,
     MixEntrySpec,
     PolicySpec,
     ScenarioSpec,
@@ -51,7 +53,9 @@ from repro.api.spec import (
 __all__ = [
     "ArrivalSpec",
     "BatchRunner",
+    "ClusterRunner",
     "ClusterSpec",
+    "JobSpec",
     "MixEntrySpec",
     "PipelineRunner",
     "PolicySpec",

@@ -105,8 +105,23 @@ def _pin_swept_fields(
     sweep = scenario.sweep
     if sweep is None:
         return scenario
+
+    def _overridden(key: str) -> bool:
+        # An override of the axis itself, of a parent subtree (--set
+        # policy=edf replaces the whole policy section, so the
+        # policy.assignment axis must not re-sweep it away), or of a
+        # field *inside* a whole-subtree axis (--set
+        # workloads.0.batch_size=32 against a swept 'workloads' axis
+        # would otherwise be replaced wholesale at every point).
+        return any(
+            key == path
+            or key.startswith(path + ".")
+            or path.startswith(key + ".")
+            for path in overrides
+        )
+
     collisions = [
-        key for point in sweep.points for key in point if key in overrides
+        key for point in sweep.points for key in point if _overridden(key)
     ]
     if collisions:
         raise SpecError(
@@ -114,7 +129,7 @@ def _pin_swept_fields(
             "scenario's explicit sweep points and would be ignored; "
             "override 'sweep.points' itself instead"
         )
-    pinned = [key for key in sweep.axes if key in overrides]
+    pinned = [key for key in sweep.axes if _overridden(key)]
     if not pinned:
         return scenario
     axes = {key: values for key, values in sweep.axes.items()

@@ -71,7 +71,7 @@ class ResultSet:
 
     experiment: str
     scenario: ScenarioSpec
-    #: the experiment-shaped payload (what the legacy ``run()`` returns)
+    #: the experiment-shaped payload (``run_spec``'s return value)
     data: object
     _render: "typing.Callable[[object], str]"
     _rows: "typing.Callable[[object], list] | None" = None

@@ -20,11 +20,17 @@ the repo's front doors implement:
   and report a :class:`~repro.serving.frontend.ServingResult`;
 * :class:`PipelineRunner` — training only (no side tasks), for bubble
   characterization scenarios; reports a
-  :class:`~repro.pipeline.engine.TrainingResult`.
+  :class:`~repro.pipeline.engine.TrainingResult`;
+* :class:`ClusterRunner` — several training jobs behind one shared
+  manager (paper section 8): builds a
+  :class:`~repro.cluster.builder.Cluster`, places the spec's shared
+  workload mix across the combined pool (or, when the spec has an
+  ``arrivals`` section, admits open-loop traffic against it), and
+  reports a :class:`~repro.cluster.result.ClusterResult`.
 
-The legacy facades (`FreeRide(...)` driven by hand,
-:func:`repro.serving.frontend.run_serving`) remain supported for one
-release and delegate to / interoperate with these runners.
+The programmatic facades (`FreeRide(...)` driven by hand,
+:func:`repro.serving.frontend.run_serving`, ``ClusterBuilder``) remain
+supported and delegate to / interoperate with these runners.
 """
 
 from __future__ import annotations
@@ -138,11 +144,47 @@ class PipelineRunner:
         return self.result
 
 
+def _open_horizon(spec: ScenarioSpec, explicit: "float | None",
+                  default_baseline_s: "typing.Callable[[], float]") -> float:
+    """Seconds a serving-mode runner accepts traffic.
+
+    Priority: the runner's constructor override, then
+    ``params.horizon_s``, then ``params.open_fraction`` (default
+    :data:`DEFAULT_OPEN_FRACTION`) of ``default_baseline_s()`` — the
+    runner's notion of the no-side-task training time.
+    """
+    if explicit is not None:
+        return explicit
+    horizon = spec.param("horizon_s")
+    if horizon is not None:
+        return float(horizon)
+    fraction = float(spec.param("open_fraction", DEFAULT_OPEN_FRACTION))
+    return default_baseline_s() * fraction
+
+
+def _finish_serving(frontend, drain, open_horizon: float,
+                    settle_s: float) -> "tuple[float, object]":
+    """The canonical serving teardown, shared by every serving-mode
+    runner: close the frontend, account the open window, drain (which
+    also fires — and refuses — late arrivals), back-fill the records.
+
+    Returns ``(open_duration_s, metrics)``.
+    """
+    from repro.metrics.latency import serving_metrics
+
+    frontend.close()
+    open_duration_s = min(frontend.closed_at, open_horizon)
+    drain(settle_s)
+    frontend.finalize()
+    metrics = serving_metrics(frontend.records, duration_s=open_duration_s)
+    return open_duration_s, metrics
+
+
 class ServingRunner:
     """The online path: arrivals -> admission frontend -> FreeRide.
 
     Construction is spec-driven; the keyword overrides exist for the
-    legacy :func:`~repro.serving.frontend.run_serving` facade and for
+    :func:`~repro.serving.frontend.run_serving` facade and for
     programmatic callers injecting policy *objects* or a trace-replay
     arrival process that a JSON spec cannot name.
     """
@@ -172,23 +214,13 @@ class ServingRunner:
         self.result: "ServingResult | None" = None
 
     def horizon_s(self) -> float:
-        """Seconds the service accepts traffic.
-
-        Priority: constructor override, then ``params.horizon_s``, then
-        ``params.open_fraction`` (default :data:`DEFAULT_OPEN_FRACTION`)
-        of the no-side-task training time — arrivals stop before
-        teardown so late requests are not counted as offered load.
-        """
-        if self._horizon_s is not None:
-            return self._horizon_s
-        horizon = self.spec.param("horizon_s")
-        if horizon is not None:
-            return float(horizon)
+        """Seconds the service accepts traffic — arrivals stop before
+        teardown so late requests are not counted as offered load (see
+        :func:`_open_horizon` for the resolution order)."""
         from repro.experiments.common import baseline_time
 
-        fraction = float(self.spec.param("open_fraction",
-                                         DEFAULT_OPEN_FRACTION))
-        return baseline_time(self.config) * fraction
+        return _open_horizon(self.spec, self._horizon_s,
+                             lambda: baseline_time(self.config))
 
     def prepare(self) -> None:
         if self.freeride is not None:
@@ -225,23 +257,137 @@ class ServingRunner:
         )
 
     def run(self) -> "ServingResult":
-        from repro.metrics.latency import serving_metrics
         from repro.serving.frontend import ServingResult
 
         self.prepare()
         training = self.freeride.run_training()
-        self.frontend.close()
-        open_duration_s = min(self.frontend.closed_at, self._open_horizon)
-        settle_s = self.spec.param("settle_s", DEFAULT_SETTLE_S)
-        self.freeride.drain(settle_s)  # also fires (and refuses) late arrivals
-        self.frontend.finalize()
+        open_duration_s, metrics = _finish_serving(
+            self.frontend, self.freeride.drain, self._open_horizon,
+            self.spec.param("settle_s", DEFAULT_SETTLE_S),
+        )
         self.result = ServingResult(
             training=training,
             records=self.frontend.records,
-            metrics=serving_metrics(self.frontend.records,
-                                    duration_s=open_duration_s),
+            metrics=metrics,
             open_duration_s=open_duration_s,
         )
+        return self.result
+
+
+class ClusterRunner:
+    """Several training jobs, one shared manager, the combined pool.
+
+    Batch mode (no ``arrivals`` section): the spec's ``workloads`` are
+    the shared mix, placed across the combined worker pool exactly like
+    :class:`BatchRunner` places them on a single job. Serving mode
+    (``arrivals`` present): the admission frontend sits in front of the
+    cluster's manager and open-loop traffic is admitted against the
+    combined pool, with job-aware admission (``per_job_token_bucket``)
+    sized by the job count. Either way the result is a
+    :class:`~repro.cluster.result.ClusterResult`.
+    """
+
+    kind = "cluster"
+
+    def __init__(self, spec: ScenarioSpec, *,
+                 arrivals: "ArrivalProcess | None" = None,
+                 admission: "AdmissionPolicy | None" = None,
+                 horizon_s: "float | None" = None):
+        self.spec = spec
+        self._arrivals = arrivals
+        self._admission = admission
+        self._horizon_s = horizon_s
+        self.cluster = None
+        self.frontend = None
+        self.result = None
+
+    def horizon_s(self) -> float:
+        """Seconds the cluster accepts traffic (serving mode): the
+        default baseline is the *longest* job's no-side-task training
+        time, since the combined pool keeps producing bubbles until the
+        last job finishes (resolution order in :func:`_open_horizon`)."""
+        from repro.experiments.common import baseline_time
+
+        return _open_horizon(
+            self.spec, self._horizon_s,
+            lambda: max(baseline_time(config)
+                        for config in self.spec.job_configs()),
+        )
+
+    def prepare(self) -> None:
+        if self.cluster is not None:
+            return
+        from repro.cluster import Cluster, ClusterJob
+
+        jobs = [
+            ClusterJob(
+                config=config,
+                server_factory=job.cluster.factory(),
+                name=job.name or f"job{index}",
+            )
+            for index, (job, config) in enumerate(
+                zip(self.spec.job_specs(), self.spec.job_configs())
+            )
+        ]
+        self.cluster = Cluster(
+            jobs,
+            seed=self.spec.seed,
+            **self.spec.policy.freeride_kwargs(),
+        )
+        if self._arrivals is not None or self.spec.arrivals is not None:
+            from repro.serving.frontend import ServingFrontend
+
+            arrivals = (
+                self._arrivals if self._arrivals is not None
+                else self.spec.arrivals.build(self.spec.seed)
+            )
+            self._open_horizon = self.horizon_s()
+            requests = arrivals.generate(self._open_horizon)
+            self.frontend = ServingFrontend(
+                self.cluster,
+                requests,
+                admission=(self._admission if self._admission is not None
+                           else self.spec.policy.admission),
+                discipline=self.spec.policy.discipline,
+                queue_capacity=self.spec.policy.queue_capacity,
+                jobs=self.cluster.num_jobs,
+            )
+        else:
+            for workload in self.spec.workloads:
+                self._place(workload)
+
+    def submit(self, workload: WorkloadSpec) -> int:
+        """Submit one extra shared workload; returns the copies placed."""
+        self.prepare()
+        if self.frontend is not None:
+            raise SessionError(
+                "cluster scenario serves open-loop traffic; its work "
+                "comes from the arrivals section, not submit()"
+            )
+        return self._place(workload)
+
+    def _place(self, workload: WorkloadSpec) -> int:
+        if workload.replicate:
+            return self.cluster.submit_replicated(
+                workload.factory(), workload.interface, copies=workload.copies
+            )
+        accepted = self.cluster.submit(workload.factory(), workload.interface)
+        return 0 if accepted is None else 1
+
+    def run(self):
+        self.prepare()
+        settle_s = self.spec.param("settle_s", DEFAULT_SETTLE_S)
+        if self.frontend is None:
+            self.result = self.cluster.run(settle_s=settle_s)
+            return self.result
+        trainings = self.cluster.run_training()
+        open_duration_s, metrics = _finish_serving(
+            self.frontend, self.cluster.drain, self._open_horizon, settle_s,
+        )
+        self.result = self.cluster.result(trainings)
+        self.result.records = self.frontend.records
+        self.result.metrics = metrics
+        self.result.open_duration_s = open_duration_s
         return self.result
 
 
@@ -249,6 +395,7 @@ _RUNNERS: "dict[str, type]" = {
     "batch": BatchRunner,
     "serving": ServingRunner,
     "pipeline": PipelineRunner,
+    "cluster": ClusterRunner,
 }
 
 
@@ -317,9 +464,17 @@ class Session:
             workload = WorkloadSpec(name=workload, **fields)
         elif fields:
             workload = dataclasses.replace(workload, **fields)
-        if self.spec.kind != "batch":
+        batch_like = self.spec.kind == "batch" or (
+            self.spec.kind == "cluster"
+            and self.spec.arrivals is None
+            # an arrival process handed to the runner directly (e.g.
+            # trace replay) puts the cluster in serving mode just as a
+            # spec-level arrivals section would
+            and self._runner_kwargs.get("arrivals") is None
+        )
+        if not batch_like:
             raise SessionError(
-                f"submit() extends batch scenarios; {self.spec.kind!r} "
+                f"submit() extends batch-style scenarios; {self.spec.kind!r} "
                 "scenarios take their work from the spec (arrivals/mix)"
             )
         if self._runner is None:

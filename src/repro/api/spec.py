@@ -162,6 +162,31 @@ class WorkloadSpec(SpecBase):
 
 
 @dataclasses.dataclass(frozen=True)
+class JobSpec(SpecBase):
+    """One training job of a ``kind="cluster"`` scenario.
+
+    Pairs a per-job cluster (which server) with a per-job training
+    config. The scenario's root ``seed`` still feeds every stream; job
+    *i* trains with ``seed + i`` so identical job specs produce distinct
+    (but fully deterministic) bubble patterns.
+    """
+
+    cluster: ClusterSpec = dataclasses.field(default_factory=ClusterSpec)
+    training: TrainingSpec = dataclasses.field(default_factory=TrainingSpec)
+    #: display label; empty = "job<index>"
+    name: str = ""
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        data = dict(_require_mapping(data, cls))
+        if "cluster" in data:
+            data["cluster"] = ClusterSpec.from_dict(data["cluster"])
+        if "training" in data:
+            data["training"] = TrainingSpec.from_dict(data["training"])
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
 class MixEntrySpec(SpecBase):
     """One entry of a serving workload mix (request template)."""
 
@@ -351,25 +376,33 @@ class ScenarioSpec(SpecBase):
 
     name: str = "scenario"
     #: "batch" (FreeRide + fixed submissions), "serving" (open-loop
-    #: traffic through the admission frontend), or "pipeline" (training
-    #: only, no side tasks)
+    #: traffic through the admission frontend), "pipeline" (training
+    #: only, no side tasks), or "cluster" (several training jobs behind
+    #: one shared manager)
     kind: str = "batch"
     #: root seed: feeds training jitter, worker RNG streams, and (for
     #: serving scenarios) the arrival process
     seed: int = 0
     cluster: ClusterSpec = dataclasses.field(default_factory=ClusterSpec)
     training: TrainingSpec = dataclasses.field(default_factory=TrainingSpec)
-    #: batch submissions (ignored by "serving"/"pipeline" scenarios)
+    #: batch submissions; for "cluster" scenarios this is the shared
+    #: workload mix placed across the combined pool ("serving"/
+    #: "pipeline" ignore it)
     workloads: "tuple[WorkloadSpec, ...]" = ()
-    #: serving traffic (required for "serving" scenarios)
+    #: serving traffic (required for "serving" scenarios; optional for
+    #: "cluster" — admits open-loop requests against the combined pool)
     arrivals: "ArrivalSpec | None" = None
     policy: PolicySpec = dataclasses.field(default_factory=PolicySpec)
+    #: the cluster's training jobs: an int (that many copies of the
+    #: base ``cluster``+``training`` sections — what ``--set jobs=4``
+    #: sets) or explicit per-job :class:`JobSpec` entries
+    jobs: "int | tuple[JobSpec, ...]" = ()
     sweep: "SweepSpec | None" = None
     #: free-form, JSON-safe experiment knobs (durations, method names,
     #: cached derived values such as a precomputed baseline time)
     params: dict = dataclasses.field(default_factory=dict)
 
-    KINDS = ("batch", "serving", "pipeline")
+    KINDS = ("batch", "serving", "pipeline", "cluster")
 
     def __post_init__(self):
         if self.kind not in self.KINDS:
@@ -377,10 +410,43 @@ class ScenarioSpec(SpecBase):
                 f"unknown scenario kind {self.kind!r}; "
                 f"choose from {sorted(self.KINDS)}"
             )
+        if isinstance(self.jobs, int):
+            if self.jobs < 0:
+                raise SpecError(f"jobs must be >= 0, got {self.jobs}")
+        if self.kind == "cluster" and not self.jobs:
+            raise SpecError(
+                "cluster scenarios need jobs: an int (copies of the base "
+                "training section) or a list of per-job specs"
+            )
 
     # -- config assembly ------------------------------------------------
     def train_config(self) -> TrainConfig:
         return self.training.to_config(self.seed)
+
+    def job_specs(self) -> "tuple[JobSpec, ...]":
+        """The cluster's jobs, materialized.
+
+        An int ``jobs`` expands to that many copies of the scenario's
+        base ``cluster``/``training`` sections; an explicit tuple is
+        returned as-is.
+        """
+        if isinstance(self.jobs, int):
+            return tuple(
+                JobSpec(cluster=self.cluster, training=self.training)
+                for _ in range(self.jobs)
+            )
+        return self.jobs
+
+    def job_configs(self) -> "list[TrainConfig]":
+        """Per-job train configs; job *i* seeds with ``seed + i``."""
+        return [
+            job.training.to_config(self.seed + index)
+            for index, job in enumerate(self.job_specs())
+        ]
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.job_specs())
 
     def param(self, key: str, default=None):
         return self.params.get(key, default)
@@ -400,7 +466,15 @@ class ScenarioSpec(SpecBase):
         if data.get("arrivals") is not None:
             data["arrivals"] = ArrivalSpec.from_dict(data["arrivals"])
         if "policy" in data:
-            data["policy"] = PolicySpec.from_dict(data["policy"])
+            if isinstance(data["policy"], str):
+                # CLI sugar: --set policy=edf names the assignment policy.
+                data["policy"] = PolicySpec(assignment=data["policy"])
+            else:
+                data["policy"] = PolicySpec.from_dict(data["policy"])
+        if "jobs" in data and not isinstance(data["jobs"], int):
+            data["jobs"] = tuple(
+                JobSpec.from_dict(entry) for entry in data["jobs"]
+            )
         if data.get("sweep") is not None:
             data["sweep"] = SweepSpec.from_dict(data["sweep"])
         if "params" in data:

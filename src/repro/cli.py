@@ -13,12 +13,10 @@ Examples::
     repro run table2 --epochs 16
     repro run serve --seed 7 --set policy.admission=backpressure
     repro run serve --set 'sweep.axes={"arrivals.rate_per_s": [2.0]}'
+    repro run cluster --set jobs=4 --set policy=edf
     repro export serve --out artifacts/            # json + csv + txt
     repro export fig2 --spec-only > fig2.json      # the spec, no run
     repro run fig2 --spec fig2.json                # re-run it exactly
-
-The pre-registry positional form (``freeride fig1``) keeps working for
-one release and forwards to ``run`` with a deprecation notice.
 """
 
 from __future__ import annotations
@@ -98,13 +96,6 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
 
 def main(argv: "list[str] | None" = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    # One release of back-compat: `freeride fig1 --epochs 2` == `repro
-    # run fig1 --epochs 2`.
-    if argv and argv[0] in registry.names():
-        print(f"warning: positional `{argv[0]}` is deprecated; "
-              f"use `repro run {argv[0]}`", file=sys.stderr)
-        argv = ["run"] + argv
-
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FreeRide reproduction: run registered scenarios "

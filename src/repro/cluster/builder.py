@@ -1,0 +1,248 @@
+"""Compose several training jobs into one shared-manager deployment.
+
+The core manager is server-count agnostic: it coordinates a flat list of
+workers and receives bubbles tagged with a worker index. This module
+builds the paper's section-8 deployment as a first-class object — each
+training job runs on its own simulated server with its own
+instrumentation, all bubble reports flow over RPC to a *single* shared
+:class:`~repro.core.manager.SideTaskManager`, and Algorithm 1 places
+side tasks across the combined worker pool.
+
+Construction is two-phase::
+
+    cluster = (ClusterBuilder(seed=0, policy=least_loaded_policy)
+               .add_job(config_a)
+               .add_job(config_b, name="small")
+               .build())
+    cluster.submit_replicated(workload_factory("pagerank"))
+    result = cluster.run()          # -> ClusterResult
+
+The built :class:`Cluster` exposes the same submission/run surface as
+:class:`~repro.core.middleware.FreeRide` (``submit`` with SLO tags,
+``run_training``/``drain``, ``runtime_for``), so the serving frontend
+can admit open-loop traffic against the combined pool unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro import calibration
+from repro.cluster.jobs import ClusterJob, as_jobs
+from repro.cluster.result import ClusterResult, JobResult
+from repro.core.manager import SideTaskManager
+from repro.core.middleware import SideTaskPool, _ManagerListener
+from repro.core.policies import AssignmentPolicy, least_loaded_policy
+from repro.core.task_spec import TaskSpec
+from repro.core.worker import SideTaskWorker
+from repro.pipeline.config import TrainConfig
+from repro.pipeline.engine import PipelineEngine, profile_bubbles
+from repro.pipeline.instrumentation import BubbleStart
+from repro.pipeline.memory_model import MemoryModel
+from repro.sim.engine import Engine
+from repro.sim.events import AllOf
+from repro.sim.rng import RandomStreams
+
+
+class _OffsetListener(_ManagerListener):
+    """Maps a job's local stage numbers into the global worker index.
+
+    Each job's instrumentation reports bubbles by *local* stage; the
+    shared manager keys workers by their index in the combined pool, so
+    every report is shifted by the job's stage offset before delivery.
+    """
+
+    def __init__(self, *args, stage_offset: int, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.stage_offset = stage_offset
+
+    def on_bubble_start(self, report: BubbleStart) -> None:
+        shifted = dataclasses.replace(
+            report, stage=report.stage + self.stage_offset
+        )
+        super().on_bubble_start(shifted)
+
+    def on_bubble_end(self, stage: int, now: float) -> None:
+        super().on_bubble_end(stage + self.stage_offset, now)
+
+
+class ClusterBuilder:
+    """Accumulates jobs and shared policy, then builds a :class:`Cluster`."""
+
+    def __init__(
+        self,
+        jobs: "typing.Sequence[ClusterJob | TrainConfig]" = (),
+        seed: int = 0,
+        policy: AssignmentPolicy = least_loaded_policy,
+        hook_cost_s: float = calibration.INSTRUMENTATION_OVERHEAD_S,
+        rpc_latency_s: float = calibration.RPC_LATENCY_S,
+        grace_period_s: float = calibration.GRACE_PERIOD_S,
+    ):
+        self.jobs: "list[ClusterJob]" = as_jobs(jobs)
+        self.seed = seed
+        self.policy = policy
+        self.hook_cost_s = hook_cost_s
+        self.rpc_latency_s = rpc_latency_s
+        self.grace_period_s = grace_period_s
+
+    def add_job(
+        self,
+        config: "TrainConfig | ClusterJob",
+        name: str = "",
+        server_factory=None,
+    ) -> "ClusterBuilder":
+        """Append one training job; returns the builder for chaining."""
+        if isinstance(config, ClusterJob):
+            job = config
+        else:
+            job = ClusterJob(
+                config=config,
+                name=name,
+                **({"server_factory": server_factory}
+                   if server_factory is not None else {}),
+            )
+        self.jobs.append(job)
+        return self
+
+    def build(self) -> "Cluster":
+        if not self.jobs:
+            raise ValueError("need at least one training job")
+        return Cluster(
+            self.jobs,
+            seed=self.seed,
+            policy=self.policy,
+            hook_cost_s=self.hook_cost_s,
+            rpc_latency_s=self.rpc_latency_s,
+            grace_period_s=self.grace_period_s,
+        )
+
+
+class Cluster(SideTaskPool):
+    """Several pipeline jobs feeding one shared side-task manager.
+
+    Submission, teardown, and per-task accounting come from
+    :class:`~repro.core.middleware.SideTaskPool` — the identical
+    surface :class:`~repro.core.middleware.FreeRide` exposes, which is
+    what lets the serving frontend admit traffic against the combined
+    pool unchanged.
+    """
+
+    def __init__(
+        self,
+        jobs: "typing.Sequence[ClusterJob | TrainConfig]",
+        seed: int = 0,
+        policy: AssignmentPolicy = least_loaded_policy,
+        hook_cost_s: float = calibration.INSTRUMENTATION_OVERHEAD_S,
+        rpc_latency_s: float = calibration.RPC_LATENCY_S,
+        grace_period_s: float = calibration.GRACE_PERIOD_S,
+    ):
+        self.jobs = as_jobs(jobs)
+        if not self.jobs:
+            raise ValueError("need at least one training job")
+        self.sim = Engine()
+        self.rng = RandomStreams(seed)
+        self.workers: "list[SideTaskWorker]" = []
+        self.pipelines: "list[PipelineEngine]" = []
+        self.servers = []
+        #: per job: (label, stage_offset, num_stages)
+        self.layout: "list[tuple[str, int, int]]" = []
+        # Build workers for every server first: the manager needs the
+        # complete pool before any pipeline starts reporting bubbles.
+        offset = 0
+        for index, job in enumerate(self.jobs):
+            config = job.config
+            server = job.server_factory(self.sim)
+            self.servers.append(server)
+            self.layout.append((job.label(index), offset, config.num_stages))
+            memory = MemoryModel(
+                config.model, config.num_stages, config.micro_batches,
+                gpu_memory_gb=server.gpu(0).memory_gb,
+            )
+            for stage in range(config.num_stages):
+                global_index = len(self.workers)
+                self.workers.append(
+                    SideTaskWorker(
+                        self.sim,
+                        server.gpu(stage),
+                        stage=global_index,  # global index: the manager's key
+                        side_task_memory_gb=memory.available_gb(stage),
+                        mps=server.mps,
+                        rng=self.rng.spawn(f"worker{global_index}"),
+                        name=f"{job.label(index)}-worker{stage}",
+                    )
+                )
+            offset += config.num_stages
+        self.manager = SideTaskManager(
+            self.sim, self.workers, policy=policy,
+            rpc_latency_s=rpc_latency_s,
+            grace_period_s=grace_period_s,
+        )
+        for index, job in enumerate(self.jobs):
+            config = job.config
+            server = self.servers[index]
+            profile = profile_bubbles(job.server_factory, config)
+            memory = MemoryModel(
+                config.model, config.num_stages, config.micro_batches,
+                gpu_memory_gb=server.gpu(0).memory_gb,
+            )
+            listener = _OffsetListener(
+                self.sim, self.manager, memory, hook_cost_s, rpc_latency_s,
+                stage_offset=self.layout[index][1],
+            )
+            self.pipelines.append(
+                PipelineEngine(
+                    self.sim, server, config,
+                    rng=self.rng.spawn(f"pipeline{index}"),
+                    listener=listener, profile=profile,
+                )
+            )
+        self._submissions: "list[tuple[TaskSpec, str, int]]" = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    def job_of_worker(self, stage: int) -> "tuple[int, int]":
+        """Map a global worker index to ``(job_index, local_stage)``."""
+        for index, (_label, offset, num_stages) in enumerate(self.layout):
+            if offset <= stage < offset + num_stages:
+                return index, stage - offset
+        raise IndexError(f"no job owns worker {stage}")
+
+    # ------------------------------------------------------------------
+    def run_training(self) -> "list":
+        """Start every pipeline; run until all jobs complete."""
+        procs = [pipeline.start() for pipeline in self.pipelines]
+        self.sim.run(until=AllOf(self.sim, procs))
+        return [proc.value for proc in procs]
+
+    def run(self, settle_s: float = 2.0) -> ClusterResult:
+        """Run every job to completion, stop side tasks, and report."""
+        trainings = self.run_training()
+        self.drain(settle_s)
+        return self.result(trainings)
+
+    def result(self, trainings: "list") -> ClusterResult:
+        """Assemble the :class:`ClusterResult` after the runs finish."""
+        reports = [
+            self._report(spec, interface, stage)
+            for spec, interface, stage in self._submissions
+        ]
+        job_results = [
+            JobResult(
+                name=label,
+                training=trainings[index],
+                stage_offset=offset,
+                num_stages=num_stages,
+                tasks=[report for report in reports
+                       if offset <= report.stage < offset + num_stages],
+            )
+            for index, (label, offset, num_stages) in enumerate(self.layout)
+        ]
+        return ClusterResult(
+            jobs=job_results,
+            tasks=reports,
+            rejections=list(self.manager.rejections),
+        )

@@ -156,12 +156,18 @@ class SideTaskManager:
 
     def _sweep(self) -> None:
         now = self.sim.now
+        # Enforcement timers are created *after* the worker loop so the
+        # loop's command casts occupy adjacent heap slots and coalesce
+        # into one event per sweep (see RpcChannel.cast). The timers
+        # fire a grace period later — far from any same-instant tie —
+        # so deferring their creation does not reorder the simulation.
+        checks: "list[typing.Callable[[], None]]" = []
         for worker in self.workers:
             bubble = worker.current_bubble
             if bubble is not None and bubble.has_ended(now):
                 task = worker.current_task
                 if task is not None and task.state is SideTaskState.RUNNING:
-                    self._initiate_pause(worker, task)
+                    self._initiate_pause(worker, task, checks)
                 worker.current_bubble = None
             if worker.has_new_bubble():
                 worker.update_current_bubble()
@@ -175,7 +181,7 @@ class SideTaskManager:
             pending = self._pending.get(id(task))
             if task.state is SideTaskState.CREATED:
                 if pending is not CommandKind.INIT:
-                    self._initiate_init(worker, task)
+                    self._initiate_init(worker, task, checks)
             elif task.state is SideTaskState.PAUSED:
                 if pending in (CommandKind.INIT, CommandKind.PAUSE):
                     self._pending.pop(id(task), None)
@@ -190,17 +196,24 @@ class SideTaskManager:
             elif task.state is SideTaskState.RUNNING:
                 if pending is CommandKind.START:
                     self._pending.pop(id(task), None)
+        for schedule_check in checks:
+            schedule_check()
 
     # ------------------------------------------------------------------
     # transition initiation + framework-enforced protection
     # ------------------------------------------------------------------
-    def _initiate_init(self, worker: SideTaskWorker, task: SideTaskRuntime) -> None:
+    def _initiate_init(self, worker: SideTaskWorker, task: SideTaskRuntime,
+                       checks: "list[typing.Callable[[], None]]") -> None:
         self._pending[id(task)] = CommandKind.INIT
         self.rpc.cast(task.deliver, Command(CommandKind.INIT))
         transfer_s = (
             task.spec.profile.gpu_memory_gb / calibration.H2D_BANDWIDTH_GB_S
         )
         deadline = self.grace_period_s + transfer_s
+        checks.append(lambda: self._schedule_init_check(worker, task, deadline))
+
+    def _schedule_init_check(self, worker: SideTaskWorker,
+                             task: SideTaskRuntime, deadline: float) -> None:
         check = self.sim.timeout(deadline)
         check.callbacks.append(
             lambda _ev: self._enforce_init(worker, task)
@@ -213,10 +226,18 @@ class SideTaskManager:
             Command(CommandKind.START, bubble_end=bubble.end_estimate),
         )
 
-    def _initiate_pause(self, worker: SideTaskWorker, task: SideTaskRuntime) -> None:
+    def _initiate_pause(self, worker: SideTaskWorker, task: SideTaskRuntime,
+                        checks: "list[typing.Callable[[], None]]") -> None:
         self._pending[id(task)] = CommandKind.PAUSE
         initiated_at = self.sim.now
         self.rpc.cast(task.deliver, Command(CommandKind.PAUSE))
+        checks.append(
+            lambda: self._schedule_pause_check(worker, task, initiated_at)
+        )
+
+    def _schedule_pause_check(self, worker: SideTaskWorker,
+                              task: SideTaskRuntime,
+                              initiated_at: float) -> None:
         check = self.sim.timeout(self.grace_period_s)
         check.callbacks.append(
             lambda _ev: self._enforce_pause(worker, task, initiated_at)

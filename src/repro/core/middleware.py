@@ -8,10 +8,9 @@
 3. one **side-task worker per GPU** sized by its stage's bubble memory,
 4. the **side-task manager** running Algorithms 1 and 2.
 
-``FreeRide`` remains a supported facade for one more release, but new
-code should drive it through the declarative session API
-(:mod:`repro.api`), which wraps this class behind the ``Runner``
-protocol::
+``FreeRide`` remains the supported programmatic facade; declarative
+code drives it through the session API (:mod:`repro.api`), which
+wraps this class behind the ``Runner`` protocol::
 
     from repro.api import ScenarioSpec, Session
 
@@ -23,7 +22,7 @@ protocol::
         result = session.run().results()
     print(result.tasks[0].units_done, result.training.total_time)
 
-Direct (legacy) use — still exercised by the unit tests::
+Direct use — still exercised by the unit tests::
 
     freeride = FreeRide(train_config)
     freeride.submit(lambda: PageRankTask(), interface="iterative")
@@ -129,65 +128,21 @@ class FreeRideResult:
         return sum(report.steps_done for report in self.tasks)
 
 
-class FreeRide:
-    """The middleware: instrumented training + managed side tasks."""
+class SideTaskPool:
+    """Shared submission/teardown surface over a managed worker pool.
 
-    def __init__(
-        self,
-        train_config: TrainConfig,
-        server_factory: typing.Callable[[Engine], Server] = make_server_i,
-        sim: Engine | None = None,
-        seed: int = 0,
-        policy: AssignmentPolicy = least_loaded_policy,
-        profiling_epochs: int = 3,
-        hook_cost_s: float = calibration.INSTRUMENTATION_OVERHEAD_S,
-        rpc_latency_s: float = calibration.RPC_LATENCY_S,
-        grace_period_s: float = calibration.GRACE_PERIOD_S,
-    ):
-        self.sim = sim or Engine()
-        self.server = server_factory(self.sim)
-        self.config = train_config
-        self.rng = RandomStreams(seed)
-        # Offline profiling: once per model + schedule (paper section 4.3).
-        self.bubble_profile = profile_bubbles(
-            server_factory, train_config, profiling_epochs
-        )
-        self.memory = MemoryModel(
-            train_config.model,
-            train_config.num_stages,
-            train_config.micro_batches,
-            gpu_memory_gb=self.server.gpu(0).memory_gb,
-        )
-        self.workers = [
-            SideTaskWorker(
-                self.sim,
-                self.server.gpu(stage),
-                stage,
-                side_task_memory_gb=self.memory.available_gb(stage),
-                mps=self.server.mps,
-                rng=self.rng.spawn(f"worker{stage}"),
-            )
-            for stage in range(train_config.num_stages)
-        ]
-        self.manager = SideTaskManager(
-            self.sim,
-            self.workers,
-            policy=policy,
-            rpc_latency_s=rpc_latency_s,
-            grace_period_s=grace_period_s,
-        )
-        listener = _ManagerListener(
-            self.sim, self.manager, self.memory, hook_cost_s, rpc_latency_s
-        )
-        self.pipeline = PipelineEngine(
-            self.sim,
-            self.server,
-            train_config,
-            rng=self.rng.spawn("pipeline"),
-            listener=listener,
-            profile=self.bubble_profile,
-        )
-        self._submissions: list[tuple[TaskSpec, str, int]] = []
+    Everything that only needs ``sim``/``manager``/``workers`` and the
+    ``_submissions`` ledger lives here, so the single-job
+    :class:`FreeRide` and the multi-job
+    :class:`~repro.cluster.builder.Cluster` stay byte-for-byte
+    identical in how they name, place, account, and tear down side
+    tasks (the serving frontend relies on exactly this surface).
+    """
+
+    sim: Engine
+    manager: SideTaskManager
+    workers: list[SideTaskWorker]
+    _submissions: list[tuple[TaskSpec, str, int]]
 
     # ------------------------------------------------------------------
     def submit(
@@ -256,39 +211,20 @@ class FreeRide:
         return accepted
 
     # ------------------------------------------------------------------
-    def run_training(self) -> TrainingResult:
-        """Start the pipeline and run the simulation until it completes."""
-        training_proc = self.pipeline.start()
-        return self.sim.run(until=training_proc)
-
     def drain(self, settle_s: float = 2.0) -> None:
         """Stop live side tasks, let them settle, drain remaining events.
 
-        The canonical end-of-run teardown, shared by :meth:`run` and the
-        serving layer (which interposes its frontend close in between).
+        The canonical end-of-run teardown, shared by the ``run``
+        methods and the serving layer (which interposes its frontend
+        close in between).
         """
         for task in self.manager.live_tasks():
             self.manager.stop_task(task)
         self.sim.run(until=self.sim.now + settle_s)
         self.sim.run()  # drain any remaining teardown events
 
-    def run(self, settle_s: float = 2.0) -> FreeRideResult:
-        """Run training to completion, then stop side tasks and report."""
-        training_result = self.run_training()
-        self.drain(settle_s)
-        reports = [
-            self._report(spec, interface, stage)
-            for spec, interface, stage in self._submissions
-        ]
-        return FreeRideResult(
-            training=training_result,
-            tasks=reports,
-            rejections=list(self.manager.rejections),
-            bubble_profile=self.bubble_profile,
-        )
-
     def _report(self, spec: TaskSpec, interface: str, stage: int) -> TaskReport:
-        runtime = self._find_runtime(spec)
+        runtime = self.runtime_for(spec)
         workload = spec.workload
         return TaskReport(
             name=spec.name,
@@ -307,11 +243,90 @@ class FreeRide:
 
     def runtime_for(self, spec: TaskSpec) -> SideTaskRuntime:
         """The runtime serving ``spec`` (raises KeyError if unknown)."""
-        return self._find_runtime(spec)
-
-    def _find_runtime(self, spec: TaskSpec) -> SideTaskRuntime:
         for worker in self.workers:
             for runtime in worker.all_tasks:
                 if runtime.spec is spec:
                     return runtime
         raise KeyError(spec.name)
+
+
+class FreeRide(SideTaskPool):
+    """The middleware: instrumented training + managed side tasks."""
+
+    def __init__(
+        self,
+        train_config: TrainConfig,
+        server_factory: typing.Callable[[Engine], Server] = make_server_i,
+        sim: Engine | None = None,
+        seed: int = 0,
+        policy: AssignmentPolicy = least_loaded_policy,
+        profiling_epochs: int = 3,
+        hook_cost_s: float = calibration.INSTRUMENTATION_OVERHEAD_S,
+        rpc_latency_s: float = calibration.RPC_LATENCY_S,
+        grace_period_s: float = calibration.GRACE_PERIOD_S,
+    ):
+        self.sim = sim or Engine()
+        self.server = server_factory(self.sim)
+        self.config = train_config
+        self.rng = RandomStreams(seed)
+        # Offline profiling: once per model + schedule (paper section 4.3).
+        self.bubble_profile = profile_bubbles(
+            server_factory, train_config, profiling_epochs
+        )
+        self.memory = MemoryModel(
+            train_config.model,
+            train_config.num_stages,
+            train_config.micro_batches,
+            gpu_memory_gb=self.server.gpu(0).memory_gb,
+        )
+        self.workers = [
+            SideTaskWorker(
+                self.sim,
+                self.server.gpu(stage),
+                stage,
+                side_task_memory_gb=self.memory.available_gb(stage),
+                mps=self.server.mps,
+                rng=self.rng.spawn(f"worker{stage}"),
+            )
+            for stage in range(train_config.num_stages)
+        ]
+        self.manager = SideTaskManager(
+            self.sim,
+            self.workers,
+            policy=policy,
+            rpc_latency_s=rpc_latency_s,
+            grace_period_s=grace_period_s,
+        )
+        listener = _ManagerListener(
+            self.sim, self.manager, self.memory, hook_cost_s, rpc_latency_s
+        )
+        self.pipeline = PipelineEngine(
+            self.sim,
+            self.server,
+            train_config,
+            rng=self.rng.spawn("pipeline"),
+            listener=listener,
+            profile=self.bubble_profile,
+        )
+        self._submissions: list[tuple[TaskSpec, str, int]] = []
+
+    # ------------------------------------------------------------------
+    def run_training(self) -> TrainingResult:
+        """Start the pipeline and run the simulation until it completes."""
+        training_proc = self.pipeline.start()
+        return self.sim.run(until=training_proc)
+
+    def run(self, settle_s: float = 2.0) -> FreeRideResult:
+        """Run training to completion, then stop side tasks and report."""
+        training_result = self.run_training()
+        self.drain(settle_s)
+        reports = [
+            self._report(spec, interface, stage)
+            for spec, interface, stage in self._submissions
+        ]
+        return FreeRideResult(
+            training=training_result,
+            tasks=reports,
+            rejections=list(self.manager.rejections),
+            bubble_profile=self.bubble_profile,
+        )

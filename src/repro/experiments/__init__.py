@@ -1,21 +1,22 @@
-"""One module per table/figure of the paper's evaluation.
+"""One module per table/figure of the paper's evaluation (plus the
+serving capacity sweep and the multi-job cluster sweep).
 
 Each module registers a declarative scenario with
-:mod:`repro.api.registry` (a default :class:`~repro.api.spec.
-ScenarioSpec` plus a spec-driven ``run_spec``, a renderer, and typed
-result rows) and keeps a thin legacy shim — ``run(...) -> dict`` with
-the historical keyword arguments — for one release. ``repro.cli`` and
-the ``benchmarks/`` harness drive the registry; EXPERIMENTS.md records
-the outputs against the paper's numbers.
+:mod:`repro.api.registry`: a default :class:`~repro.api.spec.
+ScenarioSpec`, a spec-driven ``run_spec``, a renderer, and typed result
+rows. :mod:`repro.cli` and the ``benchmarks/`` harness drive the
+registry; EXPERIMENTS.md records the outputs against the paper's
+numbers.
 
 The paper trains for 128 epochs; since epochs are repetitive and stable
 (section 8), these experiments default to 8 epochs (4 for the large
-Figure 7 sweep) and report rates and ratios, which are epoch-count
-invariant.
+Figure 7 sweep, 3 for the multi-job cluster sweep) and report rates and
+ratios, which are epoch-count invariant.
 """
 
-from repro.experiments import (  # noqa: F401
+from repro.experiments import (  # noqa: F401  (registration side effect)
     ablations,
+    cluster,
     common,
     fig1,
     fig2,
@@ -27,18 +28,7 @@ from repro.experiments import (  # noqa: F401
     table2,
 )
 
-#: legacy name -> module mapping (the registry in :mod:`repro.api.
-#: registry` is the supported lookup; this stays for one release)
-EXPERIMENTS = {
-    "fig1": fig1,
-    "fig2": fig2,
-    "table1": table1,
-    "table2": table2,
-    "fig7": fig7,
-    "fig8": fig8,
-    "fig9": fig9,
-    "ablations": ablations,
-    "serve": serve,
-}
-
-__all__ = ["EXPERIMENTS", "common"] + sorted(EXPERIMENTS)
+__all__ = [
+    "ablations", "cluster", "common", "fig1", "fig2", "fig7", "fig8",
+    "fig9", "serve", "table1", "table2",
+]

@@ -22,7 +22,6 @@ import dataclasses
 
 from repro import calibration
 from repro.api import registry
-from repro.api.compat import deprecated_entry
 from repro.api.session import Session
 from repro.api.spec import ScenarioSpec, TrainingSpec, WorkloadSpec
 from repro.experiments import common
@@ -94,7 +93,7 @@ def _grace_row(spec: ScenarioSpec) -> dict:
     }
 
 
-def _grace_sweep(spec: ScenarioSpec) -> list[dict]:
+def grace_sweep(spec: ScenarioSpec) -> list[dict]:
     """Kill latency of the framework-enforced limit vs the grace period.
 
     A longer grace tolerates slow-but-honest pauses; a shorter one bounds
@@ -115,7 +114,7 @@ def _rpc_latency_row(spec: ScenarioSpec) -> dict:
     }
 
 
-def _rpc_latency_sweep(spec: ScenarioSpec) -> list[dict]:
+def rpc_latency_sweep(spec: ScenarioSpec) -> list[dict]:
     t_no = common.baseline_time(spec.train_config())
     points = [{"policy.rpc_latency_s": latency, "params.t_no": t_no}
               for latency in spec.param("rpc_latencies", RPC_LATENCIES)]
@@ -136,7 +135,7 @@ def _policy_row(spec: ScenarioSpec) -> dict:
     }
 
 
-def _policy_sweep(spec: ScenarioSpec) -> list[dict]:
+def policy_sweep(spec: ScenarioSpec) -> list[dict]:
     points = [{"policy.assignment": name}
               for name in spec.param("policies", ABLATION_POLICIES)]
     return common.sweep(spec.with_points(points), _policy_row)
@@ -169,7 +168,7 @@ def _granularity_row(spec: ScenarioSpec) -> dict:
     }
 
 
-def _granularity_sweep(spec: ScenarioSpec) -> list[dict]:
+def granularity_sweep(spec: ScenarioSpec) -> list[dict]:
     """Scale ResNet18's step size; measure utilization vs overhead."""
     points = [{"params.step_scale": scale}
               for scale in spec.param("step_scales", STEP_SCALES)]
@@ -185,7 +184,7 @@ def _schedule_row(spec: ScenarioSpec) -> dict:
     }
 
 
-def _schedule_sweep(spec: ScenarioSpec) -> list[dict]:
+def schedule_sweep(spec: ScenarioSpec) -> list[dict]:
     points = [{"kind": "pipeline", "training.schedule": schedule}
               for schedule in spec.param("schedules", ("1f1b", "gpipe"))]
     return common.sweep(spec.with_points(points), _schedule_row)
@@ -193,44 +192,12 @@ def _schedule_sweep(spec: ScenarioSpec) -> list[dict]:
 
 def run_spec(spec: ScenarioSpec) -> dict:
     return {
-        "grace_period": _grace_sweep(spec),
-        "rpc_latency": _rpc_latency_sweep(spec),
-        "policies": _policy_sweep(spec),
-        "step_granularity": _granularity_sweep(spec),
-        "schedules": _schedule_sweep(spec),
+        "grace_period": grace_sweep(spec),
+        "rpc_latency": rpc_latency_sweep(spec),
+        "policies": policy_sweep(spec),
+        "step_granularity": granularity_sweep(spec),
+        "schedules": schedule_sweep(spec),
     }
-
-
-# ----------------------------------------------------------------------
-# legacy entry points (one release of back-compat)
-# ----------------------------------------------------------------------
-def run_grace_period() -> list[dict]:
-    return _grace_sweep(default_spec())
-
-
-def run_rpc_latency(epochs: int = 4) -> list[dict]:
-    return _rpc_latency_sweep(
-        default_spec().override({"training.epochs": epochs}))
-
-
-def run_policies(epochs: int = 4) -> list[dict]:
-    return _policy_sweep(default_spec().override({"training.epochs": epochs}))
-
-
-def run_step_granularity(epochs: int = 4) -> list[dict]:
-    return _granularity_sweep(
-        default_spec().override({"training.epochs": epochs}))
-
-
-def run_schedules(epochs: int = 4) -> list[dict]:
-    return _schedule_sweep(
-        default_spec().override({"training.epochs": epochs}))
-
-
-def run(epochs: int = 4) -> dict:
-    """Legacy entry point; delegates to the registered scenario."""
-    deprecated_entry("ablations.run()", "repro run ablations")
-    return run_spec(default_spec().override({"training.epochs": epochs}))
 
 
 def render(data: dict) -> str:

@@ -1,0 +1,138 @@
+"""The `cluster` experiment: multi-job deployments behind one manager.
+
+The paper's section-8 extension, swept: each point builds a cluster of
+N pipeline-training jobs whose bubbles all report to a single shared
+side-task manager, places a shared workload mix across the *combined*
+worker pool, and measures how much of the cluster's total bubble time
+the side tasks actually harvested. The sweep crosses job count x
+assignment policy x workload mix into a cluster-utilization table; each
+point is a self-contained ``cluster``-kind
+:class:`~repro.api.spec.ScenarioSpec` executed through the Session API
+and shipped to the process pool by the shared sweep executor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.api import registry
+from repro.api.results import ResultRow
+from repro.api.session import Session
+from repro.api.spec import ScenarioSpec, SweepSpec, TrainingSpec, WorkloadSpec
+from repro.experiments import common
+from repro.metrics.cost import time_increase
+
+JOB_COUNTS = (1, 2, 3)
+POLICIES = ("least_loaded", "first_fit")
+#: workload mixes shared across the combined pool (axis values are
+#: whole ``workloads`` subtrees, applied per sweep point; inner lists —
+#: not tuples — so the spec round-trips JSON byte-exactly)
+MIXES = (
+    [{"name": "pagerank"}],
+    [{"name": "pagerank"}, {"name": "resnet18"}],
+)
+CLUSTER_EPOCHS = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterRow(ResultRow):
+    """One cluster-utilization point."""
+
+    jobs: int
+    policy: str
+    mix: str
+    workers: int
+    placed: int
+    rejected: int
+    total_units: float
+    bubble_s: float
+    harvested_s: float
+    utilization: float
+    mean_time_increase: float
+
+
+def default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="cluster",
+        kind="cluster",
+        training=TrainingSpec(epochs=CLUSTER_EPOCHS),
+        jobs=2,
+        workloads=(WorkloadSpec(name="pagerank"),),
+        sweep=SweepSpec(axes={
+            "jobs": JOB_COUNTS,
+            "policy.assignment": POLICIES,
+            "workloads": MIXES,
+        }),
+    )
+
+
+def _cluster_point(spec: ScenarioSpec) -> dict:
+    """One sweep point; module-level so pool workers can unpickle it."""
+    with Session(spec) as session:
+        result = session.run().results()
+    # Per-job no-side-task baselines (cached per worker process; fully
+    # deterministic, so pool and serial paths agree byte for byte).
+    increases = [
+        time_increase(job.training.total_time, common.baseline_time(config))
+        for job, config in zip(result.jobs, spec.job_configs())
+    ]
+    return {
+        "jobs": spec.num_jobs,
+        "policy": spec.policy.assignment,
+        "mix": "+".join(workload.name for workload in spec.workloads),
+        "workers": sum(job.num_stages for job in result.jobs),
+        "placed": len(result.tasks),
+        "rejected": len(result.rejections),
+        "total_units": result.total_units,
+        "bubble_s": result.total_bubble_s,
+        "harvested_s": result.harvested_s,
+        "utilization": result.utilization,
+        "mean_time_increase": sum(increases) / len(increases),
+    }
+
+
+def run_spec(spec: ScenarioSpec) -> dict:
+    rows = common.sweep(spec.sweep_points(), _cluster_point)
+    return {
+        "epochs": spec.training.epochs,
+        "seed": spec.seed,
+        "rows": rows,
+    }
+
+
+def render(data: dict) -> str:
+    rows = [
+        [
+            str(row["jobs"]),
+            row["policy"],
+            row["mix"],
+            str(row["workers"]),
+            f"{row['placed']}/{row['placed'] + row['rejected']}",
+            f"{row['total_units']:.0f}",
+            f"{row['bubble_s']:.1f}",
+            common.pct(row["utilization"]),
+            common.pct(row["mean_time_increase"]),
+        ]
+        for row in data["rows"]
+    ]
+    title = (
+        "Cluster: N training jobs, one shared side-task manager "
+        f"({data['epochs']}-epoch training, seed {data['seed']})"
+    )
+    return common.render_table(
+        title,
+        ["jobs", "assignment", "mix", "workers", "placed", "units",
+         "bubble (s)", "utilization", "train +I"],
+        rows,
+    )
+
+
+def rows(data: dict) -> list[ClusterRow]:
+    return [ClusterRow(**row) for row in data["rows"]]
+
+
+registry.register(
+    "cluster",
+    "Multi-job cluster: jobs x assignment x mix over the combined pool",
+    default_spec, run_spec, render, rows,
+)

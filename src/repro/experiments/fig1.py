@@ -5,7 +5,7 @@ gaps, annotated with their Type (stage 0 reads "B C C C", stage 1
 "A B C C A", ...); (b) per-stage GPU memory, utilized vs unutilized.
 
 Registered as the ``fig1`` scenario; the spec-driven entry point is
-:func:`run_spec`, and :func:`run` is the legacy shim.
+:func:`run_spec`.
 """
 
 from __future__ import annotations
@@ -13,7 +13,6 @@ from __future__ import annotations
 import dataclasses
 
 from repro.api import registry
-from repro.api.compat import deprecated_entry
 from repro.api.results import ResultRow
 from repro.api.session import Session
 from repro.api.spec import ClusterSpec, ScenarioSpec, TrainingSpec
@@ -85,15 +84,6 @@ def run_spec(spec: ScenarioSpec) -> dict:
             for stage in range(spec.training.num_stages)
         },
     }
-
-
-def run(size: str = "3.6B", micro_batches: int = 4) -> dict:
-    """Legacy entry point; delegates to the registered scenario."""
-    deprecated_entry("fig1.run()", "repro run fig1")
-    return run_spec(default_spec().override({
-        "training.model": size,
-        "training.micro_batches": micro_batches,
-    }))
 
 
 def _gantt(stage_row: dict, epoch_time: float, width: int = 72) -> str:

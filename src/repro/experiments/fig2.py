@@ -15,7 +15,6 @@ from __future__ import annotations
 import dataclasses
 
 from repro.api import registry
-from repro.api.compat import deprecated_entry
 from repro.api.results import ResultRow
 from repro.api.session import Session
 from repro.api.spec import ScenarioSpec, SweepSpec, TrainingSpec
@@ -70,12 +69,6 @@ def _point(spec: ScenarioSpec) -> dict:
 def run_spec(spec: ScenarioSpec) -> dict:
     points = common.sweep(spec.sweep_points(), _point)
     return {"by_model": points[:-1], "micro_batch_8": points[-1]}
-
-
-def run(epochs: int = 4) -> dict:
-    """Legacy entry point; delegates to the registered scenario."""
-    deprecated_entry("fig2.run()", "repro run fig2")
-    return run_spec(default_spec().override({"training.epochs": epochs}))
 
 
 def render(data: dict) -> str:

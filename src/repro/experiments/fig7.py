@@ -18,7 +18,6 @@ import dataclasses
 
 from repro import calibration
 from repro.api import registry
-from repro.api.compat import deprecated_entry
 from repro.api.results import ResultRow
 from repro.api.spec import ScenarioSpec, TrainingSpec, WorkloadSpec
 from repro.baselines.dedicated import run_dedicated
@@ -90,7 +89,7 @@ def _measure(spec: ScenarioSpec) -> Point:
                  cost_savings=savings)
 
 
-def _batch_sweep(spec: ScenarioSpec) -> list[Point]:
+def batch_sweep(spec: ScenarioSpec) -> list[Point]:
     t_no = common.baseline_time(spec.train_config())
     points = [
         {"workloads.0.name": name, "workloads.0.batch_size": batch_size,
@@ -118,7 +117,7 @@ def _sized_point(spec: ScenarioSpec) -> Point:
     )
 
 
-def _model_size_sweep(spec: ScenarioSpec) -> list[Point]:
+def model_size_sweep(spec: ScenarioSpec) -> list[Point]:
     # Baselines computed once in the parent and baked into the point
     # specs — no reliance on fork inheritance of the lru caches.
     baselines = {
@@ -135,7 +134,7 @@ def _model_size_sweep(spec: ScenarioSpec) -> list[Point]:
     return common.sweep(spec.with_points(points), _sized_point)
 
 
-def _micro_batch_sweep(spec: ScenarioSpec) -> list[Point]:
+def micro_batch_sweep(spec: ScenarioSpec) -> list[Point]:
     baselines = {
         micro_batches: common.baseline_time(
             spec.override({"training.micro_batches": micro_batches})
@@ -155,35 +154,10 @@ def _micro_batch_sweep(spec: ScenarioSpec) -> list[Point]:
 
 def run_spec(spec: ScenarioSpec) -> dict:
     return {
-        "batch_sweep": _batch_sweep(spec),
-        "model_size_sweep": _model_size_sweep(spec),
-        "micro_batch_sweep": _micro_batch_sweep(spec),
+        "batch_sweep": batch_sweep(spec),
+        "model_size_sweep": model_size_sweep(spec),
+        "micro_batch_sweep": micro_batch_sweep(spec),
     }
-
-
-# ----------------------------------------------------------------------
-# legacy entry points (one release of back-compat)
-# ----------------------------------------------------------------------
-def run_batch_sweep(epochs: int = SWEEP_EPOCHS) -> list[Point]:
-    return _batch_sweep(default_spec().override({"training.epochs": epochs}))
-
-
-def run_model_size_sweep(epochs: int = SWEEP_EPOCHS,
-                         tasks=WORKLOAD_NAMES) -> list[Point]:
-    return _model_size_sweep(default_spec().override(
-        {"training.epochs": epochs, "params.tasks": list(tasks)}))
-
-
-def run_micro_batch_sweep(epochs: int = SWEEP_EPOCHS,
-                          tasks=WORKLOAD_NAMES) -> list[Point]:
-    return _micro_batch_sweep(default_spec().override(
-        {"training.epochs": epochs, "params.tasks": list(tasks)}))
-
-
-def run(epochs: int = SWEEP_EPOCHS) -> dict:
-    """Legacy entry point; delegates to the registered scenario."""
-    deprecated_entry("fig7.run()", "repro run fig7")
-    return run_spec(default_spec().override({"training.epochs": epochs}))
 
 
 def _sweep_table(title: str, points: list[Point], x_name: str) -> str:

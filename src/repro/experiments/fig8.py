@@ -15,7 +15,6 @@ stage knobs (memory cap, runaway kernel length, bubble lengths).
 from __future__ import annotations
 
 from repro.api import registry
-from repro.api.compat import deprecated_entry
 from repro.api.spec import ScenarioSpec
 from repro.core.manager import SideTaskManager
 from repro.core.profiler import profile_side_task
@@ -123,12 +122,6 @@ def run_spec(spec: ScenarioSpec) -> dict:
         "time_limit": _time_limit_scenario(spec),
         "memory_limit": _memory_limit_scenario(spec),
     }
-
-
-def run() -> dict:
-    """Legacy entry point; delegates to the registered scenario."""
-    deprecated_entry("fig8.run()", "repro run fig8")
-    return run_spec(default_spec())
 
 
 def render(data: dict) -> str:

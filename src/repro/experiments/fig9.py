@@ -17,7 +17,6 @@ import dataclasses
 
 from repro import calibration
 from repro.api import registry
-from repro.api.compat import deprecated_entry
 from repro.api.results import ResultRow
 from repro.api.session import Session
 from repro.api.spec import ScenarioSpec, SweepSpec, TrainingSpec, WorkloadSpec
@@ -77,15 +76,6 @@ def run_spec(spec: ScenarioSpec) -> dict:
     if spec.param("include_mixed", True):
         rows.append(_mixed_row(spec))
     return {"rows": rows}
-
-
-def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES) -> dict:
-    """Legacy entry point; delegates to the registered scenario."""
-    deprecated_entry("fig9.run()", "repro run fig9")
-    return run_spec(default_spec().override({
-        "training.epochs": epochs,
-        "sweep.points": [{"workloads.0.name": name} for name in tasks],
-    }))
 
 
 def render(data: dict) -> str:

@@ -17,7 +17,6 @@ from __future__ import annotations
 import dataclasses
 
 from repro.api import registry
-from repro.api.compat import deprecated_entry
 from repro.api.results import ResultRow
 from repro.api.session import DEFAULT_OPEN_FRACTION, Session
 from repro.api.spec import ArrivalSpec, ScenarioSpec, SweepSpec, TrainingSpec
@@ -28,8 +27,7 @@ ARRIVAL_RATES = (1.0, 2.0, 4.0, 8.0)
 ADMISSIONS = ("always", "token_bucket", "backpressure")
 POLICIES = ("least_loaded", "edf")
 SERVE_EPOCHS = 4
-#: fraction of the no-side-task training time the service stays open —
-#: the ServingRunner's shared default, re-exported for the legacy name
+#: fraction of the no-side-task training time the service stays open
 OPEN_FRACTION = DEFAULT_OPEN_FRACTION
 
 
@@ -111,24 +109,6 @@ def run_spec(spec: ScenarioSpec) -> dict:
         "horizon_s": horizon_s,
         "rows": rows,
     }
-
-
-def run(epochs: int = SERVE_EPOCHS, seed: int = 0,
-        arrival_kind: str = "poisson",
-        rates=ARRIVAL_RATES, admissions=ADMISSIONS,
-        policies=POLICIES) -> dict:
-    """Legacy entry point; delegates to the registered scenario."""
-    deprecated_entry("serve.run()", "repro run serve")
-    return run_spec(default_spec().override({
-        "training.epochs": epochs,
-        "seed": seed,
-        "arrivals.kind": arrival_kind,
-        "sweep.axes": {
-            "arrivals.rate_per_s": list(rates),
-            "policy.admission": list(admissions),
-            "policy.assignment": list(policies),
-        },
-    }))
 
 
 def render(data: dict) -> str:

@@ -13,7 +13,6 @@ per side task, each carrying the dedicated-baseline run length.
 from __future__ import annotations
 
 from repro.api import registry
-from repro.api.compat import deprecated_entry
 from repro.api.spec import ScenarioSpec, SweepSpec, TrainingSpec, WorkloadSpec
 from repro.baselines.dedicated import run_dedicated
 from repro.experiments import common
@@ -54,15 +53,6 @@ def _task_row(spec: ScenarioSpec):
 
 def run_spec(spec: ScenarioSpec) -> dict:
     return {"rows": common.sweep(spec.sweep_points(), _task_row)}
-
-
-def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES) -> dict:
-    """Legacy entry point; delegates to the registered scenario."""
-    deprecated_entry("table1.run()", "repro run table1")
-    return run_spec(default_spec().override({
-        "training.epochs": epochs,
-        "sweep.points": [{"workloads.0.name": name} for name in tasks],
-    }))
 
 
 def render(data: dict) -> str:

@@ -14,7 +14,6 @@ import dataclasses
 
 from repro import calibration
 from repro.api import registry
-from repro.api.compat import deprecated_entry
 from repro.api.results import ResultRow
 from repro.api.session import Session
 from repro.api.spec import ScenarioSpec, SweepSpec, TrainingSpec, WorkloadSpec
@@ -123,18 +122,6 @@ def run_spec(spec: ScenarioSpec) -> dict:
     if spec.param("include_mixed", True):
         cells.extend(_mixed_cells(spec, t_no))
     return {"cells": cells, "baseline_time_s": t_no}
-
-
-def run(epochs: int = common.DEFAULT_EPOCHS, tasks=WORKLOAD_NAMES,
-        include_mixed: bool = True) -> dict:
-    """Legacy entry point; delegates to the registered scenario."""
-    deprecated_entry("table2.run()", "repro run table2")
-    return run_spec(default_spec().override({
-        "training.epochs": epochs,
-        "sweep.axes": {"workloads.0.name": list(tasks),
-                       "params.method": list(METHODS)},
-        "params.include_mixed": include_mixed,
-    }))
 
 
 def render(data: dict) -> str:

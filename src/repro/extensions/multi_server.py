@@ -1,180 +1,23 @@
-"""Multi-server FreeRide: one manager, several pipeline-training jobs.
+"""Back-compat shim: multi-server FreeRide moved to :mod:`repro.cluster`.
 
-The core manager is already server-count agnostic — it coordinates a flat
-list of workers and receives bubbles tagged with a worker index. This
-module builds the distributed deployment of paper section 8: each training
-job runs on its own (simulated) server with its own instrumentation, all
-reports flow over RPC to a single shared side-task manager, and Algorithm 1
-places tasks across the *combined* worker pool.
+The hand-rolled section-8 deployment grew into a first-class subsystem —
+job specs, a :class:`~repro.cluster.builder.ClusterBuilder`, a typed
+:class:`~repro.cluster.result.ClusterResult`, and a ``kind="cluster"``
+scenario reachable from the CLI (``repro run cluster``). This module
+survives only as a re-export so existing imports keep working.
+
+* ``MultiServerFreeRide(configs, ...)`` → :class:`repro.cluster.Cluster`
+* ``MultiServerResult`` → :class:`repro.cluster.ClusterResult` — the
+  old *read* surface (``trainings``/``tasks``/``rejections``/
+  ``total_units``) is preserved via properties; constructing one by
+  hand now takes ``ClusterResult``'s own fields (``jobs=...``), not
+  the old ``trainings=...`` keyword
 """
 
 from __future__ import annotations
 
-import dataclasses
-import typing
+from repro.cluster.builder import Cluster as MultiServerFreeRide
+from repro.cluster.builder import _OffsetListener
+from repro.cluster.result import ClusterResult as MultiServerResult
 
-from repro import calibration
-from repro.core.manager import SideTaskManager
-from repro.core.middleware import TaskReport, WorkloadFactory, _ManagerListener
-from repro.core.policies import AssignmentPolicy, least_loaded_policy
-from repro.core.profiler import profile_side_task
-from repro.core.task_spec import TaskProfile, TaskSpec
-from repro.core.worker import SideTaskWorker
-from repro.errors import TaskRejectedError
-from repro.gpu.cluster import make_server_i
-from repro.pipeline.config import TrainConfig
-from repro.pipeline.engine import PipelineEngine, TrainingResult, profile_bubbles
-from repro.pipeline.instrumentation import BubbleStart
-from repro.pipeline.memory_model import MemoryModel
-from repro.sim.engine import Engine
-from repro.sim.events import AllOf
-from repro.sim.rng import RandomStreams
-
-
-class _OffsetListener(_ManagerListener):
-    """Maps a job's local stage numbers into the global worker index."""
-
-    def __init__(self, *args, stage_offset: int, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.stage_offset = stage_offset
-
-    def on_bubble_start(self, report: BubbleStart) -> None:
-        shifted = dataclasses.replace(
-            report, stage=report.stage + self.stage_offset
-        )
-        super().on_bubble_start(shifted)
-
-    def on_bubble_end(self, stage: int, now: float) -> None:
-        super().on_bubble_end(stage + self.stage_offset, now)
-
-
-@dataclasses.dataclass
-class MultiServerResult:
-    trainings: list[TrainingResult]
-    tasks: list[TaskReport]
-    rejections: list[tuple[str, str]]
-
-    @property
-    def total_units(self) -> float:
-        return sum(report.units_done for report in self.tasks)
-
-
-class MultiServerFreeRide:
-    """FreeRide across several independently trained pipeline jobs."""
-
-    def __init__(
-        self,
-        train_configs: typing.Sequence[TrainConfig],
-        seed: int = 0,
-        policy: AssignmentPolicy = least_loaded_policy,
-        hook_cost_s: float = calibration.INSTRUMENTATION_OVERHEAD_S,
-        rpc_latency_s: float = calibration.RPC_LATENCY_S,
-    ):
-        if not train_configs:
-            raise ValueError("need at least one training job")
-        self.sim = Engine()
-        self.rng = RandomStreams(seed)
-        self.workers: list[SideTaskWorker] = []
-        self.pipelines: list[PipelineEngine] = []
-        servers = []
-        # Build workers for every server first (the manager needs them all).
-        worker_specs = []
-        for job, config in enumerate(train_configs):
-            server = make_server_i(self.sim)
-            servers.append(server)
-            memory = MemoryModel(config.model, config.num_stages,
-                                 config.micro_batches,
-                                 gpu_memory_gb=server.gpu(0).memory_gb)
-            for stage in range(config.num_stages):
-                index = len(worker_specs)
-                worker_specs.append((job, server, stage, memory))
-                self.workers.append(
-                    SideTaskWorker(
-                        self.sim,
-                        server.gpu(stage),
-                        stage=index,  # global index: the manager's key
-                        side_task_memory_gb=memory.available_gb(stage),
-                        mps=server.mps,
-                        rng=self.rng.spawn(f"worker{index}"),
-                        name=f"job{job}-worker{stage}",
-                    )
-                )
-        self.manager = SideTaskManager(
-            self.sim, self.workers, policy=policy,
-            rpc_latency_s=rpc_latency_s,
-        )
-        offset = 0
-        for job, config in enumerate(train_configs):
-            server = servers[job]
-            profile = profile_bubbles(make_server_i, config)
-            memory = MemoryModel(config.model, config.num_stages,
-                                 config.micro_batches,
-                                 gpu_memory_gb=server.gpu(0).memory_gb)
-            listener = _OffsetListener(
-                self.sim, self.manager, memory, hook_cost_s, rpc_latency_s,
-                stage_offset=offset,
-            )
-            self.pipelines.append(
-                PipelineEngine(
-                    self.sim, server, config,
-                    rng=self.rng.spawn(f"pipeline{job}"),
-                    listener=listener, profile=profile,
-                )
-            )
-            offset += config.num_stages
-        self._submissions: list[tuple[TaskSpec, str, int]] = []
-
-    def submit(self, workload_factory: WorkloadFactory,
-               interface: str = "iterative",
-               profile: TaskProfile | None = None,
-               name: str = "") -> TaskSpec | None:
-        if profile is None:
-            profile = profile_side_task(workload_factory(),
-                                        interface=interface)
-        workload = workload_factory()
-        if not name:
-            name = f"{workload.name}-{len(self._submissions)}"
-        spec = TaskSpec(workload=workload, profile=profile, name=name,
-                        submitted_at=self.sim.now)
-        try:
-            worker = self.manager.submit(spec, interface)
-        except TaskRejectedError:
-            return None
-        self._submissions.append((spec, interface, worker.stage))
-        return spec
-
-    def run(self, settle_s: float = 2.0) -> MultiServerResult:
-        procs = [pipeline.start() for pipeline in self.pipelines]
-        self.sim.run(until=AllOf(self.sim, procs))
-        trainings = [proc.value for proc in procs]
-        for task in self.manager.live_tasks():
-            self.manager.stop_task(task)
-        self.sim.run(until=self.sim.now + settle_s)
-        self.sim.run()
-        reports = []
-        for spec, interface, index in self._submissions:
-            runtime = next(
-                runtime
-                for worker in self.workers
-                for runtime in worker.all_tasks
-                if runtime.spec is spec
-            )
-            reports.append(TaskReport(
-                name=spec.name,
-                interface=interface,
-                stage=index,
-                final_state=runtime.state,
-                failure=runtime.failure,
-                steps_done=spec.workload.steps_done,
-                units_done=spec.workload.units_done,
-                running_s=runtime.running_s,
-                overhead_s=runtime.overhead_s,
-                insufficient_s=runtime.insufficient_s,
-                init_s=runtime.init_s,
-                gpu_memory_gb=spec.profile.gpu_memory_gb,
-            ))
-        return MultiServerResult(
-            trainings=trainings,
-            tasks=reports,
-            rejections=list(self.manager.rejections),
-        )
+__all__ = ["MultiServerFreeRide", "MultiServerResult", "_OffsetListener"]

@@ -77,14 +77,50 @@ class TokenBucket(AdmissionPolicy):
         self._tokens = burst
         self._last_refill = 0.0
 
-    def admit(self, now, request, queue_length):
+    def refill(self, now: float) -> float:
+        """Accrue tokens up to ``now``; returns the current balance."""
         elapsed = now - self._last_refill
         self._last_refill = now
         self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+        return self._tokens
+
+    def take(self) -> bool:
+        """Spend one token if the balance allows."""
         if self._tokens >= 1.0:
             self._tokens -= 1.0
+            return True
+        return False
+
+    def admit(self, now, request, queue_length):
+        self.refill(now)
+        if self.take():
             return True, None
         return False, "token bucket empty"
+
+
+class PerJobTokenBucket(AdmissionPolicy):
+    """Cluster admission: one token bucket per training job.
+
+    The combined pool's serving capacity scales with the number of jobs
+    feeding it bubbles, so admission does too: each job contributes an
+    independently refilled bucket, and an arrival spends a token from
+    the fullest one. With one job this degenerates to the plain
+    :class:`TokenBucket`.
+    """
+
+    name = "per_job_token_bucket"
+
+    def __init__(self, jobs: int = 1, rate_per_s: float = 1.5,
+                 burst: float = 4.0):
+        if jobs < 1:
+            raise ValueError(f"need at least one job bucket, got {jobs}")
+        self.buckets = [TokenBucket(rate_per_s, burst) for _ in range(jobs)]
+
+    def admit(self, now, request, queue_length):
+        fullest = max(self.buckets, key=lambda bucket: bucket.refill(now))
+        if fullest.take():
+            return True, None
+        return False, f"per-job token buckets empty ({len(self.buckets)} jobs)"
 
 
 class QueueBackpressure(AdmissionPolicy):
@@ -108,23 +144,33 @@ class QueueBackpressure(AdmissionPolicy):
         return True, None
 
 
-#: zero-argument factories (admission policies are stateful, so each run
-#: needs a fresh instance); the `serve` experiment's standard settings
-NAMED_ADMISSION: dict[str, typing.Callable[[], AdmissionPolicy]] = {
-    "always": AlwaysAdmit,
-    "token_bucket": lambda: TokenBucket(rate_per_s=1.5, burst=4.0),
-    "backpressure": lambda: QueueBackpressure(max_queue=8),
+#: per-name factories (admission policies are stateful, so each run
+#: needs a fresh instance) at the `serve` experiment's standard
+#: settings; every factory takes the deployment's job count, which only
+#: the job-aware policies use
+NAMED_ADMISSION: dict[str, typing.Callable[..., AdmissionPolicy]] = {
+    "always": lambda jobs=1: AlwaysAdmit(),
+    "token_bucket": lambda jobs=1: TokenBucket(rate_per_s=1.5, burst=4.0),
+    "backpressure": lambda jobs=1: QueueBackpressure(max_queue=8),
+    "per_job_token_bucket": lambda jobs=1: PerJobTokenBucket(jobs=jobs),
 }
 
 
-def make_admission(kind: "str | AdmissionPolicy") -> AdmissionPolicy:
+def make_admission(kind: "str | AdmissionPolicy",
+                   jobs: int = 1) -> AdmissionPolicy:
+    """Build an admission policy from a name or pass an instance through.
+
+    ``jobs`` sizes the job-aware policies (the cluster frontend passes
+    its job count; single-job callers can ignore it).
+    """
     if isinstance(kind, AdmissionPolicy):
         return kind
     try:
-        return NAMED_ADMISSION[kind]()
+        factory = NAMED_ADMISSION[kind]
     except KeyError:
         raise KeyError(f"unknown admission policy {kind!r}; "
                        f"choose from {sorted(NAMED_ADMISSION)}") from None
+    return factory(jobs=jobs)
 
 
 # ----------------------------------------------------------------------
@@ -202,21 +248,30 @@ class RequestRecord:
 # the frontend
 # ----------------------------------------------------------------------
 class ServingFrontend:
-    """Bounded admission queue + dispatcher in front of the manager."""
+    """Bounded admission queue + dispatcher in front of the manager.
+
+    ``freeride`` is any backend exposing the submission surface —
+    ``sim``/``manager``/``workers``/``submit``/``runtime_for``: a
+    single-job :class:`~repro.core.middleware.FreeRide` or a multi-job
+    :class:`~repro.cluster.builder.Cluster`, whose *combined* worker
+    pool then serves the traffic. ``jobs`` sizes job-aware admission
+    policies (``per_job_token_bucket``).
+    """
 
     def __init__(
         self,
-        freeride: FreeRide,
+        freeride: "FreeRide",
         requests: typing.Sequence[TaskRequest],
         admission: "str | AdmissionPolicy" = "always",
         discipline: "str | slo_mod.QueueDiscipline" = "edf",
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        jobs: int = 1,
     ):
         if queue_capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {queue_capacity}")
         self.freeride = freeride
         self.sim = freeride.sim
-        self.admission = make_admission(admission)
+        self.admission = make_admission(admission, jobs=jobs)
         if isinstance(discipline, str):
             discipline = slo_mod.NAMED_DISCIPLINES[discipline]
         self.discipline = discipline
@@ -400,7 +455,7 @@ def run_serving(
 ) -> ServingResult:
     """Serve an open-loop request stream from one training job's bubbles.
 
-    The one-call legacy facade: builds the serving scenario ad hoc and
+    The one-call programmatic facade: builds the serving scenario ad hoc and
     delegates to :class:`repro.api.session.ServingRunner` — the same
     runner a declarative :class:`~repro.api.spec.ScenarioSpec` executes
     through. Policy/admission/discipline accept names or instances

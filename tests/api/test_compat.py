@@ -1,43 +1,40 @@
-"""Deprecation-shim tests: the legacy entry points still work, warn,
-and print byte-identically to the registry path."""
+"""The PR-3 deprecation shims are gone; the programmatic facades stay.
+
+The legacy per-experiment ``run()`` bodies, the positional CLI form,
+and the ``freeride`` script alias were scheduled for deletion "next
+release" — these tests pin that they are actually gone, and that the
+supported programmatic surface (``FreeRide`` driven by hand, the
+``extensions.multi_server`` re-export shim) still works.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.api import registry
-from repro.experiments import fig8, serve
+from repro.experiments import ablations, fig1, fig7, fig8, serve
 
 
-def test_legacy_run_warns_deprecation():
-    with pytest.warns(DeprecationWarning, match="legacy entry point"):
-        fig8.run()
+@pytest.mark.parametrize("module", [fig1, fig8, serve, fig7, ablations])
+def test_legacy_run_entry_points_are_gone(module):
+    assert not hasattr(module, "run")
 
 
-def test_legacy_fig8_output_matches_registry_byte_for_byte():
-    with pytest.warns(DeprecationWarning):
-        legacy = fig8.render(fig8.run())
-    assert legacy == registry.run("fig8").render()
+def test_compat_module_is_gone():
+    with pytest.raises(ImportError):
+        import repro.api.compat  # noqa: F401
 
 
-def test_legacy_serve_output_matches_registry_byte_for_byte():
-    kwargs = dict(epochs=1, rates=(2.0,), admissions=("always",),
-                  policies=("least_loaded",))
-    with pytest.warns(DeprecationWarning):
-        legacy = serve.render(serve.run(**kwargs))
-    via_registry = registry.run("serve", overrides={
-        "training.epochs": 1,
-        "sweep.axes": {
-            "arrivals.rate_per_s": [2.0],
-            "policy.admission": ["always"],
-            "policy.assignment": ["least_loaded"],
-        },
-    })
-    assert legacy == via_registry.render()
+def test_freeride_script_alias_is_gone():
+    import pathlib
+
+    setup = pathlib.Path(__file__).parents[2] / "setup.py"
+    text = setup.read_text()
+    assert "freeride = repro.cli:main" not in text
+    assert "repro = repro.cli:main" in text
 
 
-def test_legacy_freeride_facade_still_works():
-    """FreeRide(...) driven by hand remains supported for one release."""
+def test_freeride_facade_still_works():
+    """FreeRide(...) driven by hand remains the programmatic surface."""
     from repro.core.middleware import FreeRide
     from repro.experiments.common import train_config
     from repro.workloads.registry import workload_factory
@@ -48,10 +45,10 @@ def test_legacy_freeride_facade_still_works():
     assert result.tasks[0].steps_done > 0
 
 
-def test_legacy_experiments_mapping_still_importable():
-    from repro.experiments import EXPERIMENTS
+def test_multi_server_shim_re_exports_cluster():
+    """extensions/multi_server.py survives only as a re-export shim."""
+    from repro.cluster import Cluster, ClusterResult
+    from repro.extensions import multi_server
 
-    assert set(EXPERIMENTS) == set(registry.names())
-    for name, module in EXPERIMENTS.items():
-        assert callable(module.run)
-        assert callable(module.render)
+    assert multi_server.MultiServerFreeRide is Cluster
+    assert multi_server.MultiServerResult is ClusterResult

@@ -51,6 +51,63 @@ class TestRpc:
         assert channel.calls_sent == 1
 
 
+class TestRpcCoalescing:
+    """Same-instant casts share one heap event; order is untouched."""
+
+    def test_adjacent_casts_share_one_heap_event(self, engine: Engine):
+        channel = RpcChannel(engine, "test", latency_s=0.5)
+        order: list[int] = []
+        channel.cast(order.append, 1)
+        channel.cast(order.append, 2)
+        channel.cast(order.append, 3)
+        assert len(engine._heap) == 1  # three casts, one event
+        assert channel.casts_sent == 3
+        engine.run()
+        assert order == [1, 2, 3]
+        assert engine.now == pytest.approx(0.5)
+
+    def test_intervening_schedule_breaks_the_batch(self, engine: Engine):
+        """Coalescing must never reorder casts relative to other events
+        scheduled in between, so any unrelated scheduling closes the
+        open batch."""
+        channel = RpcChannel(engine, "test", latency_s=0.5)
+        order: list[str] = []
+        channel.cast(order.append, "cast-1")
+        between = engine.timeout(0.5)
+        between.callbacks.append(lambda _ev: order.append("timeout"))
+        channel.cast(order.append, "cast-2")
+        assert len(engine._heap) == 3
+        engine.run()
+        # Heap tie-break is (time, sequence): exactly the pre-coalescing
+        # execution order.
+        assert order == ["cast-1", "timeout", "cast-2"]
+
+    def test_casts_at_different_instants_do_not_coalesce(self, engine: Engine):
+        channel = RpcChannel(engine, "test", latency_s=0.5)
+        seen: list[float] = []
+        channel.cast(lambda: seen.append(engine.now))
+        engine.run(until=0.25)
+        channel.cast(lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [0.5, 0.75]
+
+    def test_cast_from_inside_a_delivery_gets_a_fresh_event(
+            self, engine: Engine):
+        """A handler casting again on the same channel (latency 0) must
+        land in a *later* event, not splice into the running batch."""
+        channel = RpcChannel(engine, "chain", latency_s=0.0)
+        order: list[str] = []
+
+        def first():
+            order.append("first")
+            channel.cast(lambda: order.append("nested"))
+
+        channel.cast(first)
+        channel.cast(order.append, "second")
+        engine.run()
+        assert order == ["first", "second", "nested"]
+
+
 class TestProfiler:
     def test_profiles_memory_and_step_time(self):
         profile = profile_side_task(make_resnet18(), interface="iterative")

@@ -68,8 +68,15 @@ def test_parallel_sweep_matches_serial_byte_for_byte():
 
 def test_full_serve_experiment_row_is_reproducible():
     """The registered experiment's own reduced sweep, run twice."""
-    kwargs = dict(epochs=1, rates=(2.0,), admissions=("backpressure",),
-                  policies=("edf",))
-    first = _serialize(serve.run(**kwargs)["rows"])
-    second = _serialize(serve.run(**kwargs)["rows"])
+    overrides = {
+        "training.epochs": 1,
+        "sweep.axes": {
+            "arrivals.rate_per_s": [2.0],
+            "policy.admission": ["backpressure"],
+            "policy.assignment": ["edf"],
+        },
+    }
+    spec = serve.default_spec().override(overrides)
+    first = _serialize(serve.run_spec(spec)["rows"])
+    second = _serialize(serve.run_spec(spec)["rows"])
     assert first == second

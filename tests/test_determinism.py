@@ -45,6 +45,20 @@ def _point(item):
     }
 
 
+#: sha256 of _point(("3.6B", "resnet18")) captured before the RPC
+#: cast-coalescing optimization landed: coalescing (and any future event
+#: plumbing change) must be invisible in the simulation's numbers.
+PRE_COALESCE_GOLDEN = \
+    "1f2d682de2fccd24d0d66f6cea3444e9c47aaf1c57b3cc58729f1d0ab52f72ec"
+
+
+def test_rpc_coalescing_left_the_numbers_untouched():
+    import hashlib
+
+    blob = _serialize(_point(("3.6B", "resnet18")))
+    assert hashlib.sha256(blob).hexdigest() == PRE_COALESCE_GOLDEN
+
+
 def test_serial_rerun_is_byte_identical():
     first = _serialize(common.sweep(ITEMS, _point, max_workers=1))
     second = _serialize(common.sweep(ITEMS, _point, max_workers=1))

@@ -1,99 +1,146 @@
-"""Smoke tests: every experiment module runs and renders.
+"""Smoke tests: every registered experiment runs and renders.
 
 The benchmarks exercise the full-size experiments; these tests run
-reduced versions so `pytest tests/` stays fast while still covering the
-experiment code paths end to end.
+reduced versions through the registry (the only entry point since the
+PR-3 deprecation shims were dropped) so `pytest tests/` stays fast
+while still covering the experiment code paths end to end.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.experiments import EXPERIMENTS, fig1, fig2, fig8, fig9, table1, table2
-from repro.experiments import ablations, fig7, serve
+from repro.api import registry
+from repro.experiments import ablations, fig7
 
 
-def test_registry_contains_all_paper_artifacts():
-    assert set(EXPERIMENTS) == {
+def test_registry_contains_all_artifacts():
+    assert set(registry.names()) == {
         "fig1", "fig2", "table1", "table2", "fig7", "fig8", "fig9",
-        "ablations", "serve",
+        "ablations", "serve", "cluster",
     }
 
 
 def test_fig1_runs_and_renders():
-    data = fig1.run()
-    text = fig1.render(data)
+    result = registry.run("fig1")
+    text = result.render()
     assert "stage 0" in text and "Figure 1(b)" in text
-    assert data["stages"][0]["pattern"] == "B C C C"
+    assert result.data["stages"][0]["pattern"] == "B C C C"
 
 
 def test_fig2_reduced():
-    data = fig2.run(epochs=2)
-    text = fig2.render(data)
-    assert "bubble rate" in text
-    assert len(data["by_model"]) == 3
+    result = registry.run("fig2", overrides={"training.epochs": 2})
+    assert "bubble rate" in result.render()
+    assert len(result.data["by_model"]) == 3
 
 
 def test_table1_reduced():
-    data = table1.run(epochs=2, tasks=("resnet18", "pagerank"))
-    text = table1.render(data)
+    result = registry.run("table1", overrides={
+        "training.epochs": 2,
+        "sweep.points": [{"workloads.0.name": name}
+                         for name in ("resnet18", "pagerank")],
+    })
+    text = result.render()
     assert "resnet18" in text and "pagerank" in text
-    for row in data["rows"]:
+    for row in result.rows():
         assert row.freeride_iterative > 0
 
 
 def test_table2_reduced():
-    data = table2.run(epochs=2, tasks=("resnet18",), include_mixed=False)
-    text = table2.render(data)
-    assert "resnet18" in text
-    cells = {cell.method: cell for cell in data["cells"]}
+    result = registry.run("table2", overrides={
+        "training.epochs": 2,
+        "sweep.axes": {"workloads.0.name": ["resnet18"],
+                       "params.method": ["iterative", "imperative", "mps",
+                                         "naive"]},
+        "params.include_mixed": False,
+    })
+    assert "resnet18" in result.render()
+    cells = {cell.method: cell for cell in result.data["cells"]}
     assert cells["iterative"].time_increase < cells["mps"].time_increase
 
 
 def test_fig7_reduced():
-    points = fig7.run_micro_batch_sweep(epochs=2, tasks=("resnet18",))
+    spec = fig7.default_spec().override({
+        "training.epochs": 2, "params.tasks": ["resnet18"],
+    })
+    points = fig7.micro_batch_sweep(spec)
     assert {point.x for point in points} == {4, 6, 8}
 
 
 def test_fig8_runs():
-    data = fig8.run()
-    assert data["time_limit"]["killed_at_s"] is not None
-    assert data["memory_limit"]["killed"]
-    assert "Figure 8" in fig8.render(data)
+    result = registry.run("fig8")
+    assert result.data["time_limit"]["killed_at_s"] is not None
+    assert result.data["memory_limit"]["killed"]
+    assert "Figure 8" in result.render()
 
 
 def test_fig9_reduced():
-    data = fig9.run(epochs=2, tasks=("resnet18", "vgg19"))
-    rows = {row["task"]: row for row in data["rows"]}
+    result = registry.run("fig9", overrides={
+        "training.epochs": 2,
+        "sweep.points": [{"workloads.0.name": name}
+                         for name in ("resnet18", "vgg19")],
+    })
+    rows = {row["task"]: row for row in result.data["rows"]}
     assert rows["vgg19"]["no_task_oom"] > rows["resnet18"]["no_task_oom"]
-    assert "bubble time breakdown" in fig9.render(data)
+    assert "bubble time breakdown" in result.render()
 
 
 def test_ablations_reduced():
-    rows = ablations.run_schedules(epochs=2)
+    rows = ablations.schedule_sweep(
+        ablations.default_spec().override({"training.epochs": 2}))
     assert {row["schedule"] for row in rows} == {"1f1b", "gpipe"}
 
 
+SERVE_REDUCED = {
+    "training.epochs": 2,
+    "sweep.axes": {
+        "arrivals.rate_per_s": [2.0],
+        "policy.admission": ["always"],
+        "policy.assignment": ["least_loaded"],
+    },
+}
+
+
 def test_serve_reduced():
-    data = serve.run(epochs=2, rates=(2.0,), admissions=("always",),
-                     policies=("least_loaded",))
-    assert len(data["rows"]) == 1
-    row = data["rows"][0]
+    result = registry.run("serve", overrides=SERVE_REDUCED)
+    assert len(result.data["rows"]) == 1
+    row = result.data["rows"][0]
     assert row["offered"] > 0
     assert row["completed"] > 0
     assert 0.0 <= row["rejection_rate"] <= 1.0
     assert row["completion_p50"] <= row["completion_p95"] <= row["completion_p99"]
-    text = serve.render(data)
+    text = result.render()
     assert "goodput" in text and "rejected" in text
 
 
 def test_serve_seed_changes_traffic():
-    kwargs = dict(epochs=2, rates=(2.0,), admissions=("always",),
-                  policies=("least_loaded",))
-    base = serve.run(seed=0, **kwargs)["rows"][0]
-    other = serve.run(seed=1, **kwargs)["rows"][0]
+    base = registry.run("serve", overrides=SERVE_REDUCED).data["rows"][0]
+    other = registry.run(
+        "serve", overrides={**SERVE_REDUCED, "seed": 1}).data["rows"][0]
     assert base["offered"] != other["offered"] or \
         base["completion_p50"] != other["completion_p50"]
+
+
+CLUSTER_REDUCED = {
+    "training.epochs": 2,
+    "sweep.axes": {
+        "jobs": [1, 2],
+        "policy.assignment": ["least_loaded"],
+        "workloads": [[{"name": "pagerank"}]],
+    },
+}
+
+
+def test_cluster_reduced():
+    result = registry.run("cluster", overrides=CLUSTER_REDUCED)
+    rows = result.data["rows"]
+    assert [row["jobs"] for row in rows] == [1, 2]
+    # Two jobs double the pool: more workers, more placements, more units.
+    assert rows[1]["workers"] == 2 * rows[0]["workers"]
+    assert rows[1]["total_units"] > rows[0]["total_units"]
+    for row in rows:
+        assert 0.0 < row["utilization"] <= 1.0
+    assert "utilization" in result.render()
 
 
 def test_cli_runs_fig1(capsys):
@@ -104,25 +151,21 @@ def test_cli_runs_fig1(capsys):
     assert "Figure 1(a)" in captured.out
 
 
-def test_cli_legacy_positional_form_still_works(capsys):
-    """One release of back-compat: `freeride fig1` forwards to run."""
+def test_cli_positional_form_is_gone():
+    """The pre-registry positional form was dropped with the PR-3 shims."""
     from repro.cli import main
-    assert main(["fig1"]) == 0
-    captured = capsys.readouterr()
-    assert "Figure 1(a)" in captured.out
-    assert "deprecated" in captured.err
+    with pytest.raises(SystemExit):
+        main(["fig1"])
 
 
 def test_cli_rejects_unknown_experiment():
     from repro.cli import main
     with pytest.raises(SystemExit):
         main(["run", "fig99"])
-    with pytest.raises(SystemExit):
-        main(["fig99"])
 
 
 def test_cli_seed_flag_applies_to_every_scenario(capsys):
-    """--seed is spec-level now: fig1 (which ignored it pre-registry)
+    """--seed is spec-level: fig1 (which ignored it pre-registry)
     accepts it and reseeds the training jitter."""
     from repro.cli import main
     assert main(["run", "fig1", "--seed", "3"]) == 0
