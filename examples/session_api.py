@@ -1,8 +1,11 @@
 """The declarative session API, end to end.
 
-One spec each for the three scenario kinds — batch, pipeline (training
-only), and serving — run through the same ``Session`` lifecycle, plus a
-spec JSON round-trip and a registry invocation.
+One spec each for three of the scenario kinds — batch, pipeline
+(training only), and serving — run through the same ``Session``
+lifecycle, plus a spec JSON round-trip and a registry invocation. The
+remaining kinds have their own walkthroughs: ``kind="cluster"`` in
+``cluster_session.py`` and the multi-tenant serving layer in
+``multi_tenant.py``.
 
 Run with: PYTHONPATH=src python examples/session_api.py
 """

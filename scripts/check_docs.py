@@ -1,0 +1,88 @@
+"""Docs-consistency check: the documentation must track the code.
+
+Run by the registry-smoke CI job (see .github/workflows/tests.yml) and
+fine to run locally::
+
+    PYTHONPATH=src python scripts/check_docs.py [--skip-examples]
+
+Two invariants:
+
+1. every scenario in ``repro list`` is documented — its name appears in
+   API.md and in README.md (a scenario nobody can discover from the
+   docs is a regression);
+2. every ``examples/*.py`` runs to completion under the tier-1
+   interpreter (an example that crashes is worse than no example).
+
+A fast name-presence subset also runs in the tier-1 suite
+(``tests/test_docs.py``); this script adds the slow example-execution
+sweep.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+#: how each document must reference a scenario — bare substring
+#: matching would be vacuous (every doc contains "serve" inside
+#: "serving"), so README must show the CLI invocation and API.md must
+#: name the scenario as a code token
+SCENARIO_DOCS = {
+    "README.md": "repro run {name}",
+    "API.md": "`{name}`",
+}
+
+
+def check_scenarios_documented() -> "list[str]":
+    from repro.api import registry
+
+    errors = []
+    for doc, pattern in SCENARIO_DOCS.items():
+        text = (REPO / doc).read_text()
+        missing = [name for name in registry.names()
+                   if pattern.format(name=name) not in text]
+        if missing:
+            errors.append(
+                f"{doc} does not document scenario(s) {missing} "
+                f"(expected {pattern!r} for each; repro list knows "
+                "more than the docs)"
+            )
+    return errors
+
+
+def check_examples_run() -> "list[str]":
+    errors = []
+    env_path = f"{REPO / 'src'}"
+    for example in sorted((REPO / "examples").glob("*.py")):
+        proc = subprocess.run(
+            [sys.executable, str(example)],
+            env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin",
+                 "REPRO_SWEEP_WORKERS": "1"},
+            capture_output=True, text=True, timeout=600, cwd=REPO,
+        )
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stderr.splitlines()[-5:])
+            errors.append(
+                f"examples/{example.name} exited {proc.returncode}:\n{tail}"
+            )
+        else:
+            print(f"ok: examples/{example.name}")
+    return errors
+
+
+def main(argv: "list[str]") -> int:
+    errors = check_scenarios_documented()
+    if "--skip-examples" not in argv:
+        errors += check_examples_run()
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if not errors:
+        print("docs consistent: every scenario documented, "
+              "every example runs")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

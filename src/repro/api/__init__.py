@@ -7,7 +7,7 @@ Three layers, smallest surface first:
   JSON-round-trippable data;
 * :mod:`repro.api.session` — :class:`Session` and the :class:`Runner`
   protocol (``configure -> submit -> run -> results``) executing a spec
-  through the batch, serving, or pipeline backend;
+  through the batch, serving, pipeline, or cluster backend;
 * :mod:`repro.api.registry` — the experiment registry behind
   ``repro run <scenario>``, with typed rows and uniform JSON/CSV/txt
   artifact export (:mod:`repro.api.results`).
@@ -45,6 +45,7 @@ from repro.api.spec import (
     PolicySpec,
     ScenarioSpec,
     SweepSpec,
+    TenantSpec,
     TrainingSpec,
     WorkloadSpec,
     default_mix,
@@ -66,6 +67,7 @@ __all__ = [
     "ServingRunner",
     "Session",
     "SweepSpec",
+    "TenantSpec",
     "TrainingSpec",
     "WorkloadSpec",
     "default_mix",

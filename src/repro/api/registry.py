@@ -91,6 +91,43 @@ def describe() -> "list[dict]":
     ]
 
 
+#: top-level ``--set`` shorthands for the nested policy fields (the
+#: spec-level ``--set policy=edf`` string sugar's dotted cousins)
+_POLICY_SUGAR = ("assignment", "admission", "discipline")
+
+
+def expand_overrides(
+    overrides: "typing.Mapping[str, object]",
+) -> "dict[str, object]":
+    """Normalize override shorthands to real dotted spec paths.
+
+    ``assignment=edf`` / ``admission=backpressure`` / ``discipline=fifo``
+    expand to the matching ``policy.*`` path. One special case:
+    ``assignment=weighted`` (the fairness experiments' vocabulary) names
+    the weighted-fair *dispatch* discipline — worker assignment proper
+    stays as configured, since the weighting happens at the queue, not
+    at worker choice — so it expands to ``policy.discipline``.
+
+    Expansion happens before sweep-axis pinning, so a shorthand pins the
+    same axis its dotted form would.
+    """
+    if not any(key in overrides for key in _POLICY_SUGAR):
+        return dict(overrides)
+    from repro.tenancy.scheduler import NAMED_FAIR_DISCIPLINES
+
+    expanded: "dict[str, object]" = {}
+    for key, value in overrides.items():
+        if key in _POLICY_SUGAR:
+            field = key
+            if (key == "assignment" and isinstance(value, str)
+                    and value in NAMED_FAIR_DISCIPLINES):
+                field = "discipline"
+            expanded[f"policy.{field}"] = value
+        else:
+            expanded[key] = value
+    return expanded
+
+
 def _pin_swept_fields(
     scenario: ScenarioSpec, overrides: "typing.Mapping[str, object]"
 ) -> ScenarioSpec:
@@ -160,6 +197,7 @@ def run(
         )
     scenario = spec if spec is not None else definition.spec()
     if overrides:
+        overrides = expand_overrides(overrides)
         scenario = _pin_swept_fields(scenario.override(overrides), overrides)
     data = definition.run_spec(scenario)
     return ResultSet(

@@ -162,14 +162,28 @@ def _open_horizon(spec: ScenarioSpec, explicit: "float | None",
     return default_baseline_s() * fraction
 
 
+def _resolve_arrivals(spec: ScenarioSpec, explicit) -> "ArrivalProcess":
+    """The arrival stream a serving-mode runner admits: the runner's
+    constructor override, the merged per-tenant streams of a tenant
+    scenario, or the spec's ``arrivals`` section."""
+    if explicit is not None:
+        return explicit
+    if spec.tenants:
+        return spec.tenant_arrivals()
+    return spec.arrivals.build(spec.seed)
+
+
 def _finish_serving(frontend, drain, open_horizon: float,
-                    settle_s: float) -> "tuple[float, object]":
+                    settle_s: float) -> "tuple[float, object, object]":
     """The canonical serving teardown, shared by every serving-mode
     runner: close the frontend, account the open window, drain (which
     also fires — and refuses — late arrivals), back-fill the records.
 
-    Returns ``(open_duration_s, metrics)``.
+    Returns ``(open_duration_s, metrics, fairness)`` — ``fairness`` is
+    the per-tenant accounting when the frontend served tenants, else
+    None.
     """
+    from repro.metrics.fairness import fairness_metrics
     from repro.metrics.latency import serving_metrics
 
     frontend.close()
@@ -177,7 +191,12 @@ def _finish_serving(frontend, drain, open_horizon: float,
     drain(settle_s)
     frontend.finalize()
     metrics = serving_metrics(frontend.records, duration_s=open_duration_s)
-    return open_duration_s, metrics
+    fairness = None
+    if frontend.tenants:
+        fairness = fairness_metrics(
+            frontend.records, frontend.tenants, duration_s=open_duration_s,
+        )
+    return open_duration_s, metrics, fairness
 
 
 class ServingRunner:
@@ -225,9 +244,11 @@ class ServingRunner:
     def prepare(self) -> None:
         if self.freeride is not None:
             return
-        if self._arrivals is None and self.spec.arrivals is None:
+        if (self._arrivals is None and self.spec.arrivals is None
+                and not self.spec.tenants):
             raise SpecError(
-                f"serving scenario {self.spec.name!r} has no arrivals section"
+                f"serving scenario {self.spec.name!r} has no arrivals "
+                "section and no tenants"
             )
         from repro.serving.frontend import ServingFrontend
 
@@ -240,10 +261,7 @@ class ServingRunner:
             seed=self.spec.seed,
             **kwargs,
         )
-        arrivals = (
-            self._arrivals if self._arrivals is not None
-            else self.spec.arrivals.build(self.spec.seed)
-        )
+        arrivals = _resolve_arrivals(self.spec, self._arrivals)
         self._open_horizon = self.horizon_s()
         requests = arrivals.generate(self._open_horizon)
         self.frontend = ServingFrontend(
@@ -254,6 +272,7 @@ class ServingRunner:
             discipline=(self._discipline if self._discipline is not None
                         else self.spec.policy.discipline),
             queue_capacity=self.spec.policy.queue_capacity,
+            tenants=self.spec.tenant_shares(),
         )
 
     def run(self) -> "ServingResult":
@@ -261,7 +280,7 @@ class ServingRunner:
 
         self.prepare()
         training = self.freeride.run_training()
-        open_duration_s, metrics = _finish_serving(
+        open_duration_s, metrics, fairness = _finish_serving(
             self.frontend, self.freeride.drain, self._open_horizon,
             self.spec.param("settle_s", DEFAULT_SETTLE_S),
         )
@@ -270,6 +289,7 @@ class ServingRunner:
             records=self.frontend.records,
             metrics=metrics,
             open_duration_s=open_duration_s,
+            fairness=fairness,
         )
         return self.result
 
@@ -334,13 +354,11 @@ class ClusterRunner:
             seed=self.spec.seed,
             **self.spec.policy.freeride_kwargs(),
         )
-        if self._arrivals is not None or self.spec.arrivals is not None:
+        if (self._arrivals is not None or self.spec.arrivals is not None
+                or self.spec.tenants):
             from repro.serving.frontend import ServingFrontend
 
-            arrivals = (
-                self._arrivals if self._arrivals is not None
-                else self.spec.arrivals.build(self.spec.seed)
-            )
+            arrivals = _resolve_arrivals(self.spec, self._arrivals)
             self._open_horizon = self.horizon_s()
             requests = arrivals.generate(self._open_horizon)
             self.frontend = ServingFrontend(
@@ -351,6 +369,7 @@ class ClusterRunner:
                 discipline=self.spec.policy.discipline,
                 queue_capacity=self.spec.policy.queue_capacity,
                 jobs=self.cluster.num_jobs,
+                tenants=self.spec.tenant_shares(),
             )
         else:
             for workload in self.spec.workloads:
@@ -381,13 +400,14 @@ class ClusterRunner:
             self.result = self.cluster.run(settle_s=settle_s)
             return self.result
         trainings = self.cluster.run_training()
-        open_duration_s, metrics = _finish_serving(
+        open_duration_s, metrics, fairness = _finish_serving(
             self.frontend, self.cluster.drain, self._open_horizon, settle_s,
         )
         self.result = self.cluster.result(trainings)
         self.result.records = self.frontend.records
         self.result.metrics = metrics
         self.result.open_duration_s = open_duration_s
+        self.result.fairness = fairness
         return self.result
 
 
@@ -467,6 +487,7 @@ class Session:
         batch_like = self.spec.kind == "batch" or (
             self.spec.kind == "cluster"
             and self.spec.arrivals is None
+            and not self.spec.tenants
             # an arrival process handed to the runner directly (e.g.
             # trace replay) puts the cluster in serving mode just as a
             # spec-level arrivals section would

@@ -256,6 +256,60 @@ class ArrivalSpec(SpecBase):
 
 
 @dataclasses.dataclass(frozen=True)
+class TenantSpec(SpecBase):
+    """One tenant of a multi-tenant serving/cluster scenario.
+
+    A tenant is a named traffic source with a weighted-fair share of
+    dispatch, its own admission token bucket, and its own open-loop
+    arrival stream (rate, process kind, and SLO-class mix). Tenant *i*
+    of a scenario draws its arrivals with ``seed + i`` — identical
+    tenant entries still offer distinct, fully deterministic traffic.
+    """
+
+    name: str = "tenant"
+    #: weighted-fair dispatch share (2.0 gets twice the service of 1.0
+    #: whenever both tenants are backlogged)
+    weight: float = 1.0
+    #: per-tenant admission token bucket: sustained refill rate ...
+    rate_per_s: float = 2.0
+    #: ... and burst allowance
+    burst: float = 4.0
+    #: this tenant's arrival process ("poisson" / "bursty" / "diurnal")
+    arrival_kind: str = "poisson"
+    #: this tenant's offered load (requests/second)
+    arrival_rate_per_s: float = 2.0
+    #: this tenant's request-class mix (defaults to the standard mix)
+    mix: "tuple[MixEntrySpec, ...]" = dataclasses.field(default_factory=default_mix)
+
+    def share(self):
+        """The runtime descriptor the fairness mechanisms consume."""
+        from repro.tenancy.tenants import TenantShare
+
+        return TenantShare(
+            name=self.name, weight=self.weight,
+            rate_per_s=self.rate_per_s, burst=self.burst,
+        )
+
+    def build_arrivals(self, seed: int = 0):
+        """This tenant's own open-loop :class:`ArrivalProcess`."""
+        from repro.serving.arrivals import make_arrivals
+
+        return make_arrivals(
+            self.arrival_kind, self.arrival_rate_per_s, seed=seed,
+            mix=tuple(entry.to_template() for entry in self.mix),
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSpec":
+        data = dict(_require_mapping(data, cls))
+        if "mix" in data:
+            data["mix"] = tuple(
+                MixEntrySpec.from_dict(entry) for entry in data["mix"]
+            )
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
 class PolicySpec(SpecBase):
     """Every pluggable policy decision of a scenario, by name."""
 
@@ -389,9 +443,15 @@ class ScenarioSpec(SpecBase):
     #: workload mix placed across the combined pool ("serving"/
     #: "pipeline" ignore it)
     workloads: "tuple[WorkloadSpec, ...]" = ()
-    #: serving traffic (required for "serving" scenarios; optional for
-    #: "cluster" — admits open-loop requests against the combined pool)
+    #: serving traffic (required for "serving" scenarios without
+    #: tenants; optional for "cluster" — admits open-loop requests
+    #: against the combined pool)
     arrivals: "ArrivalSpec | None" = None
+    #: the scenario's tenants: an int (that many identically configured
+    #: tenants — what ``--set tenants=4`` sets) or explicit per-tenant
+    #: :class:`TenantSpec` entries; tenants bring their own arrival
+    #: streams, so a tenant scenario has no ``arrivals`` section
+    tenants: "int | tuple[TenantSpec, ...]" = ()
     policy: PolicySpec = dataclasses.field(default_factory=PolicySpec)
     #: the cluster's training jobs: an int (that many copies of the
     #: base ``cluster``+``training`` sections — what ``--set jobs=4``
@@ -418,6 +478,27 @@ class ScenarioSpec(SpecBase):
                 "cluster scenarios need jobs: an int (copies of the base "
                 "training section) or a list of per-job specs"
             )
+        if isinstance(self.tenants, int):
+            if self.tenants < 0:
+                raise SpecError(f"tenants must be >= 0, got {self.tenants}")
+        else:
+            names = [tenant.name for tenant in self.tenants]
+            if len(set(names)) != len(names):
+                raise SpecError(
+                    f"tenant names must be unique, got {names}"
+                )
+        if self.tenants:
+            if self.kind not in ("serving", "cluster"):
+                raise SpecError(
+                    f"tenants belong to serving/cluster scenarios, not "
+                    f"kind {self.kind!r}"
+                )
+            if self.arrivals is not None:
+                raise SpecError(
+                    "a tenant scenario derives its traffic from the "
+                    "tenants' own arrival streams; drop the arrivals "
+                    "section"
+                )
 
     # -- config assembly ------------------------------------------------
     def train_config(self) -> TrainConfig:
@@ -448,6 +529,38 @@ class ScenarioSpec(SpecBase):
     def num_jobs(self) -> int:
         return len(self.job_specs())
 
+    def tenant_specs(self) -> "tuple[TenantSpec, ...]":
+        """The scenario's tenants, materialized.
+
+        An int ``tenants`` expands to that many identically configured
+        tenants named ``tenant0..tenantN-1``; an explicit tuple is
+        returned as-is.
+        """
+        if isinstance(self.tenants, int):
+            return tuple(
+                TenantSpec(name=f"tenant{index}")
+                for index in range(self.tenants)
+            )
+        return self.tenants
+
+    @property
+    def num_tenants(self) -> int:
+        return len(self.tenant_specs())
+
+    def tenant_shares(self) -> tuple:
+        """Runtime :class:`~repro.tenancy.tenants.TenantShare` set."""
+        return tuple(tenant.share() for tenant in self.tenant_specs())
+
+    def tenant_arrivals(self):
+        """The merged multi-tenant arrival stream (tenant *i* draws with
+        ``seed + i``, mirroring how cluster job *i* trains)."""
+        from repro.tenancy.arrivals import TenantArrivals
+
+        return TenantArrivals([
+            (tenant.name, tenant.build_arrivals(self.seed + index))
+            for index, tenant in enumerate(self.tenant_specs())
+        ])
+
     def param(self, key: str, default=None):
         return self.params.get(key, default)
 
@@ -465,6 +578,10 @@ class ScenarioSpec(SpecBase):
             )
         if data.get("arrivals") is not None:
             data["arrivals"] = ArrivalSpec.from_dict(data["arrivals"])
+        if "tenants" in data and not isinstance(data["tenants"], int):
+            data["tenants"] = tuple(
+                TenantSpec.from_dict(entry) for entry in data["tenants"]
+            )
         if "policy" in data:
             if isinstance(data["policy"], str):
                 # CLI sugar: --set policy=edf names the assignment policy.

@@ -51,7 +51,10 @@ def _parse_set(pairs: "list[str]") -> dict:
 
 
 def _overrides(args: argparse.Namespace) -> dict:
-    overrides = _parse_set(args.set)
+    # Top-level assignment/admission/discipline shorthands expand to
+    # their policy.* paths here, so --spec-only and sweep-axis pinning
+    # both see the real dotted path.
+    overrides = registry.expand_overrides(_parse_set(args.set))
     if args.epochs is not None:
         overrides.setdefault("training.epochs", args.epochs)
     if args.seed is not None:

@@ -19,6 +19,7 @@ from repro.core.middleware import TaskReport
 from repro.pipeline.engine import TrainingResult
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metrics.fairness import FairnessMetrics
     from repro.metrics.latency import ServingMetrics
     from repro.serving.frontend import RequestRecord
 
@@ -66,6 +67,8 @@ class ClusterResult:
     records: "list[RequestRecord] | None" = None
     metrics: "ServingMetrics | None" = None
     open_duration_s: "float | None" = None
+    #: per-tenant fairness accounting (set when the traffic was tenanted)
+    fairness: "FairnessMetrics | None" = None
 
     # -- back-compat with MultiServerResult -----------------------------
     @property

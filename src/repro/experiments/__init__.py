@@ -1,5 +1,5 @@
 """One module per table/figure of the paper's evaluation (plus the
-serving capacity sweep and the multi-job cluster sweep).
+serving capacity, multi-job cluster, and multi-tenant fairness sweeps).
 
 Each module registers a declarative scenario with
 :mod:`repro.api.registry`: a default :class:`~repro.api.spec.
@@ -18,6 +18,7 @@ from repro.experiments import (  # noqa: F401  (registration side effect)
     ablations,
     cluster,
     common,
+    fairness,
     fig1,
     fig2,
     fig7,
@@ -29,6 +30,6 @@ from repro.experiments import (  # noqa: F401  (registration side effect)
 )
 
 __all__ = [
-    "ablations", "cluster", "common", "fig1", "fig2", "fig7", "fig8",
-    "fig9", "serve", "table1", "table2",
+    "ablations", "cluster", "common", "fairness", "fig1", "fig2", "fig7",
+    "fig8", "fig9", "serve", "table1", "table2",
 ]

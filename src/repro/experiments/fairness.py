@@ -1,0 +1,224 @@
+"""The `fairness` experiment: multi-tenant shares under shared bubbles.
+
+PR 4 put many producers behind one shared placement loop; this sweep
+measures what each *tenant* of that shared queue actually receives. Each
+point is a ``serving``-kind scenario whose traffic is the superposition
+of per-tenant open-loop streams (symmetric or skewed), dispatched either
+tenant-blind (FIFO) or weighted-fair (stride scheduling over tenant
+backlogs), and reports one row per tenant: offered/admitted/completed
+counts, goodput, the measured share of total goodput against the
+weight-implied target, plus the point-level Jain index and max share
+error. Under saturating symmetric load the weighted rows converge to the
+declared weight ratio; the FIFO rows show what happens without the
+fairness layer.
+
+The tenant mix is all batch-class mini-jobs so every completion counts
+toward goodput — shares then measure *service received*, not deadline
+luck.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.api import registry
+from repro.api.results import ResultRow
+from repro.api.session import DEFAULT_OPEN_FRACTION, Session
+from repro.api.spec import (
+    MixEntrySpec,
+    PolicySpec,
+    ScenarioSpec,
+    SweepSpec,
+    TenantSpec,
+    TrainingSpec,
+)
+from repro.experiments import common
+
+FAIRNESS_EPOCHS = 3
+#: per-tenant offered load (requests/second) — sized to saturate the
+#: bubble capacity so dispatch order, not arrival order, decides shares
+FAIRNESS_RATE = 8.0
+#: batch-class mini-jobs: completion == goodput, regardless of latency
+FAIRNESS_MIX = (
+    MixEntrySpec(workload="pagerank", job_steps=60, slo_class="batch"),
+)
+DISPATCH = ("fifo", "weighted")
+#: deep enough that the backlog, not the queue bound, shapes shares
+FAIRNESS_QUEUE_CAPACITY = 256
+
+
+def make_tenants(count: int, weight_ratio: float = 1.0,
+                 rate_ratio: float = 1.0,
+                 rate_per_s: float = FAIRNESS_RATE) -> "tuple[TenantSpec, ...]":
+    """A tenant set for fairness studies: ``count`` tenants on the
+    batch-class mix, with tenant 0 optionally up-weighted
+    (``weight_ratio``) or offering more load (``rate_ratio``)."""
+    return tuple(
+        TenantSpec(
+            name=f"tenant{index}",
+            weight=weight_ratio if index == 0 else 1.0,
+            arrival_kind="poisson",
+            arrival_rate_per_s=(rate_per_s * rate_ratio if index == 0
+                                else rate_per_s),
+            mix=FAIRNESS_MIX,
+        )
+        for index in range(count)
+    )
+
+
+def _tenant_dicts(count: int, weight_ratio: float = 1.0,
+                  rate_ratio: float = 1.0) -> "list[dict]":
+    """JSON-shaped tenant-set axis values (sweep axes are plain data)."""
+    return [tenant.to_dict()
+            for tenant in make_tenants(count, weight_ratio, rate_ratio)]
+
+
+#: the swept tenant sets: symmetric 2 and 3, a 4:1:1 weight skew under
+#: symmetric load, and a 4x arrival skew under equal weights
+TENANT_SETS = (
+    _tenant_dicts(2),
+    _tenant_dicts(3),
+    _tenant_dicts(3, weight_ratio=4.0),
+    _tenant_dicts(3, rate_ratio=4.0),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FairnessRow(ResultRow):
+    """One tenant of one fairness-table point."""
+
+    tenants: int
+    weights: str
+    rates: str
+    discipline: str
+    tenant: str
+    weight: float
+    offered: int
+    admitted: int
+    rejected: int
+    completed: int
+    goodput_rps: float
+    share: float
+    target_share: float
+    #: point-level fairness indices (repeated on each tenant row)
+    jain: float
+    share_error: float
+
+
+def default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fairness",
+        kind="serving",
+        training=TrainingSpec(epochs=FAIRNESS_EPOCHS),
+        tenants=make_tenants(3),
+        policy=PolicySpec(
+            admission="always",
+            discipline="weighted",
+            queue_capacity=FAIRNESS_QUEUE_CAPACITY,
+        ),
+        sweep=SweepSpec(axes={
+            "tenants": TENANT_SETS,
+            "policy.discipline": DISPATCH,
+        }),
+    )
+
+
+def _ratio(values: "list[float]") -> str:
+    return ":".join(f"{value:g}" for value in values)
+
+
+def _fairness_point(spec: ScenarioSpec) -> "list[dict]":
+    """One sweep point -> one row per tenant; module-level so pool
+    workers can unpickle it."""
+    with Session(spec) as session:
+        result = session.run().results()
+    fairness = result.fairness
+    tenants = spec.tenant_specs()
+    weights = _ratio([tenant.weight for tenant in tenants])
+    rates = _ratio([tenant.arrival_rate_per_s for tenant in tenants])
+    return [
+        {
+            "tenants": len(tenants),
+            "weights": weights,
+            "rates": rates,
+            "discipline": spec.policy.discipline,
+            "tenant": usage.name,
+            "weight": usage.weight,
+            "offered": usage.metrics.offered,
+            "admitted": usage.metrics.admitted,
+            "rejected": usage.metrics.rejected,
+            "completed": usage.metrics.completed,
+            "goodput_rps": usage.metrics.goodput_rps,
+            "share": usage.share,
+            "target_share": usage.target_share,
+            "jain": fairness.jain_goodput,
+            "share_error": fairness.max_share_error,
+        }
+        for usage in fairness.tenants
+    ]
+
+
+def run_spec(spec: ScenarioSpec) -> dict:
+    config = spec.train_config()
+    # Baked into the point specs so every point serves the same window
+    # (and pool workers re-derive nothing).
+    horizon_s = spec.param("horizon_s")
+    if horizon_s is None:
+        horizon_s = common.baseline_time(config) * float(
+            spec.param("open_fraction", DEFAULT_OPEN_FRACTION)
+        )
+    points = common.sweep(
+        spec.sweep_points({"params.horizon_s": horizon_s}),
+        _fairness_point,
+    )
+    return {
+        "epochs": spec.training.epochs,
+        "seed": spec.seed,
+        "horizon_s": horizon_s,
+        "rows": [row for point in points for row in point],
+    }
+
+
+def render(data: dict) -> str:
+    rows = [
+        [
+            f"{row['tenants']}x [{row['weights']}]",
+            row["rates"],
+            row["discipline"],
+            row["tenant"],
+            f"{row['weight']:g}",
+            str(row["offered"]),
+            f"{row['admitted']}/{row['rejected']}",
+            str(row["completed"]),
+            f"{row['goodput_rps']:.2f}",
+            f"{row['share']:.3f}",
+            f"{row['target_share']:.3f}",
+            f"{row['jain']:.3f}",
+            common.pct(row["share_error"]),
+        ]
+        for row in data["rows"]
+    ]
+    title = (
+        "Fairness: per-tenant goodput shares over the shared queue "
+        f"({data['epochs']}-epoch training, seed {data['seed']}, "
+        f"service open {data['horizon_s']:.1f}s)"
+    )
+    return common.render_table(
+        title,
+        ["tenants [w]", "rates (req/s)", "dispatch", "tenant", "weight",
+         "offered", "adm/rej", "done", "goodput (req/s)", "share",
+         "target", "Jain", "share err"],
+        rows,
+    )
+
+
+def rows(data: dict) -> "list[FairnessRow]":
+    return [FairnessRow(**row) for row in data["rows"]]
+
+
+registry.register(
+    "fairness",
+    "Multi-tenant fairness: tenant sets x dispatch -> per-tenant "
+    "goodput shares",
+    default_spec, run_spec, render, rows,
+)

@@ -1,7 +1,8 @@
 """Evaluation metrics: the paper's time increase ``I`` and cost savings
 ``S`` (section 6.1.5), throughput accounting (Table 1), the bubble
-time breakdown (Figure 9), and serving latency/goodput accounting
-(the `serve` experiment)."""
+time breakdown (Figure 9), serving latency/goodput accounting
+(the `serve` experiment), and per-tenant fairness accounting
+(the `fairness` experiment)."""
 
 from repro.metrics.breakdown import BubbleBreakdown, bubble_breakdown
 from repro.metrics.cost import (
@@ -11,20 +12,32 @@ from repro.metrics.cost import (
     time_increase,
     training_cost_usd,
 )
+from repro.metrics.fairness import (
+    FairnessMetrics,
+    TenantUsage,
+    fairness_metrics,
+    jain_index,
+    weighted_share_error,
+)
 from repro.metrics.latency import LatencyStats, ServingMetrics, serving_metrics
 from repro.metrics.throughput import ThroughputRow, throughput_row
 
 __all__ = [
     "BubbleBreakdown",
+    "FairnessMetrics",
     "LatencyStats",
     "ServingMetrics",
+    "TenantUsage",
     "ThroughputRow",
     "bubble_breakdown",
     "cost_savings",
     "dedicated_throughput",
+    "fairness_metrics",
+    "jain_index",
     "serving_metrics",
     "side_task_cost_usd",
     "throughput_row",
     "time_increase",
     "training_cost_usd",
+    "weighted_share_error",
 ]

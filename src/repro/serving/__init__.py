@@ -32,12 +32,14 @@ from repro.serving.frontend import (
     NAMED_ADMISSION,
     AdmissionPolicy,
     AlwaysAdmit,
+    PerJobTokenBucket,
     QueueBackpressure,
     RequestRecord,
     ServingFrontend,
     ServingResult,
     TokenBucket,
     make_admission,
+    make_discipline,
     run_serving,
 )
 from repro.serving.slo import (
@@ -59,6 +61,7 @@ __all__ = [
     "ArrivalProcess",
     "BurstyArrivals",
     "DiurnalArrivals",
+    "PerJobTokenBucket",
     "PoissonArrivals",
     "QueueBackpressure",
     "RequestRecord",
@@ -71,6 +74,7 @@ __all__ = [
     "TraceArrivals",
     "make_admission",
     "make_arrivals",
+    "make_discipline",
     "met_slo",
     "run_serving",
     "slo_class",

@@ -62,6 +62,9 @@ class TaskRequest:
     slo_class: str = "standard"
     batch_size: int = 64
     interface: str = "iterative"
+    #: owning tenant of a multi-tenant scenario ("" = untenanted traffic);
+    #: per-tenant admission and weighted-fair dispatch key on this
+    tenant: str = ""
 
     @property
     def name(self) -> str:

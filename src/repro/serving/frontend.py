@@ -26,6 +26,7 @@ from repro.core.task_spec import TaskProfile, TaskSpec
 from repro.core.profiler import profile_side_task
 from repro.pipeline.config import TrainConfig
 from repro.pipeline.engine import TrainingResult
+from repro.metrics.fairness import FairnessMetrics
 from repro.metrics.latency import ServingMetrics
 from repro.serving import slo as slo_mod
 from repro.serving.arrivals import ArrivalProcess, TaskRequest
@@ -144,24 +145,37 @@ class QueueBackpressure(AdmissionPolicy):
         return True, None
 
 
+def _per_tenant_bucket(tenants):
+    # Imported lazily: repro.tenancy builds on this module's base classes.
+    from repro.tenancy.admission import PerTenantTokenBucket
+
+    return PerTenantTokenBucket(tenants)
+
+
 #: per-name factories (admission policies are stateful, so each run
 #: needs a fresh instance) at the `serve` experiment's standard
-#: settings; every factory takes the deployment's job count, which only
-#: the job-aware policies use
+#: settings; every factory takes the deployment's job count and tenant
+#: set, which only the job-/tenant-aware policies use
 NAMED_ADMISSION: dict[str, typing.Callable[..., AdmissionPolicy]] = {
-    "always": lambda jobs=1: AlwaysAdmit(),
-    "token_bucket": lambda jobs=1: TokenBucket(rate_per_s=1.5, burst=4.0),
-    "backpressure": lambda jobs=1: QueueBackpressure(max_queue=8),
-    "per_job_token_bucket": lambda jobs=1: PerJobTokenBucket(jobs=jobs),
+    "always": lambda jobs=1, tenants=(): AlwaysAdmit(),
+    "token_bucket":
+        lambda jobs=1, tenants=(): TokenBucket(rate_per_s=1.5, burst=4.0),
+    "backpressure": lambda jobs=1, tenants=(): QueueBackpressure(max_queue=8),
+    "per_job_token_bucket":
+        lambda jobs=1, tenants=(): PerJobTokenBucket(jobs=jobs),
+    "per_tenant_token_bucket":
+        lambda jobs=1, tenants=(): _per_tenant_bucket(tenants),
 }
 
 
-def make_admission(kind: "str | AdmissionPolicy",
-                   jobs: int = 1) -> AdmissionPolicy:
+def make_admission(kind: "str | AdmissionPolicy", jobs: int = 1,
+                   tenants: typing.Sequence = ()) -> AdmissionPolicy:
     """Build an admission policy from a name or pass an instance through.
 
     ``jobs`` sizes the job-aware policies (the cluster frontend passes
-    its job count; single-job callers can ignore it).
+    its job count); ``tenants`` — :class:`~repro.tenancy.tenants.
+    TenantShare` descriptors — sizes the tenant-aware ones. Callers
+    without jobs or tenants can ignore both.
     """
     if isinstance(kind, AdmissionPolicy):
         return kind
@@ -170,7 +184,33 @@ def make_admission(kind: "str | AdmissionPolicy",
     except KeyError:
         raise KeyError(f"unknown admission policy {kind!r}; "
                        f"choose from {sorted(NAMED_ADMISSION)}") from None
-    return factory(jobs=jobs)
+    return factory(jobs=jobs, tenants=tenants)
+
+
+def make_discipline(kind: "str | slo_mod.QueueDiscipline",
+                    tenants: typing.Sequence = ()) -> "slo_mod.QueueDiscipline":
+    """Resolve a dispatch discipline name or pass a callable through.
+
+    The stateless disciplines come from :data:`~repro.serving.slo.
+    NAMED_DISCIPLINES`; the tenant-aware weighted-fair disciplines
+    (:data:`~repro.tenancy.scheduler.NAMED_FAIR_DISCIPLINES`) carry
+    per-run state, so each run gets a fresh instance sized by the
+    tenant set.
+    """
+    if not isinstance(kind, str):
+        return kind
+    # Imported lazily: repro.tenancy builds on this module's base classes.
+    from repro.tenancy.scheduler import NAMED_FAIR_DISCIPLINES
+
+    if kind in NAMED_FAIR_DISCIPLINES:
+        return NAMED_FAIR_DISCIPLINES[kind](tenants)
+    try:
+        return slo_mod.NAMED_DISCIPLINES[kind]
+    except KeyError:
+        choices = sorted(set(slo_mod.NAMED_DISCIPLINES)
+                         | set(NAMED_FAIR_DISCIPLINES))
+        raise KeyError(f"unknown dispatch discipline {kind!r}; "
+                       f"choose from {choices}") from None
 
 
 # ----------------------------------------------------------------------
@@ -211,6 +251,11 @@ class RequestRecord:
         return slo_mod.met_slo(self.deadline_s, self.completed_at)
 
     @property
+    def tenant(self) -> str:
+        """Owning tenant ("" for untenanted traffic)."""
+        return self.request.tenant
+
+    @property
     def status(self) -> str:
         if not self.offered:
             return "late"
@@ -229,6 +274,7 @@ class RequestRecord:
         return {
             "id": self.request.request_id,
             "workload": self.request.workload,
+            "tenant": self.request.tenant,
             "slo_class": self.request.slo_class,
             "arrival_s": self.request.arrival_s,
             "status": self.status,
@@ -255,7 +301,10 @@ class ServingFrontend:
     single-job :class:`~repro.core.middleware.FreeRide` or a multi-job
     :class:`~repro.cluster.builder.Cluster`, whose *combined* worker
     pool then serves the traffic. ``jobs`` sizes job-aware admission
-    policies (``per_job_token_bucket``).
+    policies (``per_job_token_bucket``); ``tenants`` —
+    :class:`~repro.tenancy.tenants.TenantShare` descriptors — sizes the
+    tenant-aware admission policy (``per_tenant_token_bucket``) and the
+    weighted-fair dispatch discipline (``weighted``).
     """
 
     def __init__(
@@ -266,15 +315,16 @@ class ServingFrontend:
         discipline: "str | slo_mod.QueueDiscipline" = "edf",
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         jobs: int = 1,
+        tenants: typing.Sequence = (),
     ):
         if queue_capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {queue_capacity}")
         self.freeride = freeride
         self.sim = freeride.sim
-        self.admission = make_admission(admission, jobs=jobs)
-        if isinstance(discipline, str):
-            discipline = slo_mod.NAMED_DISCIPLINES[discipline]
-        self.discipline = discipline
+        self.tenants = tuple(tenants)
+        self.admission = make_admission(admission, jobs=jobs,
+                                        tenants=self.tenants)
+        self.discipline = make_discipline(discipline, tenants=self.tenants)
         self.queue_capacity = queue_capacity
         self.queue: list[RequestRecord] = []
         self.closed_at: float | None = None
@@ -358,20 +408,32 @@ class ServingFrontend:
         """Hand queued requests to the manager while memory allows.
 
         Requests are tried in discipline order; one that no worker can
-        fit right now is *deferred*, not allowed to block smaller
-        requests behind it (no head-of-line blocking). Deferred records
-        rejoin the queue in arrival order and are retried when a task
-        terminates and returns its memory.
+        fit right now is *blocked* for the rest of this round — hidden
+        from the discipline's view but left in place in the queue — so
+        it cannot head-of-line block smaller requests, tenant-aware
+        disciplines keep seeing every tenant's full backlog, and the
+        queue's arrival-order invariant (FIFO and EDF ties) is preserved
+        for free. Blocked records are retried when a task terminates and
+        returns its memory.
         """
-        deferred: list[RequestRecord] = []
-        while self.queue:
-            index = self.discipline(self.queue, self.sim.now)
-            record = self.queue.pop(index)
+        # Stateful weighted-fair disciplines are charged per *successful*
+        # dispatch, so a pick blocked for lack of memory costs its
+        # tenant nothing.
+        charge = getattr(self.discipline, "on_dispatch", None)
+        blocked: "set[int]" = set()
+        while True:
+            view = (self.queue if not blocked else
+                    [record for record in self.queue
+                     if id(record) not in blocked])
+            if not view:
+                break
+            index = self.discipline(view, self.sim.now)
+            record = view[index]
             request = record.request
             profile = self._profile_for(request)
             if not self.freeride.manager.eligible_workers(
                     profile.gpu_memory_gb):
-                deferred.append(record)
+                blocked.add(id(record))
                 continue
             spec = self.freeride.submit(
                 lambda request=request: self._build_workload(request),
@@ -380,18 +442,16 @@ class ServingFrontend:
                 name=request.name,
                 slo_class=request.slo_class,
                 deadline_s=record.deadline_s,
-                queue_depth=len(self.queue) + len(deferred),
+                queue_depth=len(self.queue) - 1,
             )
             if spec is None:  # pragma: no cover - eligibility checked above
-                deferred.append(record)
+                blocked.add(id(record))
                 continue
+            self.queue.remove(record)
             record.assigned_at = self.sim.now
             record.spec = spec
-        if deferred:
-            # request_ids are assigned in arrival order, so this restores
-            # the queue's arrival-order invariant (FIFO and EDF ties).
-            deferred.sort(key=lambda record: record.request.request_id)
-            self.queue = deferred
+            if charge is not None:
+                charge(record)
 
     def close(self) -> None:
         """Stop admitting (training over / service shutting down)."""
@@ -437,6 +497,8 @@ class ServingResult:
     metrics: ServingMetrics
     #: seconds the service was open to traffic (rates normalize by this)
     open_duration_s: float
+    #: per-tenant accounting; set when the scenario declared tenants
+    fairness: FairnessMetrics | None = None
 
     def summaries(self) -> list[dict]:
         return [record.summary() for record in self.records]

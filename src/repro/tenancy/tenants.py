@@ -1,0 +1,64 @@
+"""The runtime tenant descriptor the fairness mechanisms share.
+
+A :class:`TenantShare` is the mechanism-facing view of one tenant: its
+name (the key every request carries in ``TaskRequest.tenant``), its
+weighted-fair share, and its admission token-bucket budget. The
+declarative layer (:class:`repro.api.spec.TenantSpec`) produces these;
+the admission policy (:mod:`repro.tenancy.admission`), the dispatch
+scheduler (:mod:`repro.tenancy.scheduler`), and the fairness metrics
+(:mod:`repro.metrics.fairness`) consume them — none of which need the
+full spec vocabulary, so the serving layer stays below the api layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: admission budget applied to tenants nobody declared (lazily created
+#: buckets / weight-1 dispatch lanes) — matches the plain ``token_bucket``
+#: policy's standard settings
+DEFAULT_RATE_PER_S = 1.5
+DEFAULT_BURST = 4.0
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantShare:
+    """One tenant, as the fairness mechanisms see it."""
+
+    name: str
+    #: weighted-fair dispatch share (relative; 2.0 gets twice the service
+    #: of 1.0 whenever both are backlogged)
+    weight: float = 1.0
+    #: per-tenant admission token bucket: sustained refill rate ...
+    rate_per_s: float = DEFAULT_RATE_PER_S
+    #: ... and burst allowance (the bucket's capacity)
+    burst: float = DEFAULT_BURST
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(
+                f"tenant {self.name!r} weight must be positive, "
+                f"got {self.weight}"
+            )
+        if self.rate_per_s <= 0:
+            raise ValueError(
+                f"tenant {self.name!r} refill rate must be positive, "
+                f"got {self.rate_per_s}"
+            )
+        if self.burst < 1:
+            raise ValueError(
+                f"tenant {self.name!r} burst must allow at least one "
+                f"token, got {self.burst}"
+            )
+
+
+def as_shares(tenants: "typing.Iterable[TenantShare]") -> "tuple[TenantShare, ...]":
+    """Validate a tenant set: names must be unique (they key everything)."""
+    shares = tuple(tenants)
+    seen: set[str] = set()
+    for share in shares:
+        if share.name in seen:
+            raise ValueError(f"duplicate tenant name {share.name!r}")
+        seen.add(share.name)
+    return shares

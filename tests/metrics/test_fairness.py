@@ -1,0 +1,81 @@
+"""Unit tests for the fairness accounting metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.fairness import (
+    fairness_metrics,
+    jain_index,
+    weighted_share_error,
+)
+from repro.serving.arrivals import TaskRequest
+from repro.serving.frontend import RequestRecord
+from repro.tenancy.tenants import TenantShare
+
+
+def test_jain_index_bounds():
+    assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+    assert jain_index([5.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+    assert jain_index([]) == 1.0
+    assert jain_index([0.0, 0.0]) == 1.0
+    assert jain_index([2.0, 1.0]) == pytest.approx(0.9, abs=1e-9)
+
+
+def test_weighted_share_error():
+    # Exact weight-proportional allocation: zero error.
+    assert weighted_share_error([4.0, 1.0], [4.0, 1.0]) == pytest.approx(0.0)
+    # One-hot against equal weights: error is 1 - 1/n.
+    assert weighted_share_error([1.0, 0.0], [1.0, 1.0]) == pytest.approx(0.5)
+    assert weighted_share_error([], []) == 0.0
+    assert weighted_share_error([0.0, 0.0], [1.0, 1.0]) == 0.0
+    with pytest.raises(ValueError, match="one weight per value"):
+        weighted_share_error([1.0], [1.0, 2.0])
+
+
+def _record(request_id: int, tenant: str, completed: bool) -> RequestRecord:
+    record = RequestRecord(
+        request=TaskRequest(request_id=request_id, arrival_s=0.0,
+                            workload="pagerank", job_steps=10,
+                            slo_class="batch", tenant=tenant),
+        deadline_s=None,
+        admitted_at=0.0,
+    )
+    if completed:
+        record.assigned_at = 0.5
+        record.completed_at = 1.0
+    return record
+
+
+def test_fairness_metrics_groups_by_tenant():
+    records = (
+        [_record(i, "a", completed=True) for i in range(6)]
+        + [_record(6 + i, "b", completed=True) for i in range(2)]
+        + [_record(8, "b", completed=False)]
+    )
+    shares = (TenantShare("a", weight=3.0), TenantShare("b", weight=1.0))
+    metrics = fairness_metrics(records, shares, duration_s=10.0)
+    a, b = metrics.tenant("a"), metrics.tenant("b")
+    assert a.metrics.offered == 6 and a.metrics.completed == 6
+    assert b.metrics.offered == 3 and b.metrics.completed == 2
+    assert a.share == pytest.approx(0.75)
+    assert a.target_share == pytest.approx(0.75)
+    assert b.share == pytest.approx(0.25)
+    # 6/3 vs 2/1 normalized goodput: perfectly weight-proportional.
+    assert metrics.jain_goodput == pytest.approx(1.0)
+    assert metrics.max_share_error == pytest.approx(0.0)
+    assert metrics.summary()["tenants"][0]["tenant"] == "a"
+
+
+def test_undeclared_tenants_are_accounted_at_weight_one():
+    records = [_record(0, "ghost", completed=True)]
+    metrics = fairness_metrics(records, (TenantShare("a"),), duration_s=5.0)
+    assert [usage.name for usage in metrics.tenants] == ["a", "ghost"]
+    assert metrics.tenant("ghost").weight == 1.0
+    assert metrics.tenant("ghost").share == pytest.approx(1.0)
+
+
+def test_unknown_tenant_lookup_raises():
+    metrics = fairness_metrics([], (TenantShare("a"),), duration_s=1.0)
+    with pytest.raises(KeyError):
+        metrics.tenant("nope")

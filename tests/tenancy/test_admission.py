@@ -1,0 +1,73 @@
+"""Unit tests for per-tenant token-bucket admission."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.arrivals import TaskRequest
+from repro.serving.frontend import make_admission
+from repro.tenancy.admission import PerTenantTokenBucket
+from repro.tenancy.tenants import TenantShare, as_shares
+
+
+def _request(request_id: int, tenant: str) -> TaskRequest:
+    return TaskRequest(request_id=request_id, arrival_s=0.0,
+                       workload="pagerank", job_steps=10, tenant=tenant)
+
+
+def test_buckets_are_independent():
+    """A flooding tenant drains only its own bucket."""
+    policy = PerTenantTokenBucket([
+        TenantShare("polite", rate_per_s=1.0, burst=4.0),
+        TenantShare("flood", rate_per_s=1.0, burst=4.0),
+    ])
+    # The aggressor burns its whole burst ...
+    verdicts = [policy.admit(0.0, _request(i, "flood"), 0)[0]
+                for i in range(8)]
+    assert verdicts == [True] * 4 + [False] * 4
+    # ... and the polite tenant's budget is untouched.
+    admitted, reason = policy.admit(0.0, _request(8, "polite"), 0)
+    assert admitted and reason is None
+
+
+def test_rejection_names_the_tenant():
+    policy = PerTenantTokenBucket([TenantShare("t", rate_per_s=1.0,
+                                               burst=1.0)])
+    assert policy.admit(0.0, _request(0, "t"), 0) == (True, None)
+    admitted, reason = policy.admit(0.0, _request(1, "t"), 0)
+    assert not admitted
+    assert "'t'" in reason
+
+
+def test_refill_restores_tokens_per_tenant():
+    policy = PerTenantTokenBucket([TenantShare("t", rate_per_s=2.0,
+                                               burst=1.0)])
+    assert policy.admit(0.0, _request(0, "t"), 0)[0]
+    assert not policy.admit(0.0, _request(1, "t"), 0)[0]
+    assert policy.admit(0.6, _request(2, "t"), 0)[0]  # 1.2 tokens accrued
+
+
+def test_undeclared_tenants_get_a_default_bucket():
+    policy = PerTenantTokenBucket([TenantShare("known")])
+    admitted, _ = policy.admit(0.0, _request(0, "stranger"), 0)
+    assert admitted
+    assert "stranger" in policy.buckets
+
+
+def test_make_admission_wires_tenant_shares():
+    policy = make_admission("per_tenant_token_bucket",
+                            tenants=(TenantShare("a", rate_per_s=3.0,
+                                                 burst=2.0),))
+    assert isinstance(policy, PerTenantTokenBucket)
+    assert policy.buckets["a"].rate_per_s == 3.0
+
+
+def test_share_validation():
+    with pytest.raises(ValueError, match="weight"):
+        TenantShare("t", weight=0.0)
+    with pytest.raises(ValueError, match="refill"):
+        TenantShare("t", rate_per_s=0.0)
+    with pytest.raises(ValueError, match="burst"):
+        TenantShare("t", burst=0.5)
+    with pytest.raises(ValueError, match="duplicate"):
+        as_shares([TenantShare("t"), TenantShare("t")])

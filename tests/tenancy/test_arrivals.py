@@ -1,0 +1,62 @@
+"""Unit tests for the merged multi-tenant arrival stream."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.arrivals import PoissonArrivals
+from repro.tenancy.arrivals import TenantArrivals
+
+
+def _merged(horizon: float = 20.0) -> TenantArrivals:
+    return TenantArrivals([
+        ("a", PoissonArrivals(2.0, seed=1)),
+        ("b", PoissonArrivals(1.0, seed=2)),
+    ])
+
+
+def test_requests_are_tagged_and_renumbered_in_arrival_order():
+    requests = _merged().generate(20.0)
+    assert requests, "expected traffic over a 20s horizon"
+    assert [request.request_id for request in requests] == list(
+        range(len(requests))
+    )
+    arrivals = [request.arrival_s for request in requests]
+    assert arrivals == sorted(arrivals)
+    assert {request.tenant for request in requests} == {"a", "b"}
+
+
+def test_each_tenant_keeps_its_own_stream():
+    """Per-tenant subsequences match the tenant's solo process."""
+    requests = _merged().generate(20.0)
+    solo_a = PoissonArrivals(2.0, seed=1).generate(20.0)
+    merged_a = [request for request in requests if request.tenant == "a"]
+    assert [request.arrival_s for request in merged_a] == [
+        request.arrival_s for request in solo_a
+    ]
+    assert [request.workload for request in merged_a] == [
+        request.workload for request in solo_a
+    ]
+
+
+def test_generate_is_idempotent():
+    process = _merged()
+    first = process.generate(15.0)
+    second = process.generate(15.0)
+    assert first == second
+
+
+def test_arrival_times_match_generate():
+    process = _merged()
+    assert process.arrival_times(10.0) == [
+        request.arrival_s for request in process.generate(10.0)
+    ]
+
+
+def test_empty_horizon_and_validation():
+    assert _merged().generate(0.0) == []
+    with pytest.raises(ValueError, match="at least one"):
+        TenantArrivals([])
+    with pytest.raises(ValueError, match="duplicate"):
+        TenantArrivals([("a", PoissonArrivals(1.0)),
+                        ("a", PoissonArrivals(1.0))])

@@ -1,0 +1,170 @@
+"""End-to-end fairness invariants over the serving stack.
+
+Three properties of the tenancy layer, each exercised through a real
+multi-tenant serving run (spec -> Session -> ServingFrontend -> shared
+manager):
+
+* **weighted-share convergence** — under saturating symmetric load, a
+  10:1 weight ratio yields goodput shares within 10% of the 10:1 target
+  (and exactly-equal weights split service evenly);
+* **bucket isolation** — one misbehaving tenant cannot starve the
+  others: with per-tenant token buckets, a 20x-flooding tenant leaves a
+  polite tenant's admissions and completions untouched;
+* **determinism** — the `fairness` sweep is byte-identical run-to-run
+  and between the serial and process-pool executors.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ScenarioSpec, Session
+from repro.experiments import common, fairness
+
+#: batch-class mini-jobs: every completion counts toward goodput
+_MIX = [{"workload": "pagerank", "job_steps": 80, "slo_class": "batch"}]
+#: the heavy tenant's weight-implied target share at 10:1
+_TEN_TO_ONE = 10.0 / 11.0
+#: work-conserving ramp-up: until backlogs build, dispatch serves
+#: whoever arrived (by design), so share measurements start here
+_WARMUP_S = 4.0
+
+
+def _ten_to_one_spec(discipline: str = "weighted") -> ScenarioSpec:
+    return ScenarioSpec.from_dict({
+        "name": "ten-to-one",
+        "kind": "serving",
+        "training": {"epochs": 4},
+        "tenants": [
+            {"name": "heavy", "weight": 10.0, "arrival_rate_per_s": 12.0,
+             "mix": _MIX},
+            {"name": "light", "weight": 1.0, "arrival_rate_per_s": 12.0,
+             "mix": _MIX},
+        ],
+        "policy": {"admission": "always", "discipline": discipline,
+                   "queue_capacity": 256},
+    })
+
+
+def _steady_state_share(result, tenant: str) -> float:
+    """Share of completed goodput among requests dispatched after the
+    ramp-up window."""
+    done = {"heavy": 0, "light": 0}
+    for record in result.records:
+        if (record.assigned_at is not None
+                and record.assigned_at >= _WARMUP_S
+                and record.completed_at is not None):
+            done[record.tenant] += 1
+    total = sum(done.values())
+    assert total > 30, f"expected a saturated run, got {total} completions"
+    return done[tenant] / total
+
+
+@pytest.fixture(scope="module")
+def weighted_ten_to_one():
+    """The saturating 10:1 weighted run, shared across assertions."""
+    return Session(_ten_to_one_spec()).run().results()
+
+
+def test_ten_to_one_weights_converge_within_ten_percent(weighted_ten_to_one):
+    result = weighted_ten_to_one
+    share = _steady_state_share(result, "heavy")
+    assert abs(share / _TEN_TO_ONE - 1.0) <= 0.10
+    # The whole-run accounting agrees on the direction and magnitude:
+    # the heavy tenant holds a large supermajority of total goodput.
+    heavy = result.fairness.tenant("heavy")
+    assert heavy.share > 0.75
+    assert heavy.target_share == _TEN_TO_ONE
+
+
+def test_weighted_dispatch_beats_fifo_on_share_error(weighted_ten_to_one):
+    weighted = weighted_ten_to_one
+    fifo = Session(_ten_to_one_spec("fifo")).run().results()
+    assert (weighted.fairness.max_share_error
+            < fifo.fairness.max_share_error)
+    assert weighted.fairness.jain_goodput >= fifo.fairness.jain_goodput
+
+
+def test_equal_weights_split_service_evenly():
+    spec = _ten_to_one_spec().override({
+        "tenants.0.weight": 1.0, "training.epochs": 3,
+    })
+    result = Session(spec).run().results()
+    fairness_metrics = result.fairness
+    assert fairness_metrics.max_share_error <= 0.05
+    assert fairness_metrics.jain_goodput >= 0.99
+
+
+def _isolation_spec(include_flood: bool) -> ScenarioSpec:
+    tenants = [
+        {"name": "polite", "weight": 1.0, "rate_per_s": 4.0, "burst": 4.0,
+         "arrival_rate_per_s": 1.0, "mix": _MIX},
+    ]
+    if include_flood:
+        tenants.append(
+            {"name": "flood", "weight": 1.0, "rate_per_s": 1.0,
+             "burst": 4.0, "arrival_rate_per_s": 20.0, "mix": _MIX}
+        )
+    return ScenarioSpec.from_dict({
+        "name": "isolation",
+        "kind": "serving",
+        "training": {"epochs": 2},
+        "tenants": tenants,
+        "policy": {"admission": "per_tenant_token_bucket",
+                   "discipline": "weighted", "queue_capacity": 64},
+    })
+
+
+def test_misbehaving_tenant_cannot_starve_others():
+    solo = Session(_isolation_spec(include_flood=False)).run().results()
+    both = Session(_isolation_spec(include_flood=True)).run().results()
+    polite_solo = solo.fairness.tenant("polite")
+    polite = both.fairness.tenant("polite")
+    flood = both.fairness.tenant("flood")
+    # The polite tenant is untouched: nothing rejected, and it completes
+    # exactly what it completed with the aggressor absent.
+    assert polite.metrics.rejected == 0
+    assert polite.metrics.completed == polite_solo.metrics.completed
+    assert polite.metrics.completed > 0
+    # The aggressor is clipped to its own bucket budget ...
+    budget = 4.0 + 1.0 * both.open_duration_s  # burst + rate x open window
+    assert flood.metrics.admitted <= budget + 1
+    # ... and eats a flood of rejections for the rest.
+    assert flood.metrics.rejected > 100
+
+
+# ----------------------------------------------------------------------
+# determinism: the fairness sweep, serial vs pool vs re-run
+# ----------------------------------------------------------------------
+def _reduced_fairness_spec() -> ScenarioSpec:
+    return fairness.default_spec().override({
+        "training.epochs": 1,
+        "sweep.axes": {
+            "tenants": [
+                fairness._tenant_dicts(2),
+                fairness._tenant_dicts(2, weight_ratio=4.0),
+            ],
+            "policy.discipline": ["weighted"],
+        },
+    })
+
+
+def _serialize(rows) -> bytes:
+    return json.dumps(rows, sort_keys=True).encode()
+
+
+def test_fairness_sweep_is_pool_serial_identical():
+    spec = _reduced_fairness_spec()
+    points = spec.sweep_points({"params.horizon_s": 5.0})
+    serial = common.sweep(points, fairness._fairness_point, max_workers=1)
+    parallel = common.sweep(points, fairness._fairness_point, max_workers=2)
+    assert _serialize(serial) == _serialize(parallel)
+
+
+def test_fairness_run_spec_is_byte_identical_rerun():
+    spec = _reduced_fairness_spec().override({"params.horizon_s": 5.0})
+    first = _serialize(fairness.run_spec(spec)["rows"])
+    second = _serialize(fairness.run_spec(spec)["rows"])
+    assert first == second

@@ -1,0 +1,52 @@
+"""Fast docs-consistency guard (the tier-1 slice of scripts/check_docs.py).
+
+Every registered scenario must be mentioned in API.md and README.md,
+and every example script must be mentioned in at least one of the two
+docs or another example — so code and documentation cannot silently
+drift apart. The slow half (actually *running* every example) lives in
+``scripts/check_docs.py``, wired into the registry-smoke CI job.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.api import registry
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_every_scenario_is_documented():
+    # Bare substring matching would be vacuous ("serve" is inside
+    # "serving"): README must show the CLI invocation, API.md must name
+    # the scenario as a code token. Same contract as
+    # scripts/check_docs.py.
+    for doc, pattern in (("README.md", "repro run {name}"),
+                         ("API.md", "`{name}`")):
+        text = (REPO / doc).read_text()
+        missing = [name for name in registry.names()
+                   if pattern.format(name=name) not in text]
+        assert not missing, (
+            f"{doc} does not document scenario(s) {missing} "
+            f"(expected {pattern!r} for each)"
+        )
+
+
+def test_architecture_doc_covers_every_subsystem():
+    text = (REPO / "ARCHITECTURE.md").read_text()
+    packages = sorted(
+        path.name for path in (REPO / "src" / "repro").iterdir()
+        if path.is_dir() and (path / "__init__.py").exists()
+    )
+    missing = [name for name in packages
+               if f"repro/{name}/" not in text]
+    assert not missing, (
+        f"ARCHITECTURE.md does not cover subsystem(s) {missing}"
+    )
+
+
+def test_architecture_doc_is_linked():
+    for doc in ("README.md", "API.md"):
+        assert "ARCHITECTURE.md" in (REPO / doc).read_text(), (
+            f"{doc} should link ARCHITECTURE.md"
+        )
