@@ -95,6 +95,13 @@ def describe() -> "list[dict]":
 #: spec-level ``--set policy=edf`` string sugar's dotted cousins)
 _POLICY_SUGAR = ("assignment", "admission", "discipline")
 
+#: top-level ``--set`` shorthands for the faults section (the resilience
+#: experiment's vocabulary: ``--set crash_rate=2 --set recovery=checkpoint``)
+_FAULT_SUGAR = {
+    "crash_rate": "faults.crash_rate",
+    "recovery": "faults.recovery",
+}
+
 
 def expand_overrides(
     overrides: "typing.Mapping[str, object]",
@@ -102,16 +109,18 @@ def expand_overrides(
     """Normalize override shorthands to real dotted spec paths.
 
     ``assignment=edf`` / ``admission=backpressure`` / ``discipline=fifo``
-    expand to the matching ``policy.*`` path. One special case:
-    ``assignment=weighted`` (the fairness experiments' vocabulary) names
-    the weighted-fair *dispatch* discipline — worker assignment proper
-    stays as configured, since the weighting happens at the queue, not
-    at worker choice — so it expands to ``policy.discipline``.
+    expand to the matching ``policy.*`` path, and ``crash_rate=...`` /
+    ``recovery=...`` to the matching ``faults.*`` path. One special
+    case: ``assignment=weighted`` (the fairness experiments' vocabulary)
+    names the weighted-fair *dispatch* discipline — worker assignment
+    proper stays as configured, since the weighting happens at the
+    queue, not at worker choice — so it expands to ``policy.discipline``.
 
     Expansion happens before sweep-axis pinning, so a shorthand pins the
     same axis its dotted form would.
     """
-    if not any(key in overrides for key in _POLICY_SUGAR):
+    if not any(key in overrides
+               for key in (*_POLICY_SUGAR, *_FAULT_SUGAR)):
         return dict(overrides)
     from repro.tenancy.scheduler import NAMED_FAIR_DISCIPLINES
 
@@ -123,6 +132,8 @@ def expand_overrides(
                     and value in NAMED_FAIR_DISCIPLINES):
                 field = "discipline"
             expanded[f"policy.{field}"] = value
+        elif key in _FAULT_SUGAR:
+            expanded[_FAULT_SUGAR[key]] = value
         else:
             expanded[key] = value
     return expanded

@@ -173,6 +173,30 @@ def _resolve_arrivals(spec: ScenarioSpec, explicit) -> "ArrivalProcess":
     return spec.arrivals.build(spec.seed)
 
 
+def _recovery_kwargs(spec: ScenarioSpec) -> dict:
+    """The frontend's retry/checkpoint policies, from the faults section
+    (empty when the scenario has none)."""
+    if spec.faults is None:
+        return {}
+    return {
+        "retry": spec.faults.retry_policy(),
+        "checkpoint": spec.faults.checkpoint_policy(),
+    }
+
+
+def _arm_faults(spec: ScenarioSpec, pool, horizon_s: float):
+    """Arm the spec's fault plan against ``pool``; returns the injector
+    (None when the spec injects nothing)."""
+    if spec.faults is None or not spec.faults.active:
+        return None
+    from repro.faults import FaultInjector
+
+    plan = spec.faults.build_plan(spec.seed, horizon_s, len(pool.workers))
+    injector = FaultInjector(plan)
+    injector.arm(pool)
+    return injector
+
+
 def _finish_serving(frontend, drain, open_horizon: float,
                     settle_s: float) -> "tuple[float, object, object]":
     """The canonical serving teardown, shared by every serving-mode
@@ -230,6 +254,7 @@ class ServingRunner:
         self._horizon_s = horizon_s
         self.freeride: "FreeRide | None" = None
         self.frontend = None
+        self.injector = None
         self.result: "ServingResult | None" = None
 
     def horizon_s(self) -> float:
@@ -273,6 +298,10 @@ class ServingRunner:
                         else self.spec.policy.discipline),
             queue_capacity=self.spec.policy.queue_capacity,
             tenants=self.spec.tenant_shares(),
+            **_recovery_kwargs(self.spec),
+        )
+        self.injector = _arm_faults(
+            self.spec, self.freeride, self._open_horizon
         )
 
     def run(self) -> "ServingResult":
@@ -284,12 +313,22 @@ class ServingRunner:
             self.frontend, self.freeride.drain, self._open_horizon,
             self.spec.param("settle_s", DEFAULT_SETTLE_S),
         )
+        resilience = None
+        if self.spec.faults is not None:
+            from repro.metrics.resilience import resilience_metrics
+
+            resilience = resilience_metrics(
+                self.freeride, self.frontend.records,
+                duration_s=open_duration_s,
+                goodput_rps=metrics.goodput_rps,
+            )
         self.result = ServingResult(
             training=training,
             records=self.frontend.records,
             metrics=metrics,
             open_duration_s=open_duration_s,
             fairness=fairness,
+            resilience=resilience,
         )
         return self.result
 
@@ -319,6 +358,7 @@ class ClusterRunner:
         self._horizon_s = horizon_s
         self.cluster = None
         self.frontend = None
+        self.injector = None
         self.result = None
 
     def horizon_s(self) -> float:
@@ -370,10 +410,18 @@ class ClusterRunner:
                 queue_capacity=self.spec.policy.queue_capacity,
                 jobs=self.cluster.num_jobs,
                 tenants=self.spec.tenant_shares(),
+                **_recovery_kwargs(self.spec),
+            )
+            self.injector = _arm_faults(
+                self.spec, self.cluster, self._open_horizon
             )
         else:
             for workload in self.spec.workloads:
                 self._place(workload)
+            if self.spec.faults is not None and self.spec.faults.active:
+                self.injector = _arm_faults(
+                    self.spec, self.cluster, self.horizon_s()
+                )
 
     def submit(self, workload: WorkloadSpec) -> int:
         """Submit one extra shared workload; returns the copies placed."""
@@ -398,6 +446,12 @@ class ClusterRunner:
         settle_s = self.spec.param("settle_s", DEFAULT_SETTLE_S)
         if self.frontend is None:
             self.result = self.cluster.run(settle_s=settle_s)
+            if self.spec.faults is not None:
+                from repro.metrics.resilience import resilience_metrics
+
+                self.result.resilience = resilience_metrics(
+                    self.cluster, duration_s=self.cluster.sim.now,
+                )
             return self.result
         trainings = self.cluster.run_training()
         open_duration_s, metrics, fairness = _finish_serving(
@@ -408,6 +462,14 @@ class ClusterRunner:
         self.result.metrics = metrics
         self.result.open_duration_s = open_duration_s
         self.result.fairness = fairness
+        if self.spec.faults is not None:
+            from repro.metrics.resilience import resilience_metrics
+
+            self.result.resilience = resilience_metrics(
+                self.cluster, self.frontend.records,
+                duration_s=open_duration_s,
+                goodput_rps=metrics.goodput_rps,
+            )
         return self.result
 
 

@@ -25,6 +25,10 @@ import typing
 
 from repro import calibration
 from repro.errors import SpecError
+from repro.faults.checkpoint import CheckpointPolicy
+from repro.faults.plan import DropWindow, FaultPlan, SlowdownWindow, WorkerCrash
+from repro.faults.plan import build_plan as _build_fault_plan
+from repro.faults.retry import RetryPolicy
 from repro.pipeline.config import TrainConfig, model_config
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -348,6 +352,154 @@ class PolicySpec(SpecBase):
         return kwargs
 
 
+#: recovery modes a :class:`FaultSpec` can name
+RECOVERY_MODES = ("none", "restart", "checkpoint")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec(SpecBase):
+    """The scenario's fault model: what breaks, and how the run recovers.
+
+    Injection knobs (crashes, step failures, slowdowns, RPC drops) and
+    recovery knobs (checkpointing, serving retries) live together so one
+    ``--set faults.crash_rate=2.0 --set faults.recovery=checkpoint``
+    names a complete resilience experiment point. Everything derives
+    from the scenario's root seed — a faulted run is exactly as
+    reproducible as a healthy one.
+    """
+
+    #: expected worker crashes per stage over the open horizon (a
+    #: seeded per-stage Poisson plan; 0 = only the explicit ``crashes``)
+    crash_rate: float = 0.0
+    #: explicit scripted crashes, on top of any sampled ones
+    crashes: "tuple[WorkerCrash, ...]" = ()
+    #: sampled crashes restart after this long (None = permanent loss);
+    #: explicit crashes carry their own restart delay
+    restart_after_s: "float | None" = 5.0
+    #: probability an individual side-task step fails (pure hash of
+    #: (seed, task, attempt) — independent of every other stream)
+    step_failure_rate: float = 0.0
+    #: straggler windows: a stage runs ``factor`` times slower inside
+    slowdowns: "tuple[SlowdownWindow, ...]" = ()
+    #: manager-cast drop windows (commands delayed, never lost)
+    rpc_drop_windows: "tuple[DropWindow, ...]" = ()
+    rpc_retransmit_delay_s: float = 0.05
+    #: "none" (evicted work is killed), "restart" (preempted tasks
+    #: resume from scratch), or "checkpoint" (resume from the last
+    #: periodic snapshot)
+    recovery: str = "none"
+    checkpoint_interval_steps: int = 4
+    checkpoint_cost_s: float = 0.05
+    restore_cost_s: float = 0.1
+    #: serving dispatch attempts per request (1 = no retries)
+    retry_max_attempts: int = 1
+    retry_backoff_s: float = 0.5
+    retry_backoff_factor: float = 2.0
+    retry_jitter: float = 0.1
+    #: per-attempt serving timeout (None = attempts never time out)
+    attempt_timeout_s: "float | None" = None
+
+    def __post_init__(self):
+        if self.recovery not in RECOVERY_MODES:
+            raise SpecError(
+                f"unknown recovery mode {self.recovery!r}; "
+                f"choose from {sorted(RECOVERY_MODES)}"
+            )
+        if self.crash_rate < 0:
+            raise SpecError(
+                f"crash_rate must be >= 0, got {self.crash_rate}"
+            )
+        if not 0.0 <= self.step_failure_rate < 1.0:
+            raise SpecError(
+                "step_failure_rate must be in [0, 1), got "
+                f"{self.step_failure_rate}"
+            )
+        if self.retry_max_attempts < 1:
+            raise SpecError(
+                f"retry_max_attempts must be >= 1, got "
+                f"{self.retry_max_attempts}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether the spec injects any fault at all (recovery knobs
+        alone do not make a plan worth arming)."""
+        return bool(
+            self.crash_rate > 0
+            or self.crashes
+            or self.step_failure_rate > 0
+            or self.slowdowns
+            or self.rpc_drop_windows
+        )
+
+    def retry_policy(self) -> "RetryPolicy | None":
+        """The serving-frontend retry policy (None = no retry layer)."""
+        if self.retry_max_attempts <= 1 and self.attempt_timeout_s is None:
+            return None
+        return RetryPolicy(
+            max_attempts=self.retry_max_attempts,
+            backoff_s=self.retry_backoff_s,
+            backoff_factor=self.retry_backoff_factor,
+            jitter=self.retry_jitter,
+            attempt_timeout_s=self.attempt_timeout_s,
+        )
+
+    def checkpoint_policy(self) -> "CheckpointPolicy | None":
+        """The side-task recovery policy: None for ``recovery="none"``,
+        interval 0 (snapshot only at birth — restart from scratch) for
+        ``"restart"``, the full periodic policy for ``"checkpoint"``."""
+        if self.recovery == "none":
+            return None
+        interval = (self.checkpoint_interval_steps
+                    if self.recovery == "checkpoint" else 0)
+        return CheckpointPolicy(
+            interval_steps=interval,
+            checkpoint_cost_s=self.checkpoint_cost_s,
+            restore_cost_s=self.restore_cost_s,
+        )
+
+    def build_plan(self, seed: int, horizon_s: float,
+                   num_stages: int) -> FaultPlan:
+        """The concrete :class:`~repro.faults.plan.FaultPlan`: sampled
+        crashes (from ``crash_rate``) merged with the scripted ones."""
+        plan = _build_fault_plan(
+            seed, horizon_s, num_stages,
+            crash_rate=self.crash_rate,
+            restart_after_s=self.restart_after_s,
+            step_failure_rate=self.step_failure_rate,
+            slowdowns=self.slowdowns,
+            rpc_drops=self.rpc_drop_windows,
+            rpc_retry_delay_s=self.rpc_retransmit_delay_s,
+        )
+        if self.crashes:
+            merged = tuple(sorted(
+                plan.crashes + self.crashes,
+                key=lambda crash: (crash.at_s, crash.stage),
+            ))
+            plan = dataclasses.replace(plan, crashes=merged)
+        return plan
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        data = dict(_require_mapping(data, cls))
+        if "crashes" in data:
+            data["crashes"] = tuple(
+                WorkerCrash(**_require_mapping(entry, WorkerCrash))
+                for entry in data["crashes"]
+            )
+        if "slowdowns" in data:
+            data["slowdowns"] = tuple(
+                SlowdownWindow(**_require_mapping(entry, SlowdownWindow))
+                for entry in data["slowdowns"]
+            )
+        if "rpc_drop_windows" in data:
+            data["rpc_drop_windows"] = tuple(
+                DropWindow(**_require_mapping(entry, DropWindow))
+                for entry in data["rpc_drop_windows"]
+            )
+        return cls(**data)
+
+
 @dataclasses.dataclass(frozen=True)
 class SweepSpec(SpecBase):
     """The sweep grid: either a cartesian product of override axes, or an
@@ -457,6 +609,9 @@ class ScenarioSpec(SpecBase):
     #: base ``cluster``+``training`` sections — what ``--set jobs=4``
     #: sets) or explicit per-job :class:`JobSpec` entries
     jobs: "int | tuple[JobSpec, ...]" = ()
+    #: the scenario's fault model: injected failures plus recovery
+    #: policy (serving/cluster kinds; None = nothing breaks)
+    faults: "FaultSpec | None" = None
     sweep: "SweepSpec | None" = None
     #: free-form, JSON-safe experiment knobs (durations, method names,
     #: cached derived values such as a precomputed baseline time)
@@ -499,6 +654,11 @@ class ScenarioSpec(SpecBase):
                     "tenants' own arrival streams; drop the arrivals "
                     "section"
                 )
+        if self.faults is not None and self.kind not in ("serving", "cluster"):
+            raise SpecError(
+                f"faults belong to serving/cluster scenarios, not kind "
+                f"{self.kind!r}"
+            )
 
     # -- config assembly ------------------------------------------------
     def train_config(self) -> TrainConfig:
@@ -592,6 +752,8 @@ class ScenarioSpec(SpecBase):
             data["jobs"] = tuple(
                 JobSpec.from_dict(entry) for entry in data["jobs"]
             )
+        if data.get("faults") is not None:
+            data["faults"] = FaultSpec.from_dict(data["faults"])
         if data.get("sweep") is not None:
             data["sweep"] = SweepSpec.from_dict(data["sweep"])
         if "params" in data:

@@ -21,6 +21,7 @@ from repro.pipeline.engine import TrainingResult
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.metrics.fairness import FairnessMetrics
     from repro.metrics.latency import ServingMetrics
+    from repro.metrics.resilience import ResilienceMetrics
     from repro.serving.frontend import RequestRecord
 
 
@@ -69,6 +70,8 @@ class ClusterResult:
     open_duration_s: "float | None" = None
     #: per-tenant fairness accounting (set when the traffic was tenanted)
     fairness: "FairnessMetrics | None" = None
+    #: failure/recovery accounting (set when the spec had a faults section)
+    resilience: "ResilienceMetrics | None" = None
 
     # -- back-compat with MultiServerResult -----------------------------
     @property

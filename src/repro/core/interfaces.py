@@ -88,6 +88,21 @@ class SideTaskBase(abc.ABC):
             ctx.proc.free()
         self.gpu_loaded = False
 
+    # -- checkpoint/restore (fault-tolerance layer) ----------------------
+    def checkpoint_state(self) -> dict:
+        """Snapshot the resumable progress of this task.
+
+        The default covers the base accounting; workloads with extra
+        mutable progress extend the dict (and mirror it in
+        :meth:`restore_state`).
+        """
+        return {"steps_done": self.steps_done, "units_done": self.units_done}
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Roll progress back to ``snapshot`` (inverse of checkpoint)."""
+        self.steps_done = snapshot["steps_done"]
+        self.units_done = snapshot["units_done"]
+
     # -- completion ------------------------------------------------------
     @property
     def is_finished(self) -> bool:

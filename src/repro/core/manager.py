@@ -29,7 +29,7 @@ from repro import calibration
 from repro.core.policies import AssignmentPolicy, least_loaded_policy
 from repro.core.rpc import RpcChannel
 from repro.core.runtime import Command, CommandKind, SideTaskRuntime
-from repro.core.states import SideTaskState
+from repro.core.states import SideTaskState, Transition
 from repro.core.task_spec import TaskSpec
 from repro.core.worker import ManagedBubble, SideTaskWorker
 from repro.errors import TaskRejectedError
@@ -60,8 +60,13 @@ class SideTaskManager:
         self.terminal_listeners: list[
             typing.Callable[[SideTaskRuntime], None]
         ] = []
+        #: called when serving capacity returns (a crashed worker
+        #: restarts) — re-queued requests may be dispatchable again
+        self.capacity_listeners: list[typing.Callable[[], None]] = []
         #: per-runtime command the manager sent and has not seen take effect
         self._pending: dict[int, CommandKind] = {}
+        #: PREEMPTED tasks parked until a worker can restore them
+        self.preempted: list[SideTaskRuntime] = []
         self._sweep_scheduled = False
 
     # ------------------------------------------------------------------
@@ -74,7 +79,7 @@ class SideTaskManager:
         consult it too."""
         return [
             worker for worker in self.workers
-            if worker.available_gb > gpu_memory_gb
+            if not worker.crashed and worker.available_gb > gpu_memory_gb
         ]
 
     def submit(self, spec: TaskSpec, interface: str = "iterative",
@@ -156,6 +161,7 @@ class SideTaskManager:
 
     def _sweep(self) -> None:
         now = self.sim.now
+        self._place_preempted()
         # Enforcement timers are created *after* the worker loop so the
         # loop's command casts occupy adjacent heap slots and coalesce
         # into one event per sweep (see RpcChannel.cast). The timers
@@ -163,10 +169,16 @@ class SideTaskManager:
         # so deferring their creation does not reorder the simulation.
         checks: "list[typing.Callable[[], None]]" = []
         for worker in self.workers:
+            if worker.crashed:
+                continue
             bubble = worker.current_bubble
             if bubble is not None and bubble.has_ended(now):
                 task = worker.current_task
-                if task is not None and task.state is SideTaskState.RUNNING:
+                # A task mid-checkpoint must also be paused: the PAUSE
+                # command queues and lands when the checkpoint completes.
+                if task is not None and task.state in (
+                    SideTaskState.RUNNING, SideTaskState.CHECKPOINTED
+                ):
                     self._initiate_pause(worker, task, checks)
                 worker.current_bubble = None
             if worker.has_new_bubble():
@@ -182,7 +194,7 @@ class SideTaskManager:
             if task.state is SideTaskState.CREATED:
                 if pending is not CommandKind.INIT:
                     self._initiate_init(worker, task, checks)
-            elif task.state is SideTaskState.PAUSED:
+            elif task.state in (SideTaskState.PAUSED, SideTaskState.RESUMED):
                 if pending in (CommandKind.INIT, CommandKind.PAUSE):
                     self._pending.pop(id(task), None)
                     pending = None
@@ -268,8 +280,69 @@ class SideTaskManager:
             self._wake()
 
     # ------------------------------------------------------------------
+    # worker crashes (fault-injection layer)
+    # ------------------------------------------------------------------
+    def crash_worker(self, stage: int,
+                     restart_after_s: float | None = None) -> None:
+        """Worker ``stage`` dies now; optionally restarts after a delay.
+
+        Every live task on the worker loses its process: checkpointed
+        tasks are preempted (parked for a later restore on any eligible
+        worker), the rest are killed outright.
+        """
+        worker = self.workers[stage]
+        if worker.crashed:
+            return
+        worker.crash(self.sim.now)
+        reason = f"worker {stage} crashed"
+        for task in [t for t in worker.all_tasks if not t.machine.terminated]:
+            self._pending.pop(id(task), None)
+            if task.spec.checkpoint is not None and task.machine.can_apply(
+                Transition.PREEMPT
+            ):
+                task.preempt(reason)
+                if task in worker.task_queue:
+                    worker.task_queue.remove(task)
+                if worker.current_task is task:
+                    worker.current_task = None
+                worker.release(task)
+                self.preempted.append(task)
+            else:
+                worker.kill_task(task, reason)
+        if restart_after_s is not None:
+            timeout = self.sim.timeout(restart_after_s)
+            timeout.callbacks.append(
+                lambda _ev: self._restart_worker(stage)
+            )
+        self._wake()
+
+    def _restart_worker(self, stage: int) -> None:
+        self.workers[stage].restart(self.sim.now)
+        self._wake()
+        for listener in self.capacity_listeners:
+            listener()
+
+    def _place_preempted(self) -> None:
+        """Restore parked tasks wherever Algorithm 1 finds room."""
+        if not self.preempted:
+            return
+        waiting: list[SideTaskRuntime] = []
+        for task in self.preempted:
+            if task.machine.terminated:
+                continue
+            eligible = self.eligible_workers(task.spec.profile.gpu_memory_gb)
+            selected = self.policy(eligible, task.spec)
+            if selected is None:
+                waiting.append(task)
+                continue
+            selected.adopt_restored(task)
+        self.preempted = waiting
+
+    # ------------------------------------------------------------------
     def _on_task_terminal(self, task: SideTaskRuntime) -> None:
         self._pending.pop(id(task), None)
+        if task in self.preempted:
+            self.preempted.remove(task)
         for worker in self.workers:
             if worker.current_task is task:
                 worker.current_task = None
@@ -280,12 +353,15 @@ class SideTaskManager:
         self._wake()
 
     def live_tasks(self) -> list[SideTaskRuntime]:
-        return [
-            task
-            for worker in self.workers
-            for task in worker.all_tasks
-            if not task.machine.terminated
-        ]
+        # A restored task appears in two workers' ledgers; report it once.
+        seen: set[int] = set()
+        live: list[SideTaskRuntime] = []
+        for worker in self.workers:
+            for task in worker.all_tasks:
+                if not task.machine.terminated and id(task) not in seen:
+                    seen.add(id(task))
+                    live.append(task)
+        return live
 
     def notify_transition(self, _task: SideTaskRuntime) -> None:
         """Runtimes call this (via middleware wiring) after transitions."""

@@ -58,6 +58,7 @@ from repro.sim.rng import RandomStreams
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.interfaces import ImperativeSideTask, IterativeSideTask
+    from repro.faults.checkpoint import CheckpointPolicy
 
 WorkloadFactory = typing.Callable[[], "IterativeSideTask | ImperativeSideTask"]
 
@@ -102,6 +103,15 @@ class TaskReport:
     insufficient_s: float
     init_s: float
     gpu_memory_gb: float
+    # recovery accounting (all zero in healthy runs)
+    preemptions: int = 0
+    restores: int = 0
+    checkpoints: int = 0
+    checkpoint_s: float = 0.0
+    restore_s: float = 0.0
+    wasted_steps: int = 0
+    wasted_s: float = 0.0
+    step_failures: int = 0
 
 
 @dataclasses.dataclass
@@ -155,6 +165,7 @@ class SideTaskPool:
         slo_class: str = "",
         deadline_s: float | None = None,
         queue_depth: int = 0,
+        checkpoint: "CheckpointPolicy | None" = None,
     ) -> TaskSpec | None:
         """Profile (if needed) and submit one side task.
 
@@ -181,6 +192,7 @@ class SideTaskPool:
             submitted_at=self.sim.now,
             slo_class=slo_class,
             deadline_s=deadline_s,
+            checkpoint=checkpoint,
         )
         try:
             worker = self.manager.submit(spec, interface,
@@ -218,6 +230,10 @@ class SideTaskPool:
         methods and the serving layer (which interposes its frontend
         close in between).
         """
+        # Parked PREEMPTED tasks first: they have no process to stop and
+        # must not be re-placed during the settle window.
+        for task in list(self.manager.preempted):
+            task.abandon("preempted at teardown (never restored)")
         for task in self.manager.live_tasks():
             self.manager.stop_task(task)
         self.sim.run(until=self.sim.now + settle_s)
@@ -239,6 +255,14 @@ class SideTaskPool:
             insufficient_s=runtime.insufficient_s,
             init_s=runtime.init_s,
             gpu_memory_gb=spec.profile.gpu_memory_gb,
+            preemptions=runtime.preemptions,
+            restores=runtime.restores,
+            checkpoints=runtime.checkpoints,
+            checkpoint_s=runtime.checkpoint_s,
+            restore_s=runtime.restore_s,
+            wasted_steps=runtime.wasted_steps,
+            wasted_s=runtime.wasted_s,
+            step_failures=runtime.step_failures,
         )
 
     def runtime_for(self, spec: TaskSpec) -> SideTaskRuntime:

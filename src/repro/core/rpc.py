@@ -41,7 +41,23 @@ class RpcChannel:
         self.latency_s = latency_s
         self.casts_sent = 0
         self.calls_sent = 0
+        #: fault-injection drop windows; empty = the fast path untouched
+        self.drop_windows: tuple = ()
+        self.retransmit_delay_s = 0.0
+        self.drops = 0
         self._batch: _CastBatch | None = None
+
+    def install_faults(self, windows, retransmit_delay_s: float) -> None:
+        """Drop casts sent inside ``windows``; retransmit after each
+        window closes (commands are delayed, never lost)."""
+        self.drop_windows = tuple(windows)
+        self.retransmit_delay_s = retransmit_delay_s
+
+    def _dropped_until(self, now: float) -> float | None:
+        for window in self.drop_windows:
+            if window.start_s <= now < window.end_s:
+                return window.end_s
+        return None
 
     def cast(self, handler: typing.Callable, *args, **kwargs) -> None:
         """Fire-and-forget: run ``handler`` one latency from now.
@@ -56,6 +72,19 @@ class RpcChannel:
         """
         self.casts_sent += 1
         engine = self.engine
+        if self.drop_windows:
+            window_end = self._dropped_until(engine._now)
+            if window_end is not None:
+                # Dropped: the sender's retry lands one retransmit delay
+                # after the window closes (and is re-checked then, in
+                # case windows overlap).
+                self.drops += 1
+                retry_at = window_end - engine._now + self.retransmit_delay_s
+                timeout = engine.timeout(retry_at)
+                timeout.callbacks.append(
+                    lambda _ev: self.cast(handler, *args, **kwargs)
+                )
+                return
         due = engine._now + self.latency_s
         batch = self._batch
         if (

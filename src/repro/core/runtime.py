@@ -70,7 +70,7 @@ class SideTaskRuntime:
         self.workload = spec.workload
         self.proc = proc
         self.container = container
-        self.machine = StateMachine()
+        self.machine = StateMachine(task_id=spec.name)
         self.rpc = RpcChannel(sim, name=f"rpc:{spec.name}")
         self.ctx = SideTaskContext(sim, proc, rng, task_name=spec.name)
         self.on_terminal = on_terminal
@@ -86,6 +86,23 @@ class SideTaskRuntime:
         self.overhead_s = 0.0
         self.insufficient_s = 0.0
         self.init_s = 0.0
+        # fault-tolerance plumbing (set by the worker; inert when None)
+        self.injector = None
+        self.stage = -1
+        #: the worker currently holding this task's memory reservation
+        self.reserved_worker = None
+        # recovery accounting
+        self.checkpoint_s = 0.0
+        self.restore_s = 0.0
+        self.slowdown_s = 0.0
+        self.wasted_steps = 0
+        self.wasted_s = 0.0
+        self.step_failures = 0
+        self.checkpoints = 0
+        self.preemptions = 0
+        self.restores = 0
+        self._snapshot: dict | None = None
+        self._preempting = False
         self._commands: collections.deque[Command] = collections.deque()
         self._command_event = None
         self._main = None
@@ -105,8 +122,13 @@ class SideTaskRuntime:
         """CreateSideTask: load host context, spawn the interface loop."""
         self.workload.create_side_task()
         self.machine.apply(Transition.CREATE, self.sim.now)
+        # The birth snapshot: preemption before any checkpoint rolls the
+        # task all the way back (restart-from-scratch semantics).
+        self._snapshot = self.workload.checkpoint_state()
         self._main = self.proc.attach(
-            self.sim.process(self._guarded_main(), name=f"task:{self.spec.name}")
+            self.sim.process(
+                self._guarded(self._main_loop()), name=f"task:{self.spec.name}"
+            )
         )
 
     def deliver(self, command: Command) -> None:
@@ -124,12 +146,72 @@ class SideTaskRuntime:
         self.proc.kill(reason)
         self._terminal()
 
+    def preempt(self, reason: str) -> None:
+        """Take the task's process away but keep the task resumable.
+
+        The crash path for checkpointed tasks: progress rolls back to the
+        last snapshot (wasted-work accounting records the difference),
+        the process dies, and the task parks in PREEMPTED until a worker
+        restores it. Tasks that cannot legally preempt are killed.
+        """
+        if self.spec.checkpoint is None or not self.machine.can_apply(
+            Transition.PREEMPT
+        ):
+            self.kill(reason)
+            return
+        snapshot_steps = (self._snapshot or {}).get("steps_done", 0)
+        lost = max(0, self.workload.steps_done - snapshot_steps)
+        self.wasted_steps += lost
+        step_time = self.spec.profile.step_time_s or 0.0
+        self.wasted_s += lost * step_time
+        self.preemptions += 1
+        self.machine.apply(Transition.PREEMPT, self.sim.now)
+        # The interrupt lands in the guarded loop a beat later; the flag
+        # tells it this death is a preemption, not a terminal stop.
+        self._preempting = True
+        self.proc.kill(reason)
+        if self._snapshot is not None:
+            self.workload.restore_state(self._snapshot)
+        self.workload.gpu_loaded = False
+        self._notify()
+
+    def restore_on(self, proc: "GPUProcess", stage: int | None = None) -> None:
+        """Resume a PREEMPTED task on a fresh process (worker-side seam)."""
+        self.proc = proc
+        if stage is not None:
+            self.stage = stage
+        # Same RandomStreams, so the task's jitter stream continues where
+        # it left off — restore never forks the randomness.
+        self.ctx = SideTaskContext(
+            self.sim, proc, self.ctx.rng, task_name=self.spec.name
+        )
+        self.released = False
+        self.restores += 1
+        self.machine.apply(Transition.RESTORE, self.sim.now)
+        self._commands.clear()
+        self._command_event = None
+        self._main = self.proc.attach(
+            self.sim.process(
+                self._guarded(self._restore_loop()),
+                name=f"task:{self.spec.name}:r{self.restores}",
+            )
+        )
+        self._notify()
+
+    def abandon(self, reason: str) -> None:
+        """Give up on a parked PREEMPTED task (teardown, no capacity)."""
+        if self.machine.terminated:
+            return
+        if self.failure is None:
+            self.failure = reason
+        self._terminal()
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _guarded_main(self):
+    def _guarded(self, body):
         try:
-            yield from self._main_loop()
+            yield from body
         except Interrupt:
             pass  # killed: terminal handling below
         except GpuOutOfMemoryError as exc:
@@ -139,7 +221,27 @@ class SideTaskRuntime:
             self.proc.kill("OOM")
         except ProcessKilledError:
             pass
+        if self._preempting:
+            # Preemption killed the process, not the task: the PREEMPTED
+            # machine state survives for a later restore.
+            self._preempting = False
+            return
         self._terminal()
+
+    def _restore_loop(self):
+        """Reload the GPU context from the snapshot, then rejoin the loop."""
+        policy = self.spec.checkpoint
+        start = self.sim.now
+        self.workload.init_side_task(self.ctx)  # may raise OOM
+        reload_s = (policy.restore_cost_s if policy is not None else 0.0) + (
+            self.spec.profile.gpu_memory_gb / calibration.H2D_BANDWIDTH_GB_S
+        )
+        if reload_s > 0:
+            yield self.sim.timeout(reload_s)
+        self.restore_s += self.sim.now - start
+        self.last_paused_at = self.sim.now
+        self._notify()
+        yield from self._main_loop()
 
     def _main_loop(self):  # pragma: no cover - overridden
         raise NotImplementedError
@@ -251,13 +353,58 @@ class IterativeRuntime(SideTaskRuntime):
             if overhead > 0:
                 yield self.sim.timeout(overhead)
                 self.overhead_s += overhead
+            if self.injector is not None and self.injector.step_fails(
+                self.spec.name
+            ):
+                # The step ran but its result is lost; the loop re-runs it.
+                fail_start = self.sim.now
+                if step_time is not None and step_time > 0:
+                    yield self.sim.timeout(step_time)
+                self.step_failures += 1
+                self.wasted_s += self.sim.now - fail_start
+                continue
             self.machine.apply(Transition.RUN_NEXT_STEP, self.sim.now)
             step_start = self.sim.now
             yield from self.workload.run_next_step(self.ctx)
+            if self.injector is not None:
+                # Straggler window: the step takes factor× its normal time.
+                factor = self.injector.slowdown_factor(self.stage, step_start)
+                if factor > 1.0:
+                    extra = (self.sim.now - step_start) * (factor - 1.0)
+                    if extra > 0:
+                        yield self.sim.timeout(extra)
+                        self.slowdown_s += extra
             self.running_s += self.sim.now - step_start
             if self.workload.is_finished:
                 return True
+            if self._should_checkpoint():
+                yield from self._take_checkpoint()
         return False
+
+    def _should_checkpoint(self) -> bool:
+        policy = self.spec.checkpoint
+        if policy is None or policy.interval_steps <= 0:
+            return False
+        if self.machine.state is not SideTaskState.RUNNING:
+            return False
+        done = self.workload.steps_done - (self._snapshot or {}).get(
+            "steps_done", 0
+        )
+        return done >= policy.interval_steps
+
+    def _take_checkpoint(self):
+        policy = self.spec.checkpoint
+        self.machine.apply(Transition.CHECKPOINT, self.sim.now)
+        start = self.sim.now
+        if policy.checkpoint_cost_s > 0:
+            yield self.sim.timeout(policy.checkpoint_cost_s)
+        self.checkpoint_s += self.sim.now - start
+        self._snapshot = self.workload.checkpoint_state()
+        self.checkpoints += 1
+        # A kill mid-checkpoint lands the machine in STOPPED before this
+        # generator resumes; only a still-checkpointing task resumes.
+        if self.machine.state is SideTaskState.CHECKPOINTED:
+            self.machine.apply(Transition.RESUME, self.sim.now)
 
     def _wait_for_command_event(self):
         while not self._commands:
@@ -278,6 +425,11 @@ class ImperativeRuntime(SideTaskRuntime):
                 f"{self.workload.name} is not an ImperativeSideTask"
             )
         self._body = None
+
+    def restore_on(self, proc, stage: int | None = None) -> None:
+        # The old body died with the old process; START attaches a new one.
+        self._body = None
+        super().restore_on(proc, stage)
 
     def _main_loop(self):
         while True:

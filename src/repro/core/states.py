@@ -1,4 +1,4 @@
-"""The side-task life-cycle state machine (paper Figure 4a).
+"""The side-task life-cycle state machine (paper Figure 4a, extended).
 
 Five states capture the life cycle of a side task "from process creation
 to termination", each corresponding to a different hardware footprint:
@@ -12,6 +12,18 @@ to termination", each corresponding to a different hardware footprint:
 
 Six transitions connect them; ``RunNextStep`` is the RUNNING self-loop the
 iterative interface executes once per step.
+
+The fault-tolerance layer (:mod:`repro.faults`) adds three recovery
+states on top of the paper's machine:
+
+* ``CHECKPOINTED`` — the task is persisting a resume point; it returns
+  to RUNNING once the checkpoint write completes;
+* ``PREEMPTED`` — the task's process is gone (worker crash or eviction)
+  but its last checkpoint survives; the task is *resumable*, not dead;
+* ``RESUMED`` — restored onto a worker from its checkpoint, waiting for
+  a bubble exactly like PAUSED.
+
+``STOPPED`` remains the only terminal state.
 """
 
 from __future__ import annotations
@@ -28,6 +40,10 @@ class SideTaskState(enum.Enum):
     PAUSED = "PAUSED"
     RUNNING = "RUNNING"
     STOPPED = "STOPPED"
+    # recovery states (fault-tolerance layer)
+    CHECKPOINTED = "CHECKPOINTED"
+    PREEMPTED = "PREEMPTED"
+    RESUMED = "RESUMED"
 
 
 class Transition(enum.Enum):
@@ -37,9 +53,22 @@ class Transition(enum.Enum):
     PAUSE = "PauseSideTask"
     RUN_NEXT_STEP = "RunNextStep"
     STOP = "StopSideTask"
+    # recovery transitions (fault-tolerance layer)
+    CHECKPOINT = "CheckpointSideTask"
+    RESUME = "ResumeSideTask"
+    PREEMPT = "PreemptSideTask"
+    RESTORE = "RestoreSideTask"
 
 
-#: (from-state, transition) -> to-state; exactly the arrows of Figure 4(a).
+#: the paper's six transitions (Figure 4a); the rest belong to the
+#: fault-tolerance layer
+CORE_TRANSITIONS = (
+    Transition.CREATE, Transition.INIT, Transition.START,
+    Transition.PAUSE, Transition.RUN_NEXT_STEP, Transition.STOP,
+)
+
+#: (from-state, transition) -> to-state; the arrows of Figure 4(a) plus
+#: the recovery edges.
 TRANSITION_TABLE: dict[tuple[SideTaskState, Transition], SideTaskState] = {
     (SideTaskState.SUBMITTED, Transition.CREATE): SideTaskState.CREATED,
     (SideTaskState.CREATED, Transition.INIT): SideTaskState.PAUSED,
@@ -49,6 +78,22 @@ TRANSITION_TABLE: dict[tuple[SideTaskState, Transition], SideTaskState] = {
     (SideTaskState.CREATED, Transition.STOP): SideTaskState.STOPPED,
     (SideTaskState.PAUSED, Transition.STOP): SideTaskState.STOPPED,
     (SideTaskState.RUNNING, Transition.STOP): SideTaskState.STOPPED,
+    # checkpointing: a RUNNING task persists a resume point, then resumes
+    (SideTaskState.RUNNING, Transition.CHECKPOINT): SideTaskState.CHECKPOINTED,
+    (SideTaskState.CHECKPOINTED, Transition.RESUME): SideTaskState.RUNNING,
+    # preemption: any state with a live process can lose it
+    (SideTaskState.CREATED, Transition.PREEMPT): SideTaskState.PREEMPTED,
+    (SideTaskState.PAUSED, Transition.PREEMPT): SideTaskState.PREEMPTED,
+    (SideTaskState.RUNNING, Transition.PREEMPT): SideTaskState.PREEMPTED,
+    (SideTaskState.CHECKPOINTED, Transition.PREEMPT): SideTaskState.PREEMPTED,
+    (SideTaskState.RESUMED, Transition.PREEMPT): SideTaskState.PREEMPTED,
+    # restore: back onto a worker, then started like a PAUSED task
+    (SideTaskState.PREEMPTED, Transition.RESTORE): SideTaskState.RESUMED,
+    (SideTaskState.RESUMED, Transition.START): SideTaskState.RUNNING,
+    # teardown is reachable from every recovery state
+    (SideTaskState.CHECKPOINTED, Transition.STOP): SideTaskState.STOPPED,
+    (SideTaskState.PREEMPTED, Transition.STOP): SideTaskState.STOPPED,
+    (SideTaskState.RESUMED, Transition.STOP): SideTaskState.STOPPED,
 }
 
 
@@ -69,12 +114,16 @@ class StateMachine:
     history: list[tuple[float, SideTaskState]] = dataclasses.field(
         default_factory=list
     )
+    #: owning task's name, embedded in IllegalTransitionError messages
+    task_id: str = ""
 
     def apply(self, transition: Transition, now: float = 0.0) -> SideTaskState:
         """Apply ``transition``; raises :class:`IllegalTransitionError`."""
         key = (self.state, transition)
         if key not in TRANSITION_TABLE:
-            raise IllegalTransitionError(self.state.value, transition.value)
+            raise IllegalTransitionError(
+                self.state.value, transition.value, task_id=self.task_id
+            )
         self.state = TRANSITION_TABLE[key]
         self.history.append((now, self.state))
         return self.state
@@ -85,6 +134,11 @@ class StateMachine:
     @property
     def terminated(self) -> bool:
         return self.state is SideTaskState.STOPPED
+
+    @property
+    def resumable(self) -> bool:
+        """Preempted with a checkpoint to restore from — not dead."""
+        return self.state is SideTaskState.PREEMPTED
 
     def time_in_state(self, state: SideTaskState, until: float) -> float:
         """Total virtual time spent in ``state`` up to ``until``."""

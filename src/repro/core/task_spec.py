@@ -16,6 +16,7 @@ import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.interfaces import ImperativeSideTask, IterativeSideTask
+    from repro.faults.checkpoint import CheckpointPolicy
 
 _task_ids = itertools.count()
 
@@ -61,6 +62,9 @@ class TaskSpec:
     slo_class: str = ""
     #: absolute completion deadline in sim time; None = best effort
     deadline_s: float | None = None
+    #: recovery policy: None = a crash kills the task outright; a policy
+    #: makes it preemptible/restorable (interval 0 = restart from scratch)
+    checkpoint: "CheckpointPolicy | None" = None
     task_id: int = dataclasses.field(default_factory=lambda: next(_task_ids))
 
     def __post_init__(self):

@@ -77,6 +77,11 @@ class SideTaskWorker:
         self.all_tasks: list[SideTaskRuntime] = []
         self.reserved_gb = 0.0
         self.kills: list[tuple[str, str]] = []
+        #: fault-injection hooks (None in healthy runs — fully inert)
+        self.injector = None
+        self.crashed = False
+        #: [crashed_at, restarted_at | None] per crash, for availability
+        self.crash_log: list[list[float | None]] = []
 
     # ------------------------------------------------------------------
     # Algorithm 1 support
@@ -87,8 +92,18 @@ class SideTaskWorker:
         return self.side_task_memory_gb - self.reserved_gb
 
     def get_task_num(self) -> int:
-        """Live tasks assigned to this worker (queued + current)."""
-        return sum(1 for task in self.all_tasks if not task.machine.terminated)
+        """Live tasks assigned to this worker (queued + current).
+
+        A preempted task counts nowhere (it holds no reservation), and a
+        task restored onto another worker counts only there, even though
+        it stays in this worker's ``all_tasks`` for reporting.
+        """
+        return sum(
+            1 for task in self.all_tasks
+            if not task.machine.terminated
+            and not task.machine.resumable
+            and (task.reserved_worker is None or task.reserved_worker is self)
+        )
 
     def add_task(
         self,
@@ -128,10 +143,66 @@ class SideTaskWorker:
             on_terminal=on_terminal,
         )
         runtime.create()
+        runtime.stage = self.stage
+        runtime.injector = self.injector
+        runtime.reserved_worker = self
         self.reserved_gb += spec.profile.gpu_memory_gb
         self.task_queue.append(runtime)
         self.all_tasks.append(runtime)
         return runtime
+
+    def adopt_restored(self, runtime: SideTaskRuntime) -> SideTaskRuntime:
+        """Give a PREEMPTED task a fresh process on this worker.
+
+        The mirror of :meth:`add_task` for the recovery path: same
+        container, MPS limit, and reservation accounting, but the
+        existing runtime resumes from its snapshot instead of a new one
+        being created.
+        """
+        spec = runtime.spec
+        limit = min(spec.requested_limit_gb, self.side_task_memory_gb)
+        proc = GPUProcess(
+            self.sim,
+            self.gpu,
+            name=f"{self.name}:{spec.name}:r{runtime.preemptions}",
+            priority=Priority.SIDE,
+            interference=Interference(
+                mps_on_higher=spec.workload.perf.mps_interference,
+                mps_on_lower=0.3,
+                time_slice=spec.workload.perf.naive_interference,
+            ),
+            memory_limit_gb=limit,
+        )
+        if self.mps is not None:
+            self.mps.set_memory_limit(proc, limit)
+        self.container.adopt(proc)
+        runtime.restore_on(proc, stage=self.stage)
+        runtime.injector = self.injector
+        runtime.reserved_worker = self
+        self.reserved_gb += spec.profile.gpu_memory_gb
+        self.task_queue.append(runtime)
+        if runtime not in self.all_tasks:
+            self.all_tasks.append(runtime)
+        return runtime
+
+    # ------------------------------------------------------------------
+    # crash/restart (fault-injection layer)
+    # ------------------------------------------------------------------
+    def crash(self, now: float) -> None:
+        """The worker process dies: it stops tracking bubbles entirely.
+
+        Task teardown (preempt or kill) is the manager's decision and
+        happens in :meth:`SideTaskManager.crash_worker`.
+        """
+        self.crashed = True
+        self.crash_log.append([now, None])
+        self.current_bubble = None
+        self.bubble_inbox.clear()
+
+    def restart(self, now: float) -> None:
+        self.crashed = False
+        if self.crash_log and self.crash_log[-1][1] is None:
+            self.crash_log[-1][1] = now
 
     # ------------------------------------------------------------------
     # Algorithm 2 support
@@ -168,12 +239,17 @@ class SideTaskWorker:
         runtime.kill(reason)
 
     def release(self, runtime: SideTaskRuntime) -> None:
-        """Return a finished task's memory reservation (idempotent)."""
+        """Return a finished task's memory reservation (idempotent).
+
+        The reservation is returned to the worker that holds it, which
+        after a cross-worker restore may not be the caller.
+        """
         if runtime.released:
             return
         runtime.released = True
-        self.reserved_gb = max(
-            0.0, self.reserved_gb - runtime.spec.profile.gpu_memory_gb
+        owner = runtime.reserved_worker or self
+        owner.reserved_gb = max(
+            0.0, owner.reserved_gb - runtime.spec.profile.gpu_memory_gb
         )
 
     def stop(self) -> None:

@@ -46,12 +46,22 @@ class SideTaskError(ReproError):
 
 
 class IllegalTransitionError(SideTaskError):
-    """A state transition not permitted by the FreeRide state machine."""
+    """A state transition not permitted by the FreeRide state machine.
 
-    def __init__(self, current: str, requested: str):
-        super().__init__(f"illegal side-task transition: {current} -> {requested}")
+    The message names the offending task (when known), the state it is
+    in, and the transition that was attempted — the three facts needed
+    to debug a life-cycle bug from a log line alone.
+    """
+
+    def __init__(self, current: str, requested: str, task_id: str = ""):
+        task = f" for task {task_id!r}" if task_id else ""
+        super().__init__(
+            f"illegal side-task transition{task}: "
+            f"{requested} is not legal from state {current}"
+        )
         self.current = current
         self.requested = requested
+        self.task_id = task_id
 
 
 class TaskRejectedError(SideTaskError):
@@ -71,6 +81,22 @@ class TaskRejectedError(SideTaskError):
         self.policy = policy
         self.queue_depth = queue_depth
         self.eligible_workers = eligible_workers
+
+
+class RetryExhaustedError(SideTaskError):
+    """Every allowed attempt of a retried operation failed.
+
+    Mirrors :class:`TaskRejectedError`: carries the context a caller
+    needs to act — which task, how many attempts were made, and the last
+    failure observed — with the message embedding all of it.
+    """
+
+    def __init__(self, message: str, task_name: str = "",
+                 attempts: int = 0, last_failure: str = ""):
+        super().__init__(message)
+        self.task_name = task_name
+        self.attempts = attempts
+        self.last_failure = last_failure
 
 
 class RpcError(ReproError):

@@ -1,0 +1,165 @@
+"""The `resilience` experiment: serving under injected failures.
+
+Beyond the paper's fault-free evaluation: how gracefully the middleware
+degrades when workers crash. A seeded per-stage Poisson crash plan
+knocks workers out mid-service at a swept intensity; each
+(crash rate x recovery mode) point is a self-contained ``serving``-kind
+:class:`~repro.api.spec.ScenarioSpec` with a ``faults`` section,
+executed through the Session API. The serving frontend retries requests
+whose worker died (exponential backoff, seeded jitter); the recovery
+axis contrasts killing evicted work ("none"), restarting it from
+scratch ("restart"), and resuming it from periodic checkpoints
+("checkpoint"). The table reads degradation directly off the fault
+axis: goodput under failure, requests lost, wasted side-task work, and
+pool availability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.api import registry
+from repro.api.results import ResultRow
+from repro.api.session import DEFAULT_OPEN_FRACTION, Session
+from repro.api.spec import (
+    ArrivalSpec,
+    FaultSpec,
+    ScenarioSpec,
+    SweepSpec,
+    TrainingSpec,
+)
+from repro.experiments import common
+
+#: expected crashes per worker over the open window
+CRASH_RATES = (0.0, 1.0, 2.0)
+RECOVERIES = ("none", "restart", "checkpoint")
+RESILIENCE_EPOCHS = 4
+ARRIVAL_RATE = 2.0
+#: fraction of the no-side-task training time the service stays open
+OPEN_FRACTION = DEFAULT_OPEN_FRACTION
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceRow(ResultRow):
+    """One degradation-table point."""
+
+    crash_rate: float
+    recovery: str
+    offered: int
+    completed: int
+    failed: int
+    retries: int
+    crashes: int
+    availability: float
+    preemptions: int
+    restores: int
+    checkpoints: int
+    wasted_s: float
+    goodput_rps: float
+
+
+def default_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="resilience",
+        kind="serving",
+        training=TrainingSpec(epochs=RESILIENCE_EPOCHS),
+        arrivals=ArrivalSpec(kind="poisson", rate_per_s=ARRIVAL_RATE),
+        faults=FaultSpec(
+            crash_rate=CRASH_RATES[0],
+            restart_after_s=4.0,
+            recovery=RECOVERIES[0],
+            retry_max_attempts=3,
+        ),
+        sweep=SweepSpec(axes={
+            "faults.crash_rate": CRASH_RATES,
+            "faults.recovery": RECOVERIES,
+        }),
+        params={"open_fraction": OPEN_FRACTION},
+    )
+
+
+def _resilience_point(spec: ScenarioSpec) -> dict:
+    """One sweep point; module-level so pool workers can unpickle it."""
+    with Session(spec) as session:
+        result = session.run().results()
+    metrics = result.metrics
+    resilience = result.resilience
+    return {
+        "crash_rate": spec.faults.crash_rate,
+        "recovery": spec.faults.recovery,
+        "offered": metrics.offered,
+        "completed": metrics.completed,
+        "failed": metrics.failed,
+        "retries": resilience.retries,
+        "crashes": resilience.crashes,
+        "availability": resilience.availability,
+        "preemptions": resilience.preemptions,
+        "restores": resilience.restores,
+        "checkpoints": resilience.checkpoints,
+        "wasted_s": resilience.wasted_s,
+        "goodput_rps": resilience.goodput_under_failure_rps,
+    }
+
+
+def run_spec(spec: ScenarioSpec) -> dict:
+    config = spec.train_config()
+    # Computed once here and baked into the point specs (pool workers
+    # re-derive nothing): the service horizon every point shares.
+    horizon_s = spec.param("horizon_s")
+    if horizon_s is None:
+        horizon_s = common.baseline_time(config) * float(
+            spec.param("open_fraction", OPEN_FRACTION)
+        )
+    rows = common.sweep(
+        spec.sweep_points({"params.horizon_s": horizon_s}),
+        _resilience_point,
+    )
+    return {
+        "epochs": spec.training.epochs,
+        "seed": spec.seed,
+        "arrival_rate": spec.arrivals.rate_per_s,
+        "horizon_s": horizon_s,
+        "rows": rows,
+    }
+
+
+def render(data: dict) -> str:
+    rows = [
+        [
+            f"{row['crash_rate']:g}",
+            row["recovery"],
+            str(row["offered"]),
+            str(row["completed"]),
+            str(row["failed"]),
+            str(row["retries"]),
+            str(row["crashes"]),
+            common.pct(row["availability"]),
+            f"{row['preemptions']}/{row['restores']}",
+            f"{row['wasted_s']:.2f}",
+            f"{row['goodput_rps']:.2f}",
+        ]
+        for row in data["rows"]
+    ]
+    title = (
+        f"Resilience: worker crashes under {data['arrival_rate']:g} req/s "
+        f"over {data['epochs']}-epoch training (seed {data['seed']}, "
+        f"service open {data['horizon_s']:.1f}s)"
+    )
+    return common.render_table(
+        title,
+        ["crash rate", "recovery", "offered", "completed", "failed",
+         "retries", "crashes", "avail", "preempt/restore", "wasted (s)",
+         "goodput (req/s)"],
+        rows,
+    )
+
+
+def rows(data: dict) -> list[ResilienceRow]:
+    return [ResilienceRow(**row) for row in data["rows"]]
+
+
+registry.register(
+    "resilience",
+    "Degradation under injected faults: crash rate x recovery policy",
+    default_spec, run_spec, render, rows,
+)

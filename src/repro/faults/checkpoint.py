@@ -1,0 +1,42 @@
+"""The per-task checkpoint cost model.
+
+Checkpointing trades steady-state overhead (pausing every
+``interval_steps`` steps to persist a resume point) for bounded wasted
+work after a crash: a preempted task restarts from its last snapshot
+instead of from scratch. ``interval_steps = 0`` keeps the recovery
+*seam* (the task is still preempted and restored rather than killed)
+but never snapshots mid-run — restart-from-scratch semantics, the
+baseline the resilience experiment compares against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to checkpoint a side task and what each operation costs."""
+
+    #: snapshot after this many steps of progress; 0 = never (restart
+    #: from scratch on preemption)
+    interval_steps: int = 4
+    #: virtual seconds to persist one snapshot (D2H copy + serialisation)
+    checkpoint_cost_s: float = 0.05
+    #: virtual seconds to reload a snapshot on restore (before the
+    #: ordinary H2D context upload)
+    restore_cost_s: float = 0.1
+
+    def __post_init__(self):
+        if self.interval_steps < 0:
+            raise ValueError(
+                f"interval_steps must be >= 0, got {self.interval_steps}"
+            )
+        if self.checkpoint_cost_s < 0:
+            raise ValueError(
+                f"checkpoint_cost_s must be >= 0, got {self.checkpoint_cost_s}"
+            )
+        if self.restore_cost_s < 0:
+            raise ValueError(
+                f"restore_cost_s must be >= 0, got {self.restore_cost_s}"
+            )

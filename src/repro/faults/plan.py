@@ -1,0 +1,167 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a frozen value describing every failure a run
+will experience — crash times, straggler windows, drop windows, and the
+seed for per-step failures. Because the plan is fixed *before* the
+simulation starts, injecting it cannot perturb any other component's
+random stream, and the same plan replayed against the same scenario
+yields a byte-identical trace.
+
+:func:`build_plan` draws a plan from an intensity (expected crashes per
+worker) using the same named-stream discipline as the rest of the
+simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sim.rng import RandomStreams
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerCrash:
+    """One worker process dying at a known virtual time.
+
+    ``restart_after_s is None`` makes the crash permanent; otherwise the
+    worker rejoins the pool that many seconds later (tasks it hosted are
+    preempted or killed at crash time either way).
+    """
+
+    stage: int
+    at_s: float
+    restart_after_s: float | None = None
+
+    def __post_init__(self):
+        if self.stage < 0:
+            raise ValueError(f"stage must be >= 0, got {self.stage}")
+        if self.at_s < 0:
+            raise ValueError(f"at_s must be >= 0, got {self.at_s}")
+        if self.restart_after_s is not None and self.restart_after_s < 0:
+            raise ValueError(
+                f"restart_after_s must be >= 0, got {self.restart_after_s}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class SlowdownWindow:
+    """A straggler interval: steps on ``stage`` take ``factor``× longer."""
+
+    stage: int
+    start_s: float
+    end_s: float
+    factor: float = 2.0
+
+    def __post_init__(self):
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"slowdown window must have end_s > start_s, got "
+                f"[{self.start_s}, {self.end_s}]"
+            )
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+
+
+@dataclasses.dataclass(frozen=True)
+class DropWindow:
+    """An interval during which manager→runtime casts are dropped.
+
+    Drops are transient: the channel retransmits once the window closes,
+    so commands are delayed, never lost.
+    """
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self):
+        if self.end_s <= self.start_s:
+            raise ValueError(
+                f"drop window must have end_s > start_s, got "
+                f"[{self.start_s}, {self.end_s}]"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one run."""
+
+    crashes: tuple[WorkerCrash, ...] = ()
+    slowdowns: tuple[SlowdownWindow, ...] = ()
+    #: probability that any given side-task step fails and must re-run
+    step_failure_rate: float = 0.0
+    #: root seed of the hash deciding which (task, attempt) steps fail
+    step_failure_seed: int = 0
+    rpc_drops: tuple[DropWindow, ...] = ()
+    #: delay between a drop window closing and the retransmission landing
+    rpc_retry_delay_s: float = 0.05
+
+    def __post_init__(self):
+        if not 0.0 <= self.step_failure_rate < 1.0:
+            raise ValueError(
+                f"step_failure_rate must be in [0, 1), got "
+                f"{self.step_failure_rate}"
+            )
+        if self.rpc_retry_delay_s < 0:
+            raise ValueError(
+                f"rpc_retry_delay_s must be >= 0, got {self.rpc_retry_delay_s}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        return (
+            not self.crashes
+            and not self.slowdowns
+            and self.step_failure_rate == 0.0
+            and not self.rpc_drops
+        )
+
+
+def build_plan(
+    seed: int,
+    horizon_s: float,
+    num_stages: int,
+    crash_rate: float = 0.0,
+    restart_after_s: float | None = 5.0,
+    step_failure_rate: float = 0.0,
+    slowdowns: tuple[SlowdownWindow, ...] = (),
+    rpc_drops: tuple[DropWindow, ...] = (),
+    rpc_retry_delay_s: float = 0.05,
+) -> FaultPlan:
+    """Draw a :class:`FaultPlan` from a seed and an intensity.
+
+    ``crash_rate`` is the expected number of crashes per worker over the
+    ``horizon_s`` window; each worker's crash count is Poisson with that
+    mean and crash times are uniform over the window, drawn from
+    per-stage named streams so stage counts are independent of each
+    other and of every other stream in the run.
+    """
+    if horizon_s <= 0:
+        raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+    if crash_rate < 0:
+        raise ValueError(f"crash_rate must be >= 0, got {crash_rate}")
+    rng = RandomStreams(seed).spawn("faults")
+    crashes: list[WorkerCrash] = []
+    for stage in range(num_stages):
+        stream = rng.stream(f"crash{stage}")
+        if crash_rate > 0:
+            # Poisson via inversion: cheap and exact for small means.
+            count, threshold, product = 0, 2.718281828459045 ** -crash_rate, 1.0
+            while True:
+                product *= stream.random()
+                if product <= threshold:
+                    break
+                count += 1
+            times = sorted(stream.uniform(0.0, horizon_s) for _ in range(count))
+            crashes.extend(
+                WorkerCrash(stage=stage, at_s=t, restart_after_s=restart_after_s)
+                for t in times
+            )
+    crashes.sort(key=lambda crash: (crash.at_s, crash.stage))
+    return FaultPlan(
+        crashes=tuple(crashes),
+        slowdowns=tuple(slowdowns),
+        step_failure_rate=step_failure_rate,
+        step_failure_seed=seed,
+        rpc_drops=tuple(rpc_drops),
+        rpc_retry_delay_s=rpc_retry_delay_s,
+    )

@@ -1,0 +1,60 @@
+"""Retry with exponential backoff and seeded jitter.
+
+A :class:`RetryPolicy` is pure configuration: it owns no random state.
+Callers pass their own seeded stream to :meth:`RetryPolicy.delay_s`, so
+two components retrying under the same policy never perturb each other's
+draws — the same discipline the rest of the simulator follows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed operation, and how patiently.
+
+    ``attempt_timeout_s`` bounds a single attempt's wall-clock time (an
+    attempt that outlives it is cancelled and counts as failed); ``None``
+    disables the timeout.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    attempt_timeout_s: float | None = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.attempt_timeout_s is not None and self.attempt_timeout_s <= 0:
+            raise ValueError(
+                f"attempt_timeout_s must be positive, got "
+                f"{self.attempt_timeout_s}"
+            )
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry).
+
+        Exponential in the attempt number, multiplied by a symmetric
+        jitter factor in ``[1 - jitter, 1 + jitter]`` drawn from ``rng``.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = self.backoff_s * self.backoff_factor ** (attempt - 1)
+        if self.jitter <= 0:
+            return base
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))

@@ -103,6 +103,9 @@ class ServingMetrics:
     completed: int
     #: completed within their deadline (best effort counts on completion)
     slo_met: int
+    #: ended in an explicit failure outcome ("failed" or "exhausted") —
+    #: the worker died mid-service and retries, if any, ran out
+    failed: int
     #: admitted but never completed (still queued/running at close)
     unserved: int
     #: open-service duration the rates are normalized by
@@ -131,7 +134,7 @@ def serving_metrics(records: "typing.Iterable[RequestRecord]",
                     duration_s: float) -> ServingMetrics:
     """Fold request lifecycle records into aggregate serving metrics."""
     offered = admitted = rejected = assigned = 0
-    completed = slo_met = unserved = 0
+    completed = slo_met = failed = unserved = 0
     queueing = LatencyStats()
     completion = LatencyStats()
     for record in records:
@@ -151,6 +154,8 @@ def serving_metrics(records: "typing.Iterable[RequestRecord]",
             completion.observe(record.completed_at - arrival)
             if record.met_slo:
                 slo_met += 1
+        elif getattr(record, "outcome", None) in ("failed", "exhausted"):
+            failed += 1
         else:
             unserved += 1
     return ServingMetrics(
@@ -160,6 +165,7 @@ def serving_metrics(records: "typing.Iterable[RequestRecord]",
         assigned=assigned,
         completed=completed,
         slo_met=slo_met,
+        failed=failed,
         unserved=unserved,
         duration_s=duration_s,
         queueing=queueing,

@@ -28,6 +28,7 @@ from repro.pipeline.config import TrainConfig
 from repro.pipeline.engine import TrainingResult
 from repro.metrics.fairness import FairnessMetrics
 from repro.metrics.latency import ServingMetrics
+from repro.metrics.resilience import ResilienceMetrics
 from repro.serving import slo as slo_mod
 from repro.serving.arrivals import ArrivalProcess, TaskRequest
 from repro.workloads.adapters import FiniteJob, ImperativeAdapter
@@ -35,6 +36,8 @@ from repro.workloads.registry import make_workload
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.runtime import SideTaskRuntime
+    from repro.faults.checkpoint import CheckpointPolicy
+    from repro.faults.retry import RetryPolicy
 
 #: default bound on the admission queue (requests, not bytes)
 DEFAULT_QUEUE_CAPACITY = 64
@@ -236,6 +239,14 @@ class RequestRecord:
     final_state: str | None = None
     steps_done: int = 0
     units_done: float = 0.0
+    #: dispatch attempts made (> 1 means the request was retried)
+    attempts: int = 0
+    #: explicit terminal outcome: "completed", "failed" (the attempt died
+    #: and no retries were configured), or "exhausted" (all retries
+    #: failed); None while the request is still in flight or unserved
+    outcome: str | None = None
+    #: why the last attempt died, when one did
+    failure: str | None = None
     spec: TaskSpec | None = dataclasses.field(default=None, repr=False)
 
     @property
@@ -261,6 +272,8 @@ class RequestRecord:
             return "late"
         if self.rejected_at is not None:
             return "rejected"
+        if self.outcome is not None:
+            return self.outcome
         if self.completed_at is not None:
             return "completed"
         if self.assigned_at is not None:
@@ -287,6 +300,9 @@ class RequestRecord:
             "met_slo": self.met_slo,
             "steps_done": self.steps_done,
             "units_done": self.units_done,
+            "attempts": self.attempts,
+            "outcome": self.outcome,
+            "failure": self.failure,
         }
 
 
@@ -316,6 +332,8 @@ class ServingFrontend:
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         jobs: int = 1,
         tenants: typing.Sequence = (),
+        retry: "RetryPolicy | None" = None,
+        checkpoint: "CheckpointPolicy | None" = None,
     ):
         if queue_capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {queue_capacity}")
@@ -328,6 +346,15 @@ class ServingFrontend:
         self.queue_capacity = queue_capacity
         self.queue: list[RequestRecord] = []
         self.closed_at: float | None = None
+        #: retry/backoff for attempts that die mid-service; None = one shot
+        self.retry = retry
+        #: recovery policy stamped on every dispatched task spec
+        self.checkpoint = checkpoint
+        #: live dispatch ledger: id(spec) -> the record it serves
+        self._by_spec: dict[int, RequestRecord] = {}
+        # A dedicated named stream, so enabling retries never perturbs
+        # any other component's draws.
+        self._retry_rng = freeride.rng.stream("serving:retry")
         self.records = [
             RequestRecord(
                 request=request,
@@ -339,6 +366,8 @@ class ServingFrontend:
         #: one profiling pass per distinct request shape, not per request
         self._profiles: dict[tuple, TaskProfile] = {}
         freeride.manager.terminal_listeners.append(self._on_terminal)
+        # Restarted workers mean re-queued retries may fit again.
+        freeride.manager.capacity_listeners.append(self._on_capacity)
         for record in self.records:
             delay = record.request.arrival_s - self.sim.now
             if delay < 0:
@@ -399,10 +428,84 @@ class ServingFrontend:
         self.queue.append(record)
         self._dispatch()
 
-    def _on_terminal(self, _task: "SideTaskRuntime") -> None:
-        """A task finished or died: its memory is back, retry the queue."""
+    def _on_terminal(self, task: "SideTaskRuntime") -> None:
+        """A task finished or died: settle its request, retry the queue."""
+        record = self._by_spec.get(id(task.spec))
+        if record is not None and record.spec is task.spec:
+            self._settle_attempt(record, task)
         if self.closed_at is None:
             self._dispatch()
+
+    def _on_capacity(self) -> None:
+        """A crashed worker restarted: queued requests may fit again."""
+        if self.closed_at is None:
+            self._dispatch()
+
+    def _settle_attempt(self, record: RequestRecord,
+                        runtime: "SideTaskRuntime") -> None:
+        """Decide a terminated attempt's fate: done, retry, or give up."""
+        if record.outcome is not None or record.completed_at is not None:
+            return
+        workload = record.spec.workload
+        if workload.is_finished and runtime.failure is None:
+            record.outcome = "completed"
+            record.completed_at = self.sim.now
+            # Earlier attempts may have died; the request itself did not.
+            record.failure = None
+            return
+        if self.closed_at is not None:
+            # Teardown stops are not failures; finalize() sorts them out.
+            return
+        failure = runtime.failure or "task stopped before finishing"
+        record.failure = failure
+        retry = self.retry
+        if retry is not None and record.attempts < retry.max_attempts:
+            delay = retry.delay_s(record.attempts, self._retry_rng)
+            timeout = self.sim.timeout(delay)
+            timeout.callbacks.append(
+                lambda _ev, record=record: self._requeue(record)
+            )
+            return
+        if retry is not None and retry.max_attempts > 1:
+            record.outcome = "exhausted"
+            record.failure = (
+                f"retries exhausted after {record.attempts} attempts; "
+                f"last failure: {failure}"
+            )
+        else:
+            record.outcome = "failed"
+
+    def _requeue(self, record: RequestRecord) -> None:
+        """Put a failed (admitted) request back in line for its retry.
+
+        Re-admission is not re-adjudicated — the request already paid
+        admission once — and the bounded queue does not apply: dropping
+        an accepted request on retry would turn a transient fault into a
+        silent loss.
+        """
+        if self.closed_at is not None or record.outcome is not None:
+            return
+        record.assigned_at = None
+        record.stage = None
+        record.spec = None
+        self.queue.append(record)
+        self._dispatch()
+
+    def _enforce_attempt_timeout(self, record: RequestRecord,
+                                 spec: TaskSpec) -> None:
+        """Kill an attempt that outlived the per-attempt timeout."""
+        if record.spec is not spec or record.outcome is not None:
+            return
+        runtime = self.freeride.runtime_for(spec)
+        if runtime.machine.terminated or spec.workload.is_finished:
+            return
+        reason = (
+            f"attempt timeout after {self.retry.attempt_timeout_s}s"
+        )
+        if runtime.machine.resumable:
+            runtime.abandon(reason)
+        else:
+            runtime.kill(reason)
 
     def _dispatch(self) -> None:
         """Hand queued requests to the manager while memory allows.
@@ -435,14 +538,20 @@ class ServingFrontend:
                     profile.gpu_memory_gb):
                 blocked.add(id(record))
                 continue
+            name = request.name
+            if record.attempts > 0:
+                # Stable, distinct task names per attempt keep every
+                # derived RNG stream — and so the run — deterministic.
+                name = f"{request.name}-a{record.attempts}"
             spec = self.freeride.submit(
                 lambda request=request: self._build_workload(request),
                 interface=request.interface,
                 profile=profile,
-                name=request.name,
+                name=name,
                 slo_class=request.slo_class,
                 deadline_s=record.deadline_s,
                 queue_depth=len(self.queue) - 1,
+                checkpoint=self.checkpoint,
             )
             if spec is None:  # pragma: no cover - eligibility checked above
                 blocked.add(id(record))
@@ -450,8 +559,19 @@ class ServingFrontend:
             self.queue.remove(record)
             record.assigned_at = self.sim.now
             record.spec = spec
+            record.attempts += 1
+            self._by_spec[id(spec)] = record
             if charge is not None:
                 charge(record)
+            if (
+                self.retry is not None
+                and self.retry.attempt_timeout_s is not None
+            ):
+                timeout = self.sim.timeout(self.retry.attempt_timeout_s)
+                timeout.callbacks.append(
+                    lambda _ev, record=record, spec=spec:
+                        self._enforce_attempt_timeout(record, spec)
+                )
 
     def close(self) -> None:
         """Stop admitting (training over / service shutting down)."""
@@ -463,6 +583,11 @@ class ServingFrontend:
         """Back-fill per-request outcomes from the runtimes' histories."""
         for record in self.records:
             if record.spec is None:
+                if record.failure is not None and record.outcome is None:
+                    # Admitted, failed at least once, and its retry never
+                    # found a worker before close: an explicit terminal
+                    # failure, not a silently unserved request.
+                    record.outcome = "failed"
                 continue
             runtime = self.freeride.runtime_for(record.spec)
             workload = record.spec.workload
@@ -478,11 +603,19 @@ class ServingFrontend:
                 (when for when, state in history
                  if state is SideTaskState.RUNNING), None,
             )
-            if workload.is_finished:
+            if workload.is_finished and runtime.failure is None:
                 record.completed_at = next(
                     (when for when, state in reversed(history)
                      if state is SideTaskState.STOPPED), None,
                 )
+                if record.outcome is None:
+                    record.outcome = "completed"
+            elif record.outcome is None and runtime.failure is not None:
+                # The attempt died (worker crash, kill, OOM) and was
+                # never settled as a retry: an explicit failure, not a
+                # silently unserved request.
+                record.outcome = "failed"
+                record.failure = runtime.failure
 
 
 # ----------------------------------------------------------------------
@@ -499,6 +632,8 @@ class ServingResult:
     open_duration_s: float
     #: per-tenant accounting; set when the scenario declared tenants
     fairness: FairnessMetrics | None = None
+    #: failure/recovery accounting; set when the scenario declared faults
+    resilience: "ResilienceMetrics | None" = None
 
     def summaries(self) -> list[dict]:
         return [record.summary() for record in self.records]

@@ -38,6 +38,15 @@ class FiniteJob(IterativeSideTask):
         # keep the inner task's own accounting in step with ours
         self.inner._account_step()
 
+    def checkpoint_state(self) -> dict:
+        snapshot = super().checkpoint_state()
+        snapshot["inner"] = self.inner.checkpoint_state()
+        return snapshot
+
+    def restore_state(self, snapshot: dict) -> None:
+        super().restore_state(snapshot)
+        self.inner.restore_state(snapshot["inner"])
+
     @property
     def is_finished(self) -> bool:
         return self.steps_done >= self.job_steps or self.inner.is_finished
@@ -61,6 +70,15 @@ class ImperativeAdapter(ImperativeSideTask):
         self.inner.compute_step()
         # keep the inner task's own accounting in step with ours
         self.inner._account_step()
+
+    def checkpoint_state(self) -> dict:
+        snapshot = super().checkpoint_state()
+        snapshot["inner"] = self.inner.checkpoint_state()
+        return snapshot
+
+    def restore_state(self, snapshot: dict) -> None:
+        super().restore_state(snapshot)
+        self.inner.restore_state(snapshot["inner"])
 
     @property
     def is_finished(self) -> bool:

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.states import (
+    CORE_TRANSITIONS,
     SideTaskState,
     StateMachine,
     TRANSITION_TABLE,
@@ -71,9 +72,123 @@ class TestTransitionTable:
             }
             assert legal_transitions(state) == expected
 
-    def test_six_distinct_transitions(self):
-        """The paper's framework has exactly six transitions."""
-        assert len(Transition) == 6
+    def test_six_core_transitions(self):
+        """The paper's framework has exactly six transitions; the
+        recovery layer adds four more."""
+        assert len(CORE_TRANSITIONS) == 6
+        assert len(Transition) == 10
+
+    def test_error_reports_state_transition_and_task(self):
+        machine = StateMachine(task_id="pagerank-0")
+        with pytest.raises(IllegalTransitionError) as excinfo:
+            machine.apply(Transition.START)
+        error = excinfo.value
+        assert error.current == "SUBMITTED"
+        assert error.requested == "StartSideTask"
+        assert error.task_id == "pagerank-0"
+        message = str(error)
+        assert "SUBMITTED" in message
+        assert "StartSideTask" in message
+        assert "pagerank-0" in message
+
+
+class TestRecoveryEdges:
+    """The CHECKPOINTED/PREEMPTED/RESUMED extension, exhaustively."""
+
+    RECOVERY_TABLE = {
+        (SideTaskState.RUNNING, Transition.CHECKPOINT):
+            SideTaskState.CHECKPOINTED,
+        (SideTaskState.CHECKPOINTED, Transition.RESUME):
+            SideTaskState.RUNNING,
+        (SideTaskState.CREATED, Transition.PREEMPT):
+            SideTaskState.PREEMPTED,
+        (SideTaskState.PAUSED, Transition.PREEMPT):
+            SideTaskState.PREEMPTED,
+        (SideTaskState.RUNNING, Transition.PREEMPT):
+            SideTaskState.PREEMPTED,
+        (SideTaskState.CHECKPOINTED, Transition.PREEMPT):
+            SideTaskState.PREEMPTED,
+        (SideTaskState.RESUMED, Transition.PREEMPT):
+            SideTaskState.PREEMPTED,
+        (SideTaskState.PREEMPTED, Transition.RESTORE):
+            SideTaskState.RESUMED,
+        (SideTaskState.RESUMED, Transition.START):
+            SideTaskState.RUNNING,
+        (SideTaskState.CHECKPOINTED, Transition.STOP):
+            SideTaskState.STOPPED,
+        (SideTaskState.PREEMPTED, Transition.STOP):
+            SideTaskState.STOPPED,
+        (SideTaskState.RESUMED, Transition.STOP):
+            SideTaskState.STOPPED,
+    }
+
+    PAPER_TABLE = {
+        (SideTaskState.SUBMITTED, Transition.CREATE): SideTaskState.CREATED,
+        (SideTaskState.CREATED, Transition.INIT): SideTaskState.PAUSED,
+        (SideTaskState.PAUSED, Transition.START): SideTaskState.RUNNING,
+        (SideTaskState.RUNNING, Transition.PAUSE): SideTaskState.PAUSED,
+        (SideTaskState.RUNNING, Transition.RUN_NEXT_STEP):
+            SideTaskState.RUNNING,
+        (SideTaskState.CREATED, Transition.STOP): SideTaskState.STOPPED,
+        (SideTaskState.PAUSED, Transition.STOP): SideTaskState.STOPPED,
+        (SideTaskState.RUNNING, Transition.STOP): SideTaskState.STOPPED,
+    }
+
+    def test_table_is_exactly_paper_plus_recovery(self):
+        """The paper's 8 edges are intact and only the 12 recovery edges
+        were added — no edge slipped in or out."""
+        assert TRANSITION_TABLE == {**self.PAPER_TABLE, **self.RECOVERY_TABLE}
+
+    @pytest.mark.parametrize("state,transition", sorted(
+        (
+            (state, transition)
+            for state in SideTaskState
+            for transition in Transition
+            if (state, transition) not in TRANSITION_TABLE
+        ),
+        key=lambda pair: (pair[0].value, pair[1].value),
+    ))
+    def test_every_missing_edge_is_illegal(self, state, transition):
+        machine = StateMachine(state=state, task_id="t")
+        with pytest.raises(IllegalTransitionError):
+            machine.apply(transition)
+        assert machine.state is state
+
+    def test_checkpoint_round_trip(self):
+        machine = StateMachine(state=SideTaskState.RUNNING)
+        machine.apply(Transition.CHECKPOINT, 1.0)
+        assert machine.state is SideTaskState.CHECKPOINTED
+        machine.apply(Transition.RESUME, 1.1)
+        assert machine.state is SideTaskState.RUNNING
+
+    def test_preempt_restore_start_cycle(self):
+        machine = StateMachine(state=SideTaskState.RUNNING)
+        machine.apply(Transition.PREEMPT, 1.0)
+        assert machine.resumable
+        machine.apply(Transition.RESTORE, 2.0)
+        assert machine.state is SideTaskState.RESUMED
+        machine.apply(Transition.START, 3.0)
+        assert machine.state is SideTaskState.RUNNING
+
+    def test_only_preempted_is_resumable(self):
+        for state in SideTaskState:
+            machine = StateMachine(state=state)
+            assert machine.resumable == (state is SideTaskState.PREEMPTED)
+
+    def test_checkpoint_only_from_running(self):
+        for state in SideTaskState:
+            legal = Transition.CHECKPOINT in legal_transitions(state)
+            assert legal == (state is SideTaskState.RUNNING)
+
+    def test_stopped_still_the_only_terminal_state(self):
+        """STOP must remain reachable from every non-terminal state with
+        a process, and STOPPED must remain absorbing."""
+        for state in SideTaskState:
+            if state in (SideTaskState.SUBMITTED, SideTaskState.STOPPED):
+                assert Transition.STOP not in legal_transitions(state)
+            else:
+                assert Transition.STOP in legal_transitions(state)
+        assert legal_transitions(SideTaskState.STOPPED) == set()
 
 
 class TestTimeInState:

@@ -1,0 +1,68 @@
+"""Determinism regression for faulted runs.
+
+The acceptance guard for the fault layer: injecting failures must not
+cost reproducibility. A reduced resilience sweep produces byte-identical
+rows whether points run serially or in process-pool workers, and a
+faulted scenario re-executed from its exported spec JSON reproduces the
+run byte for byte — crashes, retries, restores and all.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import common, resilience
+
+#: reduced resilience grid: every recovery mode, a crash rate high
+#: enough that the plan is never empty over the short horizon
+OVERRIDES = {
+    "training.epochs": 1,
+    "faults.crash_rate": 4.0,
+    "faults.restart_after_s": 2.0,
+    "sweep.axes": {
+        "faults.crash_rate": [4.0],
+        "faults.recovery": ["none", "restart", "checkpoint"],
+    },
+}
+
+
+def _serialize(rows) -> bytes:
+    return json.dumps(rows, sort_keys=True).encode()
+
+
+def _reduced_points():
+    spec = resilience.default_spec().override(OVERRIDES)
+    horizon_s = common.baseline_time(spec.train_config()) * float(
+        spec.param("open_fraction")
+    )
+    return spec.sweep_points({"params.horizon_s": horizon_s})
+
+
+def test_faulted_sweep_pool_matches_serial_byte_for_byte():
+    points = _reduced_points()
+    serial = common.sweep(points, resilience._resilience_point,
+                          max_workers=1)
+    pooled = common.sweep(points, resilience._resilience_point,
+                          max_workers=2)
+    assert any(row["crashes"] > 0 for row in serial)
+    assert _serialize(serial) == _serialize(pooled)
+
+
+def test_faulted_run_reruns_from_exported_spec_json():
+    """CI's tier-1 determinism check: export the faulted point spec to
+    JSON, re-hydrate, re-run, compare byte for byte."""
+    from repro.api.spec import ScenarioSpec
+
+    for point in _reduced_points():
+        rehydrated = ScenarioSpec.from_json(point.to_json())
+        assert rehydrated == point
+        first = resilience._resilience_point(point)
+        second = resilience._resilience_point(rehydrated)
+        assert _serialize(first) == _serialize(second)
+
+
+def test_full_resilience_experiment_rerun_is_byte_identical():
+    spec = resilience.default_spec().override(OVERRIDES)
+    first = resilience.run_spec(spec)["rows"]
+    second = resilience.run_spec(spec)["rows"]
+    assert _serialize(first) == _serialize(second)

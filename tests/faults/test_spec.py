@@ -1,0 +1,134 @@
+"""FaultSpec: validation, JSON round-trip, and policy derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.registry import expand_overrides
+from repro.api.spec import FaultSpec, ScenarioSpec, SpecError
+from repro.faults.plan import DropWindow, SlowdownWindow, WorkerCrash
+
+FULL = FaultSpec(
+    crash_rate=1.5,
+    crashes=(WorkerCrash(stage=1, at_s=3.0, restart_after_s=2.0),
+             WorkerCrash(stage=0, at_s=7.5, restart_after_s=None)),
+    restart_after_s=4.0,
+    step_failure_rate=0.01,
+    slowdowns=(SlowdownWindow(stage=2, start_s=1.0, end_s=5.0, factor=3.0),),
+    rpc_drop_windows=(DropWindow(start_s=2.0, end_s=2.5),),
+    recovery="checkpoint",
+    checkpoint_interval_steps=8,
+    retry_max_attempts=3,
+    attempt_timeout_s=30.0,
+)
+
+
+class TestValidation:
+    def test_unknown_recovery_mode(self):
+        with pytest.raises(SpecError, match="recovery"):
+            FaultSpec(recovery="pray")
+
+    def test_negative_crash_rate(self):
+        with pytest.raises(SpecError, match="crash_rate"):
+            FaultSpec(crash_rate=-1.0)
+
+    def test_step_failure_rate_must_be_below_one(self):
+        with pytest.raises(SpecError, match="step_failure_rate"):
+            FaultSpec(step_failure_rate=1.0)
+
+    def test_retry_attempts_at_least_one(self):
+        with pytest.raises(SpecError, match="retry_max_attempts"):
+            FaultSpec(retry_max_attempts=0)
+
+    def test_faults_only_on_serving_or_cluster(self):
+        with pytest.raises(SpecError, match="faults"):
+            ScenarioSpec(name="x", kind="batch", faults=FaultSpec())
+        ScenarioSpec(name="x", kind="serving", faults=FaultSpec())
+        ScenarioSpec(name="x", kind="cluster", jobs=2, faults=FaultSpec())
+
+
+class TestRoundTrip:
+    def test_nested_sections_survive_json(self):
+        spec = ScenarioSpec(name="rt", kind="serving", faults=FULL)
+        rehydrated = ScenarioSpec.from_json(spec.to_json())
+        assert rehydrated == spec
+        assert rehydrated.faults.crashes == FULL.crashes
+        assert rehydrated.faults.slowdowns == FULL.slowdowns
+        assert rehydrated.faults.rpc_drop_windows == FULL.rpc_drop_windows
+
+    def test_absent_faults_stays_none(self):
+        spec = ScenarioSpec(name="rt", kind="serving")
+        assert ScenarioSpec.from_json(spec.to_json()).faults is None
+
+
+class TestPolicyDerivation:
+    def test_active_requires_an_injection_knob(self):
+        assert not FaultSpec().active
+        assert not FaultSpec(recovery="checkpoint",
+                             retry_max_attempts=5).active
+        assert FaultSpec(crash_rate=0.1).active
+        assert FaultSpec(crashes=(WorkerCrash(stage=0, at_s=1.0),)).active
+        assert FaultSpec(step_failure_rate=0.1).active
+
+    def test_retry_policy_none_by_default(self):
+        assert FaultSpec().retry_policy() is None
+
+    def test_retry_policy_fields_map_through(self):
+        policy = FaultSpec(retry_max_attempts=4, retry_backoff_s=0.25,
+                           retry_backoff_factor=3.0, retry_jitter=0.0,
+                           attempt_timeout_s=9.0).retry_policy()
+        assert policy.max_attempts == 4
+        assert policy.backoff_s == 0.25
+        assert policy.backoff_factor == 3.0
+        assert policy.jitter == 0.0
+        assert policy.attempt_timeout_s == 9.0
+
+    def test_timeout_alone_builds_a_policy(self):
+        policy = FaultSpec(attempt_timeout_s=5.0).retry_policy()
+        assert policy is not None
+        assert policy.max_attempts == 1
+
+    def test_checkpoint_policy_per_recovery_mode(self):
+        assert FaultSpec(recovery="none").checkpoint_policy() is None
+        restart = FaultSpec(recovery="restart").checkpoint_policy()
+        assert restart.interval_steps == 0
+        periodic = FaultSpec(recovery="checkpoint",
+                             checkpoint_interval_steps=8).checkpoint_policy()
+        assert periodic.interval_steps == 8
+
+    def test_build_plan_merges_scripted_and_sampled_sorted(self):
+        plan = FULL.build_plan(seed=3, horizon_s=20.0, num_stages=4)
+        keys = [(crash.at_s, crash.stage) for crash in plan.crashes]
+        assert keys == sorted(keys)
+        # Both scripted crashes survive the merge verbatim.
+        for scripted in FULL.crashes:
+            assert scripted in plan.crashes
+        # And the sampled ones carry the spec's restart delay.
+        sampled = [c for c in plan.crashes if c not in FULL.crashes]
+        assert sampled
+        assert all(c.restart_after_s == 4.0 for c in sampled)
+
+    def test_build_plan_deterministic_in_seed(self):
+        assert (FULL.build_plan(3, 20.0, 4)
+                == FULL.build_plan(3, 20.0, 4))
+        assert (FULL.build_plan(3, 20.0, 4)
+                != FULL.build_plan(4, 20.0, 4))
+
+
+class TestSugar:
+    def test_crash_rate_and_recovery_expand_to_faults_paths(self):
+        expanded = expand_overrides(
+            {"crash_rate": 2.0, "recovery": "checkpoint", "seed": 7}
+        )
+        assert expanded == {
+            "faults.crash_rate": 2.0,
+            "faults.recovery": "checkpoint",
+            "seed": 7,
+        }
+
+    def test_override_reaches_nested_fault_fields(self):
+        spec = ScenarioSpec(name="s", kind="serving", faults=FaultSpec())
+        bumped = spec.override({"faults.crash_rate": 2.0,
+                                "faults.recovery": "restart"})
+        assert bumped.faults.crash_rate == 2.0
+        assert bumped.faults.recovery == "restart"
