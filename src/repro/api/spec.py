@@ -352,6 +352,32 @@ class PolicySpec(SpecBase):
         return kwargs
 
 
+@dataclasses.dataclass(frozen=True)
+class ObsSpec(SpecBase):
+    """The scenario's observability controls (the ``obs`` section).
+
+    Tracing is off by default and — by hard contract, pinned in
+    ``tests/obs/test_trace_determinism.py`` — can never change a run:
+    turning it on yields byte-identical scenario outputs plus a
+    :class:`~repro.obs.export.TraceResult` attached as ``result.trace``.
+    ``--set trace=true`` is registry sugar for ``obs.trace``.
+    """
+
+    #: record structured spans and attach ``result.trace``
+    trace: bool = False
+    #: also convert the pipeline trace (op/bubble/epoch intervals) into
+    #: spans after the run — the densest tracks, so they can be opted out
+    trace_pipeline: bool = True
+    #: bound on each telemetry metric's ring-buffer timeline
+    ring_limit: int = 1024
+
+    def __post_init__(self):
+        if self.ring_limit < 1:
+            raise SpecError(
+                f"ring_limit must be >= 1, got {self.ring_limit}"
+            )
+
+
 #: recovery modes a :class:`FaultSpec` can name
 RECOVERY_MODES = ("none", "restart", "checkpoint")
 
@@ -612,6 +638,9 @@ class ScenarioSpec(SpecBase):
     #: the scenario's fault model: injected failures plus recovery
     #: policy (serving/cluster kinds; None = nothing breaks)
     faults: "FaultSpec | None" = None
+    #: observability controls; always a section (never None) so
+    #: ``--set obs.trace=true`` has a path to land on
+    obs: ObsSpec = dataclasses.field(default_factory=ObsSpec)
     sweep: "SweepSpec | None" = None
     #: free-form, JSON-safe experiment knobs (durations, method names,
     #: cached derived values such as a precomputed baseline time)
@@ -754,6 +783,8 @@ class ScenarioSpec(SpecBase):
             )
         if data.get("faults") is not None:
             data["faults"] = FaultSpec.from_dict(data["faults"])
+        if "obs" in data:
+            data["obs"] = ObsSpec.from_dict(data["obs"])
         if data.get("sweep") is not None:
             data["sweep"] = SweepSpec.from_dict(data["sweep"])
         if "params" in data:

@@ -17,6 +17,8 @@ Examples::
     repro export serve --out artifacts/            # json + csv + txt
     repro export fig2 --spec-only > fig2.json      # the spec, no run
     repro run fig2 --spec fig2.json                # re-run it exactly
+    repro trace serve                              # Chrome trace JSON
+    repro run serve --set trace=true               # table + trace file
 """
 
 from __future__ import annotations
@@ -97,6 +99,42 @@ def _add_scenario_options(parser: argparse.ArgumentParser) -> None:
                              "of the scenario's default")
 
 
+def _trace_point(scenario: ScenarioSpec) -> tuple:
+    """Run the scenario's *first* sweep point with tracing forced on.
+
+    Sweeps discard per-point traces (their rows must stay small and
+    JSON-serializable for the determinism suite), so the CLI traces one
+    representative point through a :class:`~repro.api.session.Session`.
+    Returns ``(point_spec, TraceResult)``.
+    """
+    from repro.api.session import Session
+
+    point = scenario.sweep_points()[0].override({"obs.trace": True})
+    session = Session(point)
+    session.run()
+    return point, session.runner.trace_result
+
+
+def _write_trace(scenario: ScenarioSpec, name: str, out_dir: str,
+                 jsonl: bool = False) -> "list[str]":
+    """Trace the scenario's first point and write the export file(s)."""
+    import os
+
+    point, trace = _trace_point(scenario)
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    chrome_path = os.path.join(out_dir, f"{name}_trace.json")
+    trace.write_chrome(chrome_path)
+    written.append(chrome_path)
+    if jsonl:
+        jsonl_path = os.path.join(out_dir, f"{name}_trace.jsonl")
+        trace.write_jsonl(jsonl_path)
+        written.append(jsonl_path)
+    print(f"traced 1 point of {name!r}: {trace.span_count} events",
+          file=sys.stderr)
+    return written
+
+
 def main(argv: "list[str] | None" = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     parser = argparse.ArgumentParser(
@@ -117,6 +155,16 @@ def main(argv: "list[str] | None" = None) -> int:
     _add_scenario_options(run_parser)
     run_parser.add_argument("--export", metavar="DIR", default=None,
                             help="also write json/csv/txt artifacts here")
+
+    trace_parser = commands.add_parser(
+        "trace", help="run one point of a scenario with span tracing on "
+                      "and write a Chrome trace-event JSON (open it in "
+                      "Perfetto / chrome://tracing)")
+    _add_scenario_options(trace_parser)
+    trace_parser.add_argument("--out", metavar="DIR", default="artifacts",
+                              help="trace directory (default: artifacts/)")
+    trace_parser.add_argument("--jsonl", action="store_true",
+                              help="also write the flat JSONL event log")
 
     export_parser = commands.add_parser(
         "export", help="run a scenario and write its artifacts")
@@ -149,6 +197,14 @@ def main(argv: "list[str] | None" = None) -> int:
             spec = base if base is not None else registry.get(args.scenario).spec()
             print(spec.override(overrides).to_json())
             return 0
+        if args.command == "trace":
+            scenario = registry.resolve_scenario(
+                args.scenario, overrides=overrides, spec=base
+            )
+            for path in _write_trace(scenario, args.scenario, args.out,
+                                     jsonl=args.jsonl):
+                print(path)
+            return 0
         result = registry.run(args.scenario, overrides=overrides, spec=base)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -158,6 +214,19 @@ def main(argv: "list[str] | None" = None) -> int:
         print(result.render())
         if args.export:
             for path in result.write_artifacts(args.export):
+                print(f"wrote {path}", file=sys.stderr)
+        if result.scenario.obs.trace:
+            # A sweep's per-point traces are discarded; honor the
+            # request by also tracing the first point to a file.
+            try:
+                paths = _write_trace(
+                    result.scenario, args.scenario,
+                    args.export if args.export else "artifacts",
+                )
+            except ReproError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            for path in paths:
                 print(f"wrote {path}", file=sys.stderr)
         return 0
 

@@ -22,6 +22,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.metrics.fairness import FairnessMetrics
     from repro.metrics.latency import ServingMetrics
     from repro.metrics.resilience import ResilienceMetrics
+    from repro.obs.export import TraceResult
     from repro.serving.frontend import RequestRecord
 
 
@@ -72,6 +73,8 @@ class ClusterResult:
     fairness: "FairnessMetrics | None" = None
     #: failure/recovery accounting (set when the spec had a faults section)
     resilience: "ResilienceMetrics | None" = None
+    #: structured span trace (set when the spec enabled ``obs.trace``)
+    trace: "TraceResult | None" = None
 
     # -- back-compat with MultiServerResult -----------------------------
     @property

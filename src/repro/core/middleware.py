@@ -59,6 +59,7 @@ from repro.sim.rng import RandomStreams
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.interfaces import ImperativeSideTask, IterativeSideTask
     from repro.faults.checkpoint import CheckpointPolicy
+    from repro.obs.export import TraceResult
 
 WorkloadFactory = typing.Callable[[], "IterativeSideTask | ImperativeSideTask"]
 
@@ -122,6 +123,8 @@ class FreeRideResult:
     tasks: list[TaskReport]
     rejections: list[tuple[str, str]]
     bubble_profile: BubbleProfile
+    #: structured span trace; set when the scenario enabled ``obs.trace``
+    trace: "TraceResult | None" = None
 
     def task(self, name: str) -> TaskReport:
         for report in self.tasks:

@@ -106,6 +106,32 @@ class SideTaskRuntime:
         self._commands: collections.deque[Command] = collections.deque()
         self._command_event = None
         self._main = None
+        # Observability: only a traced run pays for the transition
+        # observer (emission appends to a list; it never touches the
+        # event heap or any RNG stream, so traced runs stay byte-
+        # identical to untraced ones).
+        self._trace_running_since: float | None = None
+        if sim.trace.enabled:
+            self.machine.observer = self._trace_transition
+
+    def _trace_transition(self, now: float, state: SideTaskState) -> None:
+        """Span-tracer seam: one instant per transition, plus a complete
+        span covering each contiguous RUNNING interval."""
+        trace = self.sim.trace
+        track = ("tasks", self.spec.name)
+        if state is SideTaskState.RUNNING:
+            # Entering RUNNING (START/RESUME) opens the interval; the
+            # RUN_NEXT_STEP self-loop keeps landing here and is elided.
+            if self._trace_running_since is None:
+                self._trace_running_since = now
+                trace.instant(state.value, now, cat="task.state",
+                              track=track)
+            return
+        if self._trace_running_since is not None:
+            trace.complete("RUNNING", self._trace_running_since, now,
+                           cat="task.state", track=track)
+            self._trace_running_since = None
+        trace.instant(state.value, now, cat="task.state", track=track)
 
     # ------------------------------------------------------------------
     # life cycle driven by the worker/manager
@@ -165,6 +191,10 @@ class SideTaskRuntime:
         step_time = self.spec.profile.step_time_s or 0.0
         self.wasted_s += lost * step_time
         self.preemptions += 1
+        telemetry = self.sim.telemetry
+        telemetry.counter("tasks.preemptions").add()
+        if lost:
+            telemetry.counter("tasks.wasted_steps").add(lost)
         self.machine.apply(Transition.PREEMPT, self.sim.now)
         # The interrupt lands in the guarded loop a beat later; the flag
         # tells it this death is a preemption, not a terminal stop.

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import typing
 
 from repro.errors import IllegalTransitionError
 
@@ -116,6 +117,12 @@ class StateMachine:
     )
     #: owning task's name, embedded in IllegalTransitionError messages
     task_id: str = ""
+    #: observability seam: called as ``observer(now, new_state)`` after
+    #: each applied transition; None (the default) costs one comparison
+    #: per transition — the runtime installs one only when tracing is on
+    observer: "typing.Callable[[float, SideTaskState], None] | None" = (
+        dataclasses.field(default=None, repr=False, compare=False)
+    )
 
     def apply(self, transition: Transition, now: float = 0.0) -> SideTaskState:
         """Apply ``transition``; raises :class:`IllegalTransitionError`."""
@@ -126,6 +133,8 @@ class StateMachine:
             )
         self.state = TRANSITION_TABLE[key]
         self.history.append((now, self.state))
+        if self.observer is not None:
+            self.observer(now, self.state)
         return self.state
 
     def can_apply(self, transition: Transition) -> bool:

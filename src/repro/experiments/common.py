@@ -33,9 +33,11 @@ def _worker_init() -> None:
 
 def _sweep_call(fn, item):
     """Pool-side wrapper: run one point and report its event count."""
-    before = sim_engine.total_events_processed()
-    result = fn(item)
-    return result, sim_engine.total_events_processed() - before
+    from repro.obs.telemetry import PROCESS
+
+    with PROCESS.scoped("sim.events_processed") as scope:
+        result = fn(item)
+    return result, scope.delta
 
 
 def sweep_workers() -> int:

@@ -35,10 +35,13 @@ class FaultInjector:
         self._attempts: dict[str, int] = {}
         #: (time, stage) of every crash actually injected
         self.injected_crashes: list[tuple[float, int]] = []
+        #: the armed pool's engine; observability events go through it
+        self._sim = None
 
     def arm(self, pool: "SideTaskPool") -> None:
         """Install this plan on ``pool`` (call once, before running)."""
         sim = pool.sim
+        self._sim = sim
         for worker in pool.workers:
             worker.injector = self
         if self.plan.rpc_drops:
@@ -57,7 +60,16 @@ class FaultInjector:
             )
 
     def _crash(self, pool: "SideTaskPool", crash) -> None:
-        self.injected_crashes.append((pool.sim.now, crash.stage))
+        sim = pool.sim
+        self.injected_crashes.append((sim.now, crash.stage))
+        sim.telemetry.counter("faults.crashes").add()
+        if sim.trace.enabled:
+            sim.trace.instant(
+                "crash", sim.now, cat="fault",
+                track=("faults", f"stage{crash.stage}"),
+                args={"stage": crash.stage,
+                      "restart_after_s": crash.restart_after_s},
+            )
         pool.manager.crash_worker(
             crash.stage, restart_after_s=crash.restart_after_s
         )
@@ -81,7 +93,16 @@ class FaultInjector:
                 self.plan.step_failure_seed, f"step:{task_name}:{attempt}"
             )
         ).random()
-        return draw < rate
+        failed = draw < rate
+        if failed and self._sim is not None:
+            self._sim.telemetry.counter("faults.step_failures").add()
+            if self._sim.trace.enabled:
+                self._sim.trace.instant(
+                    "step_failure", self._sim.now, cat="fault",
+                    track=("faults", "steps"),
+                    args={"task": task_name, "attempt": attempt},
+                )
+        return failed
 
     def slowdown_factor(self, stage: int, now: float) -> float:
         """The straggler multiplier in effect on ``stage`` at ``now``."""

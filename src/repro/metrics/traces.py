@@ -26,9 +26,9 @@ def occupancy_csv(gpu: SimGPU) -> str:
     """
     if not gpu.record_occupancy:
         raise ValueError(
-            f"{gpu.name} was built with record_occupancy=False, so its "
-            "occupancy trace is empty; construct it with "
-            "record_occupancy=True to export occupancy"
+            f"{gpu.name} has no occupancy trace (built with "
+            f"record_occupancy=False); construct it with "
+            f"record_occupancy=True to export occupancy"
         )
     buffer = io.StringIO()
     writer = csv.writer(buffer)

@@ -1,0 +1,84 @@
+"""Observability: span tracing, telemetry, and Chrome-trace export.
+
+The layer has three parts, deliberately dependency-free (nothing here
+imports the simulator — the simulator imports this):
+
+* :mod:`repro.obs.tracer` — the structured span tracer and the shared
+  :data:`~repro.obs.tracer.NULL_TRACER` every engine starts with;
+* :mod:`repro.obs.telemetry` — named counters/gauges with bounded
+  ring-buffer timelines, per-run (``sim.telemetry``) and process-wide
+  (:data:`~repro.obs.telemetry.PROCESS`);
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and JSONL exporters, plus the
+  :class:`~repro.obs.export.TraceResult` a traced run attaches as
+  ``result.trace``.
+
+Runners call :func:`attach_tracer` right after building the simulation
+(before any instrumented component captures ``sim.trace``) and
+:func:`collect_trace` after the run.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.obs.export import TraceResult, chrome_trace, trace_jsonl
+from repro.obs.telemetry import (
+    DEFAULT_RING_LIMIT,
+    PROCESS,
+    Counter,
+    Gauge,
+    Telemetry,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanTracer
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Engine
+
+__all__ = [
+    "Counter",
+    "DEFAULT_RING_LIMIT",
+    "Gauge",
+    "NULL_TRACER",
+    "NullTracer",
+    "PROCESS",
+    "SpanTracer",
+    "Telemetry",
+    "TraceResult",
+    "attach_tracer",
+    "chrome_trace",
+    "collect_trace",
+    "trace_jsonl",
+]
+
+
+def attach_tracer(sim: "Engine", obs=None) -> "SpanTracer | None":
+    """Install a live :class:`SpanTracer` on ``sim`` when ``obs`` (an
+    :class:`~repro.api.spec.ObsSpec`, or anything with ``trace`` /
+    ``ring_limit`` fields) asks for one; returns it, or None when
+    tracing stays off.
+
+    Must run before instrumented components capture ``sim.trace`` at
+    construction time (the runners attach right after building the
+    engine, before the serving frontend).
+    """
+    if obs is None or not getattr(obs, "trace", False):
+        return None
+    # Metrics created from here on use the spec's ring limit; the engine
+    # has not recorded anything yet when runners attach.
+    sim.telemetry.ring_limit = getattr(obs, "ring_limit", DEFAULT_RING_LIMIT)
+    tracer = SpanTracer()
+    sim.trace = tracer
+    return tracer
+
+
+def collect_trace(sim: "Engine") -> "TraceResult | None":
+    """Bundle a traced engine's events and telemetry as a
+    :class:`TraceResult`; None when the engine was never traced."""
+    if not sim.trace.enabled:
+        return None
+    return TraceResult(
+        events=sim.trace.events,
+        telemetry=sim.telemetry.snapshot(),
+        timelines=sim.telemetry.timelines(),
+    )

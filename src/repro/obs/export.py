@@ -1,0 +1,178 @@
+"""Trace exporters: Chrome trace-event JSON and JSONL.
+
+The Chrome trace-event format (the JSON Perfetto and ``chrome://tracing``
+load) wants integer pid/tid per track and microsecond timestamps; the
+tracer records ``(process, thread)`` string tracks and virtual-time
+seconds. Export interns each distinct process name to a pid and each
+``(process, thread)`` pair to a tid, emits ``process_name`` /
+``thread_name`` metadata events so the viewer shows the real names, and
+multiplies timestamps by 1e6. Telemetry timelines ride along as Chrome
+counter tracks ("C" events), so queue depth plots right under the spans
+that produced it.
+
+:class:`TraceResult` is the object a traced run attaches as
+``result.trace``: the raw events plus the run's telemetry snapshot,
+with the exporters as methods.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import TraceEvent
+
+#: seconds -> microseconds (the unit Chrome trace timestamps use)
+_US = 1_000_000.0
+
+
+def _intern_tracks(events: "typing.Iterable[TraceEvent]"):
+    """Assign integer pid/tid per track, in first-appearance order."""
+    pids: "dict[str, int]" = {}
+    tids: "dict[tuple[str, str], int]" = {}
+    for _ph, _name, _cat, track, _ts, _dur, _args in events:
+        process, thread = track
+        if process not in pids:
+            pids[process] = len(pids) + 1
+        if track not in tids:
+            tids[track] = len(tids) + 1
+    return pids, tids
+
+
+def _metadata_events(pids: dict, tids: dict) -> "list[dict]":
+    """The process_name/thread_name metadata Chrome uses for labels."""
+    meta = [
+        {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+         "args": {"name": process}}
+        for process, pid in pids.items()
+    ]
+    meta.extend(
+        {"ph": "M", "pid": pids[process], "tid": tid, "name": "thread_name",
+         "args": {"name": thread}}
+        for (process, thread), tid in tids.items()
+    )
+    return meta
+
+
+def _span_events(events: "typing.Iterable[TraceEvent]",
+                 pids: dict, tids: dict) -> "list[dict]":
+    converted = []
+    for ph, name, cat, track, ts, dur, args in events:
+        event = {
+            "ph": ph,
+            "name": name,
+            "cat": cat or "sim",
+            "pid": pids[track[0]],
+            "tid": tids[track],
+            "ts": ts * _US,
+        }
+        if ph == "X":
+            event["dur"] = dur * _US
+        else:
+            event["s"] = "t"  # thread-scoped instant
+        if args:
+            event["args"] = args
+        converted.append(event)
+    return converted
+
+
+def _counter_events(timelines: "dict[str, list[tuple[float, float]]]",
+                    pid: int) -> "list[dict]":
+    converted = []
+    for name, samples in timelines.items():
+        converted.extend(
+            {"ph": "C", "name": name, "cat": "telemetry", "pid": pid,
+             "tid": 0, "ts": when * _US, "args": {"value": value}}
+            for when, value in samples
+        )
+    return converted
+
+
+def chrome_trace(
+    events: "typing.Sequence[TraceEvent]",
+    timelines: "dict[str, list[tuple[float, float]]] | None" = None,
+) -> dict:
+    """The Chrome trace-event JSON object for ``events``.
+
+    ``timelines`` (name -> [(time_s, value), ...]) become counter
+    tracks under a dedicated "telemetry" process.
+    """
+    pids, tids = _intern_tracks(events)
+    trace_events = _metadata_events(pids, tids)
+    trace_events.extend(_span_events(events, pids, tids))
+    if timelines:
+        telemetry_pid = len(pids) + 1
+        trace_events.append(
+            {"ph": "M", "pid": telemetry_pid, "tid": 0,
+             "name": "process_name", "args": {"name": "telemetry"}}
+        )
+        trace_events.extend(_counter_events(timelines, telemetry_pid))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def trace_jsonl(events: "typing.Sequence[TraceEvent]") -> str:
+    """One JSON object per line, in emission (= simulation) order.
+
+    The streaming-friendly counterpart of :func:`chrome_trace` for
+    ad-hoc analysis (``jq``, pandas): track names stay as strings, and
+    timestamps stay in virtual seconds.
+    """
+    lines = []
+    for ph, name, cat, track, ts, dur, args in events:
+        record: dict = {
+            "ph": ph, "name": name, "cat": cat or "sim",
+            "process": track[0], "thread": track[1], "ts_s": ts,
+        }
+        if dur is not None:
+            record["dur_s"] = dur
+        if args:
+            record["args"] = args
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+@dataclasses.dataclass
+class TraceResult:
+    """One traced run's observability payload (``result.trace``)."""
+
+    #: raw tracer event tuples, in simulation order
+    events: "list[TraceEvent]"
+    #: the run's final counter/gauge values (``Telemetry.snapshot()``)
+    telemetry: dict = dataclasses.field(default_factory=dict)
+    #: the run's bounded metric timelines (``Telemetry.timelines()``)
+    timelines: "dict[str, list[tuple[float, float]]]" = dataclasses.field(
+        default_factory=dict
+    )
+
+    @property
+    def span_count(self) -> int:
+        return len(self.events)
+
+    def events_of(self, cat: "str | None" = None,
+                  name: "str | None" = None) -> "list[TraceEvent]":
+        """Filter events by category and/or name (tests lean on this)."""
+        return [
+            event for event in self.events
+            if (cat is None or event[2] == cat)
+            and (name is None or event[1] == name)
+        ]
+
+    # -- exporters -------------------------------------------------------
+    def to_chrome(self) -> dict:
+        return chrome_trace(self.events, self.timelines)
+
+    def to_chrome_json(self, indent: "int | None" = None) -> str:
+        return json.dumps(self.to_chrome(), indent=indent)
+
+    def to_jsonl(self) -> str:
+        return trace_jsonl(self.events)
+
+    def write_chrome(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_chrome_json())
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())

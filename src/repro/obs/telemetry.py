@@ -1,0 +1,144 @@
+"""The telemetry registry: named counters and gauges with bounded
+ring-buffer timelines.
+
+Two registries exist:
+
+* a **per-run** :class:`Telemetry` hangs off every
+  :class:`~repro.sim.engine.Engine` (``sim.telemetry``), so one run's
+  queue depths, retries, and wasted work never bleed into the next run
+  in the same process;
+* the **process-wide** :data:`PROCESS` registry carries the only
+  legitimately process-scoped number — total simulation events
+  processed, which the benchmark harness reads across runs and the
+  parallel sweep folds worker deltas into. ``sim.engine.
+  total_events_processed()`` delegates here; use :meth:`Telemetry.
+  scoped` to measure a delta over a region instead of sampling the raw
+  (monotonically growing) total.
+
+Timelines are bounded deques — recording a sample can never grow a
+long run's memory without limit — and sampling is explicit
+(:meth:`Counter.record` / :meth:`Gauge.set`), so counters stay cheap
+when nobody asks for their history.
+"""
+
+from __future__ import annotations
+
+import collections
+
+#: default bound on each metric's timeline ring buffer
+DEFAULT_RING_LIMIT = 1024
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value", "timeline")
+
+    def __init__(self, name: str, ring_limit: int = DEFAULT_RING_LIMIT):
+        self.name = name
+        self.value = 0
+        #: bounded (time, value) samples; appended by :meth:`record`
+        self.timeline: "collections.deque[tuple[float, float]]" = (
+            collections.deque(maxlen=ring_limit)
+        )
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def record(self, now: float) -> None:
+        """Append a (now, value) sample to the bounded timeline."""
+        self.timeline.append((now, self.value))
+
+
+class Gauge:
+    """A named point-in-time level (queue depth, tokens, live workers)."""
+
+    __slots__ = ("name", "value", "timeline")
+
+    def __init__(self, name: str, ring_limit: int = DEFAULT_RING_LIMIT):
+        self.name = name
+        self.value = 0.0
+        self.timeline: "collections.deque[tuple[float, float]]" = (
+            collections.deque(maxlen=ring_limit)
+        )
+
+    def set(self, value: float, now: "float | None" = None) -> None:
+        """Set the level; with ``now`` also sample the timeline."""
+        self.value = value
+        if now is not None:
+            self.timeline.append((now, value))
+
+
+class _Scope:
+    """Context manager measuring one counter's delta over a region."""
+
+    __slots__ = ("counter", "delta", "_start")
+
+    def __init__(self, counter: Counter):
+        self.counter = counter
+        self.delta = 0
+
+    def __enter__(self) -> "_Scope":
+        self._start = self.counter.value
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.delta = self.counter.value - self._start
+        return False
+
+
+class Telemetry:
+    """One registry of named counters and gauges (lazily created)."""
+
+    __slots__ = ("ring_limit", "counters", "gauges")
+
+    def __init__(self, ring_limit: int = DEFAULT_RING_LIMIT):
+        self.ring_limit = ring_limit
+        self.counters: "dict[str, Counter]" = {}
+        self.gauges: "dict[str, Gauge]" = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name, self.ring_limit)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name, self.ring_limit)
+        return gauge
+
+    def scoped(self, name: str) -> _Scope:
+        """Measure ``counter(name)``'s delta over a ``with`` region —
+        the run-scoped view of a process-global count."""
+        return _Scope(self.counter(name))
+
+    def snapshot(self) -> dict:
+        """JSON-safe current values, sorted by name."""
+        return {
+            "counters": {name: self.counters[name].value
+                         for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name].value
+                       for name in sorted(self.gauges)},
+        }
+
+    def timelines(self) -> "dict[str, list[tuple[float, float]]]":
+        """Every non-empty ring-buffer timeline, sorted by name."""
+        merged: "dict[str, list[tuple[float, float]]]" = {}
+        for registry in (self.counters, self.gauges):
+            for name in sorted(registry):
+                timeline = registry[name].timeline
+                if timeline:
+                    merged[name] = list(timeline)
+        return merged
+
+    def reset(self) -> None:
+        """Drop every metric (used by tests; runs get fresh registries)."""
+        self.counters.clear()
+        self.gauges.clear()
+
+
+#: the process-wide registry (see module docstring); everything per-run
+#: belongs on ``sim.telemetry`` instead
+PROCESS = Telemetry()

@@ -1,0 +1,97 @@
+"""Structured span tracing: what happened, when, on which track.
+
+A :class:`SpanTracer` records *complete* spans (an interval with a
+duration) and *instant* events, each tagged with a category, a
+``(process, thread)`` track, and optional JSON-safe args — the exact
+vocabulary of the Chrome trace-event format, which
+:mod:`repro.obs.export` serializes for Perfetto / ``chrome://tracing``.
+
+The hard rule, enforced by golden-hash tests, is that tracing can never
+change a run: emission only appends to a Python list and reads the
+clock — it schedules no simulation events and consumes no RNG. And when
+tracing is off the cost must be one attribute check: every simulation
+seam guards with ``if trace.enabled:`` against the shared
+:data:`NULL_TRACER` singleton, whose methods are never called on the
+hot path.
+
+Timestamps are virtual-time *seconds* (the exporters convert to the
+microseconds Chrome expects); tracks are ``(process, thread)`` string
+pairs, interned to integer pid/tid at export time.
+"""
+
+from __future__ import annotations
+
+import typing
+
+#: event tuples: (phase, name, category, track, start_s, duration_s, args)
+#: — phase "X" for complete spans (duration set), "i" for instants
+#: (duration None)
+TraceEvent = typing.Tuple[
+    str, str, str, "tuple[str, str]", float, "float | None", "dict | None"
+]
+
+#: the default track for events that belong to no particular component
+DEFAULT_TRACK = ("sim", "main")
+
+
+class NullTracer:
+    """The disabled tracer: one falsy ``enabled`` flag, no-op methods.
+
+    Every instrumentation seam checks ``trace.enabled`` before building
+    event arguments, so with this tracer installed (the default on every
+    :class:`~repro.sim.engine.Engine`) tracing costs a single attribute
+    read per seam.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def instant(self, name: str, ts: float, *, cat: str = "",
+                track: "tuple[str, str]" = DEFAULT_TRACK,
+                args: "dict | None" = None) -> None:
+        pass
+
+    def complete(self, name: str, start: float, end: float, *, cat: str = "",
+                 track: "tuple[str, str]" = DEFAULT_TRACK,
+                 args: "dict | None" = None) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: the process-wide disabled tracer; engines share it (it has no state)
+NULL_TRACER = NullTracer()
+
+
+class SpanTracer:
+    """A live tracer: appends event tuples, nothing else.
+
+    Events accumulate in arrival order (which, because emission happens
+    synchronously at the seams, is simulation order). The tracer holds
+    plain tuples rather than dicts to keep enabled-mode overhead low;
+    :mod:`repro.obs.export` turns them into Chrome trace events.
+    """
+
+    __slots__ = ("events",)
+
+    enabled = True
+
+    def __init__(self):
+        self.events: "list[TraceEvent]" = []
+
+    def instant(self, name: str, ts: float, *, cat: str = "",
+                track: "tuple[str, str]" = DEFAULT_TRACK,
+                args: "dict | None" = None) -> None:
+        """Record a zero-duration event at ``ts`` (virtual seconds)."""
+        self.events.append(("i", name, cat, track, ts, None, args))
+
+    def complete(self, name: str, start: float, end: float, *, cat: str = "",
+                 track: "tuple[str, str]" = DEFAULT_TRACK,
+                 args: "dict | None" = None) -> None:
+        """Record a finished interval ``[start, end]`` (virtual seconds)."""
+        self.events.append(("X", name, cat, track, start, end - start, args))
+
+    def __len__(self) -> int:
+        return len(self.events)

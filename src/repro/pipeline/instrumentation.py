@@ -124,3 +124,38 @@ class BubbleProfile:
         return sum(
             duration for (s, _i), duration in self.durations.items() if s == stage
         )
+
+
+def emit_trace_spans(tracer, trace: TrainingTrace, job: str = "train") -> None:
+    """Replay a finished :class:`TrainingTrace` as observability spans.
+
+    The pipeline engine records its own op/bubble/epoch intervals, so
+    rather than instrumenting its inner loop this converts the trace
+    after the run — same data, zero cost on the simulated critical path.
+    One track per stage, grouped under ``job`` (multi-job clusters pass
+    each job's name so Perfetto shows one process per job).
+    """
+    if not tracer.enabled:
+        return
+    for record in trace.ops:
+        tracer.complete(
+            record.op.kind.value, record.start, record.end,
+            cat="pipeline.op",
+            track=(f"{job}:pipeline", f"stage{record.op.stage}"),
+            args={"epoch": record.epoch,
+                  "micro_batch": record.op.micro_batch},
+        )
+    for bubble in trace.bubbles:
+        tracer.complete(
+            f"bubble:{bubble.btype.value}", bubble.start, bubble.end,
+            cat="pipeline.bubble",
+            track=(f"{job}:bubbles", f"stage{bubble.stage}"),
+            args={"epoch": bubble.epoch, "index": bubble.index,
+                  "available_gb": bubble.available_gb},
+        )
+    for epoch in trace.epochs:
+        tracer.complete(
+            f"epoch{epoch.index}", epoch.start, epoch.end,
+            cat="pipeline.epoch", track=(f"{job}:pipeline", "epochs"),
+            args={"epoch": epoch.index},
+        )

@@ -38,6 +38,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.runtime import SideTaskRuntime
     from repro.faults.checkpoint import CheckpointPolicy
     from repro.faults.retry import RetryPolicy
+    from repro.obs.export import TraceResult
 
 #: default bound on the admission queue (requests, not bytes)
 DEFAULT_QUEUE_CAPACITY = 64
@@ -344,6 +345,26 @@ class ServingFrontend:
                                         tenants=self.tenants)
         self.discipline = make_discipline(discipline, tenants=self.tenants)
         self.queue_capacity = queue_capacity
+        # Observability: the engine's tracer (the no-op singleton unless
+        # a runner attached a live one before building this frontend)
+        # and the run's named metrics. Counter/gauge updates touch no
+        # RNG and schedule nothing, so they cannot perturb the run.
+        self.trace = self.sim.trace
+        telemetry = self.sim.telemetry
+        self._m_admitted = telemetry.counter("serving.admitted")
+        self._m_rejected = telemetry.counter("serving.rejected")
+        self._m_dispatched = telemetry.counter("serving.dispatched")
+        self._m_retries = telemetry.counter("serving.retries")
+        self._m_queue_depth = telemetry.gauge("serving.queue_depth")
+        #: trace-only bookkeeping, populated only when tracing is on:
+        #: id(record) -> when it (re)entered the queue, and
+        #: id(spec) -> (record, dispatch time, stage) for open attempts
+        self._queued_since: dict[int, float] = {}
+        self._open_service: dict[int, tuple[RequestRecord, float, int]] = {}
+        if self.trace.enabled:
+            attach = getattr(self.discipline, "attach_tracer", None)
+            if attach is not None:
+                attach(self.trace)
         self.queue: list[RequestRecord] = []
         self.closed_at: float | None = None
         #: retry/backoff for attempts that die mid-service; None = one shot
@@ -400,6 +421,36 @@ class ServingFrontend:
             self._profiles[key] = profile
         return profile
 
+    # -- observability seams --------------------------------------------
+    def _tenant_track(self, record: RequestRecord) -> tuple[str, str]:
+        return ("tenants", record.request.tenant or "default")
+
+    def _trace_reject(self, record: RequestRecord) -> None:
+        self._m_rejected.add()
+        if self.trace.enabled:
+            self.trace.instant(
+                "reject", self.sim.now, cat="serving.admission",
+                track=self._tenant_track(record),
+                args={"id": record.request.request_id,
+                      "reason": record.reject_reason},
+            )
+
+    def _trace_service_end(self, record: RequestRecord,
+                           failure: "str | None") -> None:
+        """Close the attempt's service span (no-op unless traced)."""
+        entry = self._open_service.pop(id(record.spec), None)
+        if entry is None:
+            return
+        _record, started, stage = entry
+        self.trace.complete(
+            "service", started, self.sim.now, cat="serving.service",
+            track=("workers", f"stage{stage}"),
+            args={"id": record.request.request_id,
+                  "workload": record.request.workload,
+                  "attempt": record.attempts,
+                  "failure": failure},
+        )
+
     # -- lifecycle events ----------------------------------------------
     def _on_arrival(self, record: RequestRecord) -> None:
         now = self.sim.now
@@ -417,15 +468,28 @@ class ServingFrontend:
                 f"admission queue full ({len(self.queue)}/"
                 f"{self.queue_capacity}; admission={self.admission.name})"
             )
+            self._trace_reject(record)
             return
         admitted, reason = self.admission.admit(now, record.request,
                                                 len(self.queue))
         if not admitted:
             record.rejected_at = now
             record.reject_reason = reason
+            self._trace_reject(record)
             return
         record.admitted_at = now
         self.queue.append(record)
+        self._m_admitted.add()
+        self._m_queue_depth.set(len(self.queue), now)
+        if self.trace.enabled:
+            self._queued_since[id(record)] = now
+            self.trace.instant(
+                "admit", now, cat="serving.admission",
+                track=self._tenant_track(record),
+                args={"id": record.request.request_id,
+                      "workload": record.request.workload,
+                      "slo_class": record.request.slo_class},
+            )
         self._dispatch()
 
     def _on_terminal(self, task: "SideTaskRuntime") -> None:
@@ -444,6 +508,8 @@ class ServingFrontend:
     def _settle_attempt(self, record: RequestRecord,
                         runtime: "SideTaskRuntime") -> None:
         """Decide a terminated attempt's fate: done, retry, or give up."""
+        if self.trace.enabled:
+            self._trace_service_end(record, runtime.failure)
         if record.outcome is not None or record.completed_at is not None:
             return
         workload = record.spec.workload
@@ -452,6 +518,13 @@ class ServingFrontend:
             record.completed_at = self.sim.now
             # Earlier attempts may have died; the request itself did not.
             record.failure = None
+            if self.trace.enabled:
+                self.trace.instant(
+                    "complete", self.sim.now, cat="serving.lifecycle",
+                    track=self._tenant_track(record),
+                    args={"id": record.request.request_id,
+                          "attempts": record.attempts},
+                )
             return
         if self.closed_at is not None:
             # Teardown stops are not failures; finalize() sorts them out.
@@ -461,6 +534,16 @@ class ServingFrontend:
         retry = self.retry
         if retry is not None and record.attempts < retry.max_attempts:
             delay = retry.delay_s(record.attempts, self._retry_rng)
+            self._m_retries.add()
+            if self.trace.enabled:
+                self.trace.instant(
+                    "retry", self.sim.now, cat="serving.retry",
+                    track=self._tenant_track(record),
+                    args={"id": record.request.request_id,
+                          "attempt": record.attempts,
+                          "delay_s": delay,
+                          "failure": failure},
+                )
             timeout = self.sim.timeout(delay)
             timeout.callbacks.append(
                 lambda _ev, record=record: self._requeue(record)
@@ -489,6 +572,9 @@ class ServingFrontend:
         record.stage = None
         record.spec = None
         self.queue.append(record)
+        self._m_queue_depth.set(len(self.queue), self.sim.now)
+        if self.trace.enabled:
+            self._queued_since[id(record)] = self.sim.now
         self._dispatch()
 
     def _enforce_attempt_timeout(self, record: RequestRecord,
@@ -561,6 +647,22 @@ class ServingFrontend:
             record.spec = spec
             record.attempts += 1
             self._by_spec[id(spec)] = record
+            self._m_dispatched.add()
+            self._m_queue_depth.set(len(self.queue), self.sim.now)
+            if self.trace.enabled:
+                queued_from = self._queued_since.pop(
+                    id(record), record.request.arrival_s
+                )
+                self.trace.complete(
+                    "queued", queued_from, self.sim.now, cat="serving.queue",
+                    track=self._tenant_track(record),
+                    args={"id": request.request_id,
+                          "attempt": record.attempts},
+                )
+                self._open_service[id(spec)] = (
+                    record, self.sim.now,
+                    self.freeride.runtime_for(spec).stage,
+                )
             if charge is not None:
                 charge(record)
             if (
@@ -581,6 +683,19 @@ class ServingFrontend:
     # -- post-run accounting -------------------------------------------
     def finalize(self) -> None:
         """Back-fill per-request outcomes from the runtimes' histories."""
+        if self.trace.enabled:
+            # Attempts still live at teardown never settled; close their
+            # service spans at the drain's end so the track is complete.
+            for record, started, stage in list(self._open_service.values()):
+                self.trace.complete(
+                    "service", started, self.sim.now, cat="serving.service",
+                    track=("workers", f"stage{stage}"),
+                    args={"id": record.request.request_id,
+                          "workload": record.request.workload,
+                          "attempt": record.attempts,
+                          "failure": "open at teardown"},
+                )
+            self._open_service.clear()
         for record in self.records:
             if record.spec is None:
                 if record.failure is not None and record.outcome is None:
@@ -634,6 +749,8 @@ class ServingResult:
     fairness: FairnessMetrics | None = None
     #: failure/recovery accounting; set when the scenario declared faults
     resilience: "ResilienceMetrics | None" = None
+    #: structured span trace; set when the scenario enabled ``obs.trace``
+    trace: "TraceResult | None" = None
 
     def summaries(self) -> list[dict]:
         return [record.summary() for record in self.records]

@@ -15,25 +15,33 @@ import typing
 from heapq import heappop, heappush
 
 from repro.errors import SimulationError
+from repro.obs.telemetry import PROCESS, Telemetry
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.events import PROCESSED, SimEvent, Timeout
 from repro.sim.process import Process
 
 ProcessGenerator = typing.Generator[SimEvent, object, object]
 
-#: Events processed by every engine in this process (parallel sweep workers
-#: report their own deltas back to the parent; see ``experiments.common``).
-TOTAL_EVENTS_PROCESSED = 0
+#: Events processed by every engine in this process, as a named counter
+#: in the process-wide telemetry registry (parallel sweep workers report
+#: their own deltas back to the parent; see ``experiments.common``,
+#: which scopes this counter per run — the raw total only grows).
+_PROCESS_EVENTS = PROCESS.counter("sim.events_processed")
 
 
 def total_events_processed() -> int:
-    """Process-wide count of processed events, for perf accounting."""
-    return TOTAL_EVENTS_PROCESSED
+    """Process-wide count of processed events, for perf accounting.
+
+    This number is never reset and spans every engine the process ran;
+    for a per-run count read ``engine.events_processed`` (or scope the
+    process counter: ``PROCESS.scoped("sim.events_processed")``).
+    """
+    return _PROCESS_EVENTS.value
 
 
 def add_foreign_events(count: int) -> None:
     """Fold events processed elsewhere (sweep workers) into the total."""
-    global TOTAL_EVENTS_PROCESSED
-    TOTAL_EVENTS_PROCESSED += count
+    _PROCESS_EVENTS.add(count)
 
 
 class Engine:
@@ -46,6 +54,11 @@ class Engine:
         self._processes_started = 0
         #: events this engine has popped and processed
         self.events_processed = 0
+        #: span tracer; the shared no-op singleton until a runner
+        #: attaches a live one (see :func:`repro.obs.attach_tracer`)
+        self.trace = NULL_TRACER
+        #: this run's own metric registry (counters/gauges/timelines)
+        self.telemetry = Telemetry()
 
     # -- clock --------------------------------------------------------------
     @property
@@ -145,6 +158,8 @@ class Engine:
             self._account(processed)
 
     def _account(self, processed: int) -> None:
-        global TOTAL_EVENTS_PROCESSED
+        # Called once per run()/step(), not per event, so the registry
+        # lookups stay off the drain loop's hot path.
         self.events_processed += processed
-        TOTAL_EVENTS_PROCESSED += processed
+        self.telemetry.counter("sim.events_processed").add(processed)
+        _PROCESS_EVENTS.add(processed)

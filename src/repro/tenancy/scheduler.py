@@ -53,8 +53,14 @@ class StrideDiscipline:
         self._order: "dict[str, int]" = {}
         #: pass of the most recent dispatch — the queue's virtual time
         self._vtime = 0.0
+        #: observability seam; the frontend installs one when tracing
+        self._tracer = None
         for share in as_shares(tenants):
             self._register(share.name, share.weight)
+
+    def attach_tracer(self, tracer) -> None:
+        """Emit a per-pick instant event on each charged dispatch."""
+        self._tracer = tracer
 
     def _register(self, tenant: str, weight: float) -> None:
         self._stride[tenant] = 1.0 / weight
@@ -95,6 +101,13 @@ class StrideDiscipline:
         # tenants, the no-banked-credit rule for returning idle ones.
         self._vtime = max(self._pass[tenant], self._vtime)
         self._pass[tenant] = self._vtime + self._stride[tenant]
+        if self._tracer is not None:
+            self._tracer.instant(
+                "dispatch", record.assigned_at, cat="scheduler.stride",
+                track=("scheduler", tenant or "default"),
+                args={"id": record.request.request_id,
+                      "pass": self._pass[tenant], "vtime": self._vtime},
+            )
 
 
 #: per-name factories for the stateful, tenant-aware disciplines — the

@@ -107,3 +107,42 @@ def test_mismatched_spec_file_is_a_clean_error(tmp_path, capsys):
     spec_path.write_text(capsys.readouterr().out)
     assert main(["run", "fig1", "--spec", str(spec_path)]) == 2
     assert "different experiment" in capsys.readouterr().err
+
+
+def test_trace_writes_chrome_trace_json(tmp_path, capsys):
+    assert main(["trace", "serve", "--epochs", "1",
+                 "--out", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    path = tmp_path / "serve_trace.json"
+    assert str(path) in captured.out
+    data = json.loads(path.read_text())
+    events = data["traceEvents"]
+    assert events
+    categories = {event.get("cat") for event in events}
+    assert "serving.admission" in categories or "serving.queue" in categories
+    assert "serving.service" in categories
+    # one named track per worker stage
+    threads = {event["args"]["name"] for event in events
+               if event["ph"] == "M" and event["name"] == "thread_name"}
+    assert any(name.startswith("stage") for name in threads)
+
+
+def test_trace_jsonl_flag_adds_event_log(tmp_path, capsys):
+    assert main(["trace", "fig1", "--epochs", "1", "--out", str(tmp_path),
+                 "--jsonl"]) == 0
+    jsonl_path = tmp_path / "fig1_trace.jsonl"
+    assert jsonl_path.exists()
+    lines = jsonl_path.read_text().splitlines()
+    assert lines
+    assert all(json.loads(line)["ph"] in ("X", "i") for line in lines)
+
+
+def test_run_with_trace_sugar_also_writes_trace(tmp_path, capsys):
+    assert main(["run", "serve", "--epochs", "1", "--set", "trace=true",
+                 "--set", 'sweep.axes={"arrivals.rate_per_s": [4.0]}',
+                 "--export", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "serving capacity" in captured.out.lower() or captured.out
+    trace_path = tmp_path / "serve_trace.json"
+    assert trace_path.exists()
+    assert json.loads(trace_path.read_text())["traceEvents"]

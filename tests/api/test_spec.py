@@ -10,6 +10,7 @@ from repro.api.spec import (
     ArrivalSpec,
     ClusterSpec,
     MixEntrySpec,
+    ObsSpec,
     PolicySpec,
     ScenarioSpec,
     SweepSpec,
@@ -36,6 +37,7 @@ def full_spec() -> ScenarioSpec:
         policy=PolicySpec(assignment="edf", admission="backpressure",
                           discipline="fifo", queue_capacity=16,
                           grace_period_s=0.25),
+        obs=ObsSpec(trace=True, trace_pipeline=False, ring_limit=256),
         sweep=SweepSpec(axes={"arrivals.rate_per_s": (1.0, 2.0)}),
         params={"open_fraction": 0.5, "note": "hello"},
     )
@@ -174,3 +176,34 @@ class TestAssembly:
     def test_policy_spec_rejects_unknown_assignment(self):
         with pytest.raises(SpecError, match="unknown assignment policy"):
             PolicySpec(assignment="coin_flip").assignment_policy()
+
+
+class TestObsSpec:
+    def test_defaults_are_off_but_present(self):
+        """Every scenario has an obs section (never None), so the
+        ``--set obs.trace=true`` dotted path always has a parent."""
+        spec = ScenarioSpec()
+        assert spec.obs == ObsSpec()
+        assert spec.obs.trace is False
+        assert spec.obs.trace_pipeline is True
+
+    def test_round_trips_through_dict(self):
+        obs = ObsSpec(trace=True, ring_limit=64)
+        assert ObsSpec.from_dict(obs.to_dict()) == obs
+
+    def test_dotted_override_enables_tracing(self):
+        spec = ScenarioSpec().override({"obs.trace": True})
+        assert spec.obs.trace is True
+
+    def test_registry_sugar_expands_to_obs_trace(self):
+        from repro.api.registry import expand_overrides
+
+        assert expand_overrides({"trace": True}) == {"obs.trace": True}
+
+    def test_ring_limit_must_be_positive(self):
+        with pytest.raises(SpecError, match="ring_limit"):
+            ObsSpec(ring_limit=0)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError):
+            ObsSpec.from_dict({"tracing": True})

@@ -1,0 +1,139 @@
+"""Tracing must never change a run — the tentpole's hard constraint.
+
+Span emission only appends to a list and reads the clock: it schedules
+no simulation events and consumes no RNG. These golden-hash tests pin
+that down across the three serving-mode scenario families: every row a
+sweep produces must be byte-identical with tracing on and off, and a
+traced sweep must stay pool-vs-serial byte-identical (the fault suite's
+guarantee, re-checked with tracing enabled).
+
+Also here: the regression test for the per-run event-counter scope (the
+old module-global counter never reset and double-counted under the
+process-pool sweep).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import cluster, common, resilience, serve
+
+#: reduced grids — one/two points per scenario keep the suite fast
+SERVE_OVERRIDES = {
+    "training.epochs": 1,
+    "sweep.axes": {
+        "arrivals.rate_per_s": [4.0],
+        "policy.admission": ["always", "token_bucket"],
+        "policy.assignment": ["least_loaded"],
+    },
+}
+CLUSTER_OVERRIDES = {
+    "training.epochs": 1,
+    "sweep.axes": {"jobs": [2], "policy.assignment": ["least_loaded"]},
+}
+RESILIENCE_OVERRIDES = {
+    "training.epochs": 1,
+    "faults.crash_rate": 4.0,
+    "faults.restart_after_s": 2.0,
+    "sweep.axes": {
+        "faults.crash_rate": [4.0],
+        "faults.recovery": ["restart", "checkpoint"],
+    },
+}
+
+
+def _serialize(rows) -> bytes:
+    return json.dumps(rows, sort_keys=True).encode()
+
+
+def _serve_points():
+    spec = serve.default_spec().override(SERVE_OVERRIDES)
+    t_no = common.baseline_time(spec.train_config())
+    horizon_s = t_no * float(spec.param("open_fraction"))
+    return spec.sweep_points({"params.horizon_s": horizon_s,
+                              "params.t_no": t_no})
+
+
+def _cluster_points():
+    return cluster.default_spec().override(CLUSTER_OVERRIDES).sweep_points()
+
+
+def _resilience_points():
+    spec = resilience.default_spec().override(RESILIENCE_OVERRIDES)
+    horizon_s = common.baseline_time(spec.train_config()) * float(
+        spec.param("open_fraction")
+    )
+    return spec.sweep_points({"params.horizon_s": horizon_s})
+
+
+SCENARIOS = {
+    "serve": (_serve_points, serve._serve_point),
+    "cluster": (_cluster_points, cluster._cluster_point),
+    "resilience": (_resilience_points, resilience._resilience_point),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_rows_are_byte_identical_with_tracing_on_and_off(name):
+    points_fn, point_fn = SCENARIOS[name]
+    points = points_fn()
+    assert points, name
+    plain = [point_fn(point) for point in points]
+    traced = [point_fn(point.override({"obs.trace": True}))
+              for point in points]
+    assert _serialize(plain) == _serialize(traced)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_traced_sweep_pool_matches_serial_byte_for_byte(name):
+    points_fn, point_fn = SCENARIOS[name]
+    points = [point.override({"obs.trace": True})
+              for point in points_fn()]
+    serial = common.sweep(points, point_fn, max_workers=1)
+    pooled = common.sweep(points, point_fn, max_workers=2)
+    assert _serialize(serial) == _serialize(pooled)
+
+
+class TestEventCounterScope:
+    """Satellite: the old module-global counter never reset per run."""
+
+    def test_each_engine_scopes_its_own_count(self):
+        from repro.sim.engine import Engine
+
+        first = Engine()
+        first.timeout(1.0)
+        first.run()
+        second = Engine()
+        second.timeout(1.0)
+        second.timeout(2.0)
+        second.run()
+        one = first.telemetry.counter("sim.events_processed").value
+        two = second.telemetry.counter("sim.events_processed").value
+        # per-run registries see only their own engine's events
+        assert one == first.events_processed == 1
+        assert two == second.events_processed == 2
+
+    def test_process_counter_accumulates_across_runs(self):
+        from repro.sim import engine as sim_engine
+        from repro.sim.engine import Engine
+
+        before = sim_engine.total_events_processed()
+        sim = Engine()
+        sim.timeout(1.0)
+        sim.run()
+        assert sim_engine.total_events_processed() == before + 1
+
+    def test_pool_sweep_accounts_worker_events_exactly_once(self):
+        from repro.sim import engine as sim_engine
+
+        points = _cluster_points()
+        before = sim_engine.total_events_processed()
+        common.sweep(points, cluster._cluster_point, max_workers=2)
+        pooled_delta = sim_engine.total_events_processed() - before
+
+        before = sim_engine.total_events_processed()
+        common.sweep(points, cluster._cluster_point, max_workers=1)
+        serial_delta = sim_engine.total_events_processed() - before
+        assert pooled_delta == serial_delta > 0

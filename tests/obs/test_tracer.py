@@ -1,0 +1,201 @@
+"""Unit tests for the span tracer, the telemetry registry, and export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_RING_LIMIT,
+    NULL_TRACER,
+    SpanTracer,
+    Telemetry,
+    TraceResult,
+    attach_tracer,
+    chrome_trace,
+    collect_trace,
+    trace_jsonl,
+)
+from repro.sim.engine import Engine
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.instant("x", 1.0)
+        NULL_TRACER.complete("x", 1.0, 2.0)
+        assert len(NULL_TRACER) == 0
+
+    def test_engine_boots_with_null_tracer(self):
+        sim = Engine()
+        assert sim.trace is NULL_TRACER
+        assert not sim.trace.enabled
+
+
+class TestSpanTracer:
+    def test_instant_and_complete(self):
+        tracer = SpanTracer()
+        tracer.instant("admit", 1.0, cat="serving.admission",
+                       track=("tenants", "a"), args={"id": 1})
+        tracer.complete("service", 2.0, 5.0, cat="serving.service")
+        assert len(tracer) == 2
+        ph, name, cat, track, ts, dur, args = tracer.events[0]
+        assert (ph, name, cat, track, ts, dur) == (
+            "i", "admit", "serving.admission", ("tenants", "a"), 1.0, None
+        )
+        assert args == {"id": 1}
+        ph, name, _cat, _track, ts, dur, _args = tracer.events[1]
+        assert (ph, ts, dur) == ("X", 2.0, 3.0)
+
+
+class TestTelemetry:
+    def test_counters_and_gauges(self):
+        telemetry = Telemetry()
+        counter = telemetry.counter("events")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+        gauge = telemetry.gauge("depth")
+        gauge.set(3.0, now=1.0)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+        snapshot = telemetry.snapshot()
+        assert snapshot == {"counters": {"events": 5},
+                            "gauges": {"depth": 1.0}}
+
+    def test_timelines_are_bounded(self):
+        telemetry = Telemetry(ring_limit=4)
+        counter = telemetry.counter("c")
+        for step in range(10):
+            counter.add()
+            counter.record(float(step))
+        timelines = telemetry.timelines()
+        assert len(timelines["c"]) == 4
+        assert timelines["c"][-1] == (9.0, 10)
+
+    def test_counter_identity_is_stable(self):
+        telemetry = Telemetry()
+        assert telemetry.counter("x") is telemetry.counter("x")
+
+    def test_reset(self):
+        telemetry = Telemetry()
+        telemetry.counter("x").add(3)
+        telemetry.reset()
+        assert telemetry.snapshot() == {"counters": {}, "gauges": {}}
+
+    def test_scoped_measures_delta(self):
+        telemetry = Telemetry()
+        telemetry.counter("n").add(10)
+        with telemetry.scoped("n") as scope:
+            telemetry.counter("n").add(7)
+        assert scope.delta == 7
+
+
+class TestAttachTracer:
+    def test_none_spec_is_a_no_op(self):
+        sim = Engine()
+        assert attach_tracer(sim, None) is None
+        assert sim.trace is NULL_TRACER
+
+    def test_disabled_spec_is_a_no_op(self):
+        class Obs:
+            trace = False
+
+        sim = Engine()
+        assert attach_tracer(sim, Obs()) is None
+        assert sim.trace is NULL_TRACER
+
+    def test_enabled_spec_installs_a_span_tracer(self):
+        class Obs:
+            trace = True
+            ring_limit = 8
+
+        sim = Engine()
+        tracer = attach_tracer(sim, Obs())
+        assert sim.trace is tracer
+        assert tracer.enabled
+        assert sim.telemetry.ring_limit == 8
+
+    def test_collect_trace_off_returns_none(self):
+        assert collect_trace(Engine()) is None
+
+    def test_collect_trace_on_returns_result(self):
+        class Obs:
+            trace = True
+            ring_limit = DEFAULT_RING_LIMIT
+
+        sim = Engine()
+        tracer = attach_tracer(sim, Obs())
+        tracer.instant("tick", 0.5)
+        sim.telemetry.counter("n").add(2)
+        result = collect_trace(sim)
+        assert isinstance(result, TraceResult)
+        assert result.span_count == 1
+        assert result.telemetry["counters"]["n"] == 2
+
+
+class TestChromeExport:
+    def _tracer(self):
+        tracer = SpanTracer()
+        tracer.complete("service", 1.0, 3.0, cat="serving.service",
+                        track=("workers", "stage0"), args={"id": 7})
+        tracer.instant("crash", 2.0, cat="fault",
+                       track=("faults", "stage1"))
+        return tracer
+
+    def test_chrome_trace_shape(self):
+        data = chrome_trace(self._tracer().events)
+        events = data["traceEvents"]
+        # 2 span events + 2 process_name + 2 thread_name metadata
+        assert len(events) == 6
+        spans = [e for e in events if e["ph"] in ("X", "i")]
+        complete = next(e for e in spans if e["ph"] == "X")
+        # virtual seconds -> microseconds
+        assert complete["ts"] == pytest.approx(1_000_000.0)
+        assert complete["dur"] == pytest.approx(2_000_000.0)
+        assert complete["args"] == {"id": 7}
+        instant = next(e for e in spans if e["ph"] == "i")
+        assert instant["s"] == "t"
+        # distinct (process, thread) tracks get distinct pid/tid
+        assert complete["pid"] != instant["pid"]
+        assert json.dumps(data)  # serializable end to end
+
+    def test_track_metadata_names_processes_and_threads(self):
+        events = chrome_trace(self._tracer().events)["traceEvents"]
+        names = {(e["name"], e["args"]["name"])
+                 for e in events if e["ph"] == "M"}
+        assert ("process_name", "workers") in names
+        assert ("thread_name", "stage0") in names
+
+    def test_counter_timelines_become_counter_events(self):
+        telemetry = Telemetry()
+        counter = telemetry.counter("queue_depth")
+        counter.add(2)
+        counter.record(1.0)
+        data = chrome_trace(SpanTracer().events,
+                            timelines=telemetry.timelines())
+        counters = [e for e in data["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["args"] == {"value": 2}
+
+    def test_jsonl_one_event_per_line(self):
+        lines = trace_jsonl(self._tracer().events).splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["ph"] == "X"
+        assert first["ts_s"] == 1.0  # JSONL keeps virtual seconds
+        assert first["dur_s"] == 2.0
+
+    def test_trace_result_round_trip(self, tmp_path):
+        tracer = self._tracer()
+        result = TraceResult(events=tracer.events, telemetry={},
+                             timelines={})
+        chrome_path = tmp_path / "trace.json"
+        result.write_chrome(chrome_path)
+        data = json.loads(chrome_path.read_text())
+        assert data["traceEvents"]
+        assert result.span_count == 2
+        assert [e for e in result.events_of(cat="fault")] == [
+            tracer.events[1]
+        ]
