@@ -1,0 +1,137 @@
+"""CI smoke for the durable sweep control plane (the PR acceptance
+drill, scripted).
+
+The scenario the queue exists for: a sweep is running across worker
+processes, the machine dies mid-sweep, and a second invocation later
+must resume from the surviving rows and produce output byte-identical
+to a serial run. This script:
+
+1. enqueues an 8-point ``serve`` sweep on a queue database with a short
+   visibility timeout, with one external ``repro worker`` draining it;
+2. SIGKILLs both the worker and the client once at least two points are
+   DONE (leaving an orphaned in-flight lease behind);
+3. re-runs the identical ``repro sweep`` — it resumes the surviving
+   rows, reaps the orphaned lease, and finishes with two fresh local
+   workers;
+4. runs the same sweep serially and byte-compares every exported
+   artifact.
+
+Exit status 0 means the whole drill held; any mismatch or hang fails.
+
+Run with::
+
+    PYTHONPATH=src python scripts/smoke_distrib.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import subprocess
+import sys
+import tempfile
+import time
+
+RATES = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+AXES_OVERRIDE = "sweep.axes=" + json.dumps({"arrivals.rate_per_s": RATES})
+
+
+def repro(*args: str, **kwargs) -> subprocess.Popen:
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args], env=env, **kwargs
+    )
+
+
+def sweep_args(db: str) -> "list[str]":
+    return ["sweep", "serve", "--backend=queue", "--db", db,
+            "--epochs", "1", "--set", AXES_OVERRIDE,
+            "--lease-timeout", "5", "--poll", "0.1"]
+
+
+def wait_for_done(db: str, minimum: int, timeout_s: float = 120.0) -> int:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        time.sleep(0.05)
+        if not os.path.exists(db):
+            continue
+        try:
+            conn = sqlite3.connect(db)
+            done = conn.execute(
+                "SELECT COUNT(*) FROM points WHERE state='DONE'"
+            ).fetchone()[0]
+            conn.close()
+        except sqlite3.OperationalError:
+            continue
+        if done >= minimum:
+            return done
+    raise SystemExit(f"timed out waiting for {minimum} DONE points in {db}")
+
+
+def states(db: str) -> dict:
+    conn = sqlite3.connect(db)
+    rows = dict(conn.execute(
+        "SELECT state, COUNT(*) FROM points GROUP BY state"
+    ).fetchall())
+    conn.close()
+    return rows
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as scratch:
+        db = os.path.join(scratch, "queue.db")
+        out_dir = os.path.join(scratch, "queue-artifacts")
+        serial_dir = os.path.join(scratch, "serial-artifacts")
+
+        # -- 1. sweep with one external worker ------------------------
+        client = repro(*sweep_args(db), "--workers", "0",
+                       "--export", out_dir)
+        worker = repro("worker", db, "--poll", "0.1")
+
+        # -- 2. SIGKILL both mid-sweep --------------------------------
+        done = wait_for_done(db, minimum=2)
+        worker.kill()
+        client.kill()
+        worker.wait()
+        client.wait()
+        mid = states(db)
+        print(f"killed mid-sweep at {done} DONE; states now {mid}")
+        if sum(mid.values()) != len(RATES) or mid.get("DONE", 0) >= len(RATES):
+            raise SystemExit(f"kill happened too late to test resume: {mid}")
+
+        # -- 3. identical re-run resumes and finishes -----------------
+        resume = repro(*sweep_args(db), "--workers", "2",
+                       "--export", out_dir, stderr=subprocess.PIPE,
+                       text=True)
+        _, stderr = resume.communicate(timeout=300)
+        if resume.returncode != 0:
+            sys.stderr.write(stderr)
+            raise SystemExit(f"resume run failed: rc={resume.returncode}")
+        if "resuming sweep" not in stderr:
+            sys.stderr.write(stderr)
+            raise SystemExit("resume run did not report resuming")
+        final = states(db)
+        print(f"resume finished; states {final}")
+        if final != {"DONE": len(RATES)}:
+            raise SystemExit(f"unexpected terminal states: {final}")
+
+        # -- 4. byte-compare against a serial run ---------------------
+        serial = repro("sweep", "serve", "--backend=serial",
+                       "--epochs", "1", "--set", AXES_OVERRIDE,
+                       "--export", serial_dir,
+                       stdout=subprocess.DEVNULL)
+        if serial.wait(timeout=300) != 0:
+            raise SystemExit("serial reference run failed")
+        for name in ("serve.json", "serve.csv", "serve.txt"):
+            queue_bytes = open(os.path.join(out_dir, name), "rb").read()
+            serial_bytes = open(os.path.join(serial_dir, name), "rb").read()
+            if queue_bytes != serial_bytes:
+                raise SystemExit(f"{name} differs between queue and serial")
+        print(f"smoke ok: {len(RATES)}-point sweep killed at {done} DONE, "
+              "resumed, byte-identical to serial")
+
+
+if __name__ == "__main__":
+    main()

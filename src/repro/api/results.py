@@ -23,6 +23,7 @@ import os
 import typing
 
 from repro.api.spec import ScenarioSpec
+from repro.ioutil import atomic_write_text
 
 
 class ResultRow:
@@ -145,8 +146,7 @@ class ResultSet:
                     "choose from ['csv', 'json', 'txt']"
                 )
             path = os.path.join(out_dir, f"{self.experiment}.{fmt}")
-            with open(path, "w") as handle:
-                handle.write(content)
+            atomic_write_text(path, content)
             written.append(path)
         return written
 

@@ -1,0 +1,62 @@
+"""Durable sweep control plane: SQLite task store, leasing broker,
+worker loop, and the pluggable sweep backends built on them.
+
+The package turns any registered experiment's parameter sweep into a
+crash-tolerant submit-poll-collect run: ``repro sweep <scenario>
+--backend=queue`` enqueues the points, ``repro worker <queue.db>``
+processes drain them (N shells or N machines over one database), and
+aggregation is byte-identical to the serial and pool executors no
+matter how the work interleaved or how often a worker died mid-point.
+"""
+
+from repro.distrib.broker import (
+    DEFAULT_LEASE_TIMEOUT_S,
+    DEFAULT_RETRY,
+    Broker,
+    Lease,
+)
+from repro.distrib.executor import (
+    BACKENDS,
+    SweepBackend,
+    current_backend,
+    queue_sweep,
+    resolve,
+    spawn_worker,
+    use_backend,
+)
+from repro.distrib.store import (
+    DEAD,
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    RUNNING,
+    STATES,
+    TaskStore,
+)
+from repro.distrib.worker import Worker, WorkerStats, default_worker_id
+
+__all__ = [
+    "BACKENDS",
+    "Broker",
+    "DEAD",
+    "DEFAULT_LEASE_TIMEOUT_S",
+    "DEFAULT_RETRY",
+    "DONE",
+    "FAILED",
+    "LEASED",
+    "Lease",
+    "PENDING",
+    "RUNNING",
+    "STATES",
+    "SweepBackend",
+    "TaskStore",
+    "Worker",
+    "WorkerStats",
+    "current_backend",
+    "default_worker_id",
+    "queue_sweep",
+    "resolve",
+    "spawn_worker",
+    "use_backend",
+]

@@ -1,0 +1,238 @@
+"""The broker: sweep enqueue, leasing, retry policy, and aggregation.
+
+One :class:`Broker` wraps a :class:`~repro.distrib.store.TaskStore` and
+owns everything above raw rows:
+
+* **enqueue** — :meth:`submit` fingerprints ``(fn, payloads)`` into a
+  deterministic sweep id, so re-submitting the same grid *resumes* the
+  surviving rows instead of restarting (the crash-recovery contract);
+* **leasing** — :meth:`lease` claims the lowest-index leasable point
+  with a visibility timeout; :meth:`reap` returns expired leases to the
+  queue (or DEAD, once attempts are exhausted);
+* **retries** — a failed attempt re-queues with the backoff of a
+  :class:`~repro.faults.retry.RetryPolicy`, jittered by a pure hash of
+  ``(sweep_id, point_index, attempt)`` exactly like the fault layer's
+  step failures: no process-global RNG, every worker computes the same
+  gate;
+* **aggregation** — :meth:`aggregate` returns decoded results ordered
+  by **point index, not completion time**, which is what keeps a
+  queue-backed sweep byte-identical to the serial executor no matter
+  how many workers ran it, how they interleaved, or how often a point
+  crashed and retried on the way to DONE.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+import time
+import typing
+
+from repro.distrib import codec
+from repro.distrib.store import DEAD, TERMINAL, TaskStore
+from repro.errors import DistribError
+from repro.faults.retry import RetryPolicy
+
+#: default visibility timeout: a worker that goes silent this long
+#: forfeits its point
+DEFAULT_LEASE_TIMEOUT_S = 60.0
+
+#: default retry policy for failed points (max_attempts caps *all*
+#: attempts — clean failures and lease expiries alike)
+DEFAULT_RETRY = RetryPolicy(max_attempts=3, backoff_s=0.5,
+                            backoff_factor=2.0, jitter=0.1)
+
+
+@dataclasses.dataclass(frozen=True)
+class Lease:
+    """One claimed point: everything a worker needs to run it."""
+
+    sweep_id: str
+    point_index: int
+    fn_ref: str
+    payload: object
+    #: this lease's attempt number (1 = first try)
+    attempts: int
+    #: how often this point's previous leases expired
+    lease_expiries: int
+    #: seconds the point waited leasable before this lease
+    queue_latency_s: float
+    #: this lease's visibility timeout
+    lease_timeout_s: float
+
+
+def _sweep_fingerprint(fn_ref: str, payloads: "typing.Sequence[str]") -> str:
+    digest = hashlib.sha256()
+    digest.update(fn_ref.encode())
+    for payload in payloads:
+        digest.update(b"\0")
+        digest.update(payload.encode())
+    return digest.hexdigest()
+
+
+def _backoff_rng(sweep_id: str, point_index: int, attempt: int) -> random.Random:
+    """A deterministic RNG per (sweep, point, attempt) — the jitter is a
+    pure hash, never a shared stream (the fault layer's discipline)."""
+    seed_bytes = hashlib.sha256(
+        f"{sweep_id}:{point_index}:{attempt}".encode()
+    ).digest()[:8]
+    return random.Random(int.from_bytes(seed_bytes, "big"))
+
+
+class Broker:
+    """Queue operations over one task store (see module docstring).
+
+    ``clock`` injects wall time (tests drive expiry without sleeping);
+    ``retry``/``lease_timeout_s`` are recorded in the sweep row at
+    submit time so every worker — whichever process it lives in —
+    applies the same policy.
+    """
+
+    def __init__(
+        self,
+        store: "TaskStore | str",
+        retry: "RetryPolicy | None" = None,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        clock: "typing.Callable[[], float]" = time.time,
+    ):
+        self.store = store if isinstance(store, TaskStore) else TaskStore(store)
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.lease_timeout_s = lease_timeout_s
+        self.clock = clock
+        self._retry_cache: "dict[str, RetryPolicy]" = {}
+
+    # -- enqueue ---------------------------------------------------------
+    def submit(
+        self,
+        items: typing.Iterable,
+        fn: typing.Callable,
+        sweep_id: "str | None" = None,
+    ) -> "tuple[str, bool]":
+        """Enqueue one sweep; returns ``(sweep_id, resumed)``.
+
+        The default sweep id is the grid fingerprint itself, so an
+        identical re-submission — same function, same point payloads —
+        finds the previous run's rows and resumes them.
+        """
+        ref = codec.fn_ref(fn)
+        payloads = [codec.encode_item(item) for item in items]
+        fingerprint = _sweep_fingerprint(ref, payloads)
+        if sweep_id is None:
+            sweep_id = fingerprint[:16]
+        resumed = self.store.create_sweep(
+            sweep_id, ref, payloads, fingerprint,
+            retry_json=json.dumps(dataclasses.asdict(self.retry),
+                                  sort_keys=True),
+            max_attempts=self.retry.max_attempts,
+            lease_timeout_s=self.lease_timeout_s,
+            now=self.clock(),
+        )
+        return sweep_id, resumed
+
+    # -- worker side -----------------------------------------------------
+    def lease(self, worker_id: str, sweep_id: "str | None" = None,
+              lease_timeout_s: "float | None" = None) -> "Lease | None":
+        """Claim the next leasable point (any sweep unless pinned);
+        ``lease_timeout_s`` overrides the sweep's visibility timeout."""
+        row = self.store.lease_next(
+            worker_id, self.clock(), lease_timeout_s=lease_timeout_s,
+            sweep_id=sweep_id,
+        )
+        if row is None:
+            return None
+        return Lease(
+            sweep_id=row["sweep_id"],
+            point_index=row["point_index"],
+            fn_ref=row["fn"],
+            payload=codec.decode(row["payload"]),
+            attempts=row["attempts"],
+            lease_expiries=row["lease_expiries"],
+            queue_latency_s=row["queue_latency_s"],
+            lease_timeout_s=row["lease_timeout_s"],
+        )
+
+    def start(self, lease: Lease, worker_id: str) -> bool:
+        """Mark the lease's point RUNNING; False if the lease was lost."""
+        return self.store.mark_running(
+            lease.sweep_id, lease.point_index, worker_id, self.clock()
+        )
+
+    def complete(self, lease: Lease, worker_id: str, result,
+                 events: int = 0) -> bool:
+        """Store the result and mark DONE; False if the lease was lost
+        (a slower duplicate of an already-retaken point)."""
+        return self.store.complete(
+            lease.sweep_id, lease.point_index, worker_id,
+            codec.encode_result(result), events, self.clock(),
+        )
+
+    def fail(self, lease: Lease, worker_id: str, error: str) -> bool:
+        """Record a failed attempt: FAILED with the retry policy's
+        backoff gate, or DEAD once attempts are exhausted."""
+        policy = self._sweep_retry(lease.sweep_id)
+        now = self.clock()
+        dead = lease.attempts >= policy.max_attempts
+        not_before = now
+        if not dead:
+            not_before = now + policy.delay_s(
+                lease.attempts,
+                _backoff_rng(lease.sweep_id, lease.point_index,
+                             lease.attempts),
+            )
+        return self.store.fail(
+            lease.sweep_id, lease.point_index, worker_id, error,
+            now=now, not_before=not_before, dead=dead,
+        )
+
+    def reap(self) -> "tuple[int, int]":
+        """Expire overdue leases; returns ``(requeued, dead)``."""
+        return self.store.reap_expired(self.clock())
+
+    def _sweep_retry(self, sweep_id: str) -> RetryPolicy:
+        policy = self._retry_cache.get(sweep_id)
+        if policy is None:
+            row = self.store.sweep_row(sweep_id)
+            policy = RetryPolicy(**json.loads(row["retry_json"]))
+            self._retry_cache[sweep_id] = policy
+        return policy
+
+    # -- client side -----------------------------------------------------
+    def counts(self, sweep_id: "str | None" = None) -> "dict[str, int]":
+        return self.store.counts(sweep_id)
+
+    def finished(self, sweep_id: str) -> bool:
+        """Every point terminal (DONE or DEAD)."""
+        counts = self.store.counts(sweep_id)
+        total = self.store.sweep_row(sweep_id)["num_points"]
+        return sum(counts[state] for state in TERMINAL) >= total
+
+    def aggregate(self, sweep_id: str) -> "tuple[list, int]":
+        """Decoded results ordered by point index, plus the summed
+        foreign event count. Raises while points are unfinished, and on
+        any DEAD point (naming it and its last error)."""
+        counts = self.store.counts(sweep_id)
+        total = self.store.sweep_row(sweep_id)["num_points"]
+        if counts[DEAD]:
+            dead = [point for point in self.store.points(sweep_id)
+                    if point["state"] == DEAD]
+            detail = "; ".join(
+                f"#{point['point_index']} after {point['attempts']} "
+                f"attempt(s): {point['error']}"
+                for point in dead[:3]
+            )
+            raise DistribError(
+                f"sweep {sweep_id!r} has {counts[DEAD]} DEAD point(s) "
+                f"[{detail}]; fix the failure and re-enqueue to retry "
+                "the dead points on a fresh database"
+            )
+        done = self.store.results(sweep_id)
+        if len(done) < total:
+            raise DistribError(
+                f"sweep {sweep_id!r} is not finished: "
+                f"{len(done)}/{total} points DONE ({counts})"
+            )
+        results = [codec.decode(row["result"]) for row in done]
+        events = sum(row["events"] for row in done)
+        return results, events

@@ -1,0 +1,138 @@
+"""Serialization for queue rows: point payloads, results, and the
+point function itself.
+
+Queue rows outlive the process that wrote them, so everything a worker
+needs must be self-contained text:
+
+* the **point function** travels as a ``module:qualname`` reference —
+  the same "module-level function" contract the process-pool executor
+  already imposes (lambdas, closures, and ``functools.partial`` are
+  rejected with a clear error instead of a pickle blow-up on a remote
+  worker);
+* **payloads** (the sweep items) are canonical JSON —
+  :class:`~repro.api.spec.ScenarioSpec` items use their lossless dict
+  codec (tagged ``spec``), JSON-safe values ship as-is (tagged
+  ``json``), anything else falls back to pickled base64 (tagged
+  ``pickle``). Canonical (sorted-key) text makes the sweep fingerprint
+  stable, which is what makes resume-by-re-enqueue work;
+* **results** are encoded the same way but with insertion order
+  preserved — aggregated rows must re-serialize byte-identically to the
+  serial executor's, and dict key order is part of those bytes.
+"""
+
+from __future__ import annotations
+
+import base64
+import importlib
+import json
+import pickle
+import typing
+
+from repro.errors import DistribError
+
+
+def fn_ref(fn: typing.Callable) -> str:
+    """The importable ``module:qualname`` reference for ``fn``.
+
+    Rejects anything a fresh worker process could not import by name:
+    lambdas, locally defined functions, bound methods of instances, and
+    ``functools.partial`` objects.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname:
+        raise DistribError(
+            f"queue point function {fn!r} has no module-level name; "
+            "pass a module-level function (functools.partial and "
+            "callables without __qualname__ cannot be shipped to workers)"
+        )
+    if "<" in qualname:
+        raise DistribError(
+            f"queue point function {module}.{qualname} is not importable "
+            "by name (lambda or locally defined); move it to module level"
+        )
+    ref = f"{module}:{qualname}"
+    if resolve_fn(ref) is not fn:
+        raise DistribError(
+            f"queue point function reference {ref!r} does not resolve "
+            "back to the function that was submitted; workers would run "
+            "something else"
+        )
+    return ref
+
+
+def resolve_fn(ref: str) -> typing.Callable:
+    """Import the function a :func:`fn_ref` string names."""
+    module_name, sep, qualname = ref.partition(":")
+    if not sep or not module_name or not qualname:
+        raise DistribError(
+            f"malformed point-function reference {ref!r}; "
+            "expected 'module:qualname'"
+        )
+    try:
+        obj: object = importlib.import_module(module_name)
+    except ImportError as error:
+        raise DistribError(
+            f"cannot import module {module_name!r} for point function "
+            f"{ref!r}: {error}"
+        ) from None
+    for part in qualname.split("."):
+        try:
+            obj = getattr(obj, part)
+        except AttributeError:
+            raise DistribError(
+                f"module {module_name!r} has no attribute path "
+                f"{qualname!r} (point function {ref!r})"
+            ) from None
+    if not callable(obj):
+        raise DistribError(f"point-function reference {ref!r} is not callable")
+    return obj
+
+
+def _envelope(value) -> dict:
+    """The tagged codec envelope for ``value`` (see module docstring)."""
+    from repro.api.spec import ScenarioSpec
+
+    if isinstance(value, ScenarioSpec):
+        return {"codec": "spec", "data": value.to_dict()}
+    try:
+        if json.loads(json.dumps(value)) == value:
+            return {"codec": "json", "data": value}
+    except (TypeError, ValueError):
+        pass
+    blob = base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+    return {"codec": "pickle", "data": blob}
+
+
+def encode_item(value) -> str:
+    """Canonical (sorted-key) payload text — fingerprint-stable."""
+    return json.dumps(_envelope(value), sort_keys=True)
+
+
+def encode_result(value) -> str:
+    """Order-preserving result text — re-serializes byte-identically."""
+    return json.dumps(_envelope(value))
+
+
+def decode(text: str):
+    """Invert :func:`encode_item` / :func:`encode_result`."""
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise DistribError(f"corrupt queue payload: {error}") from None
+    if not isinstance(envelope, dict) or "codec" not in envelope:
+        raise DistribError(
+            f"corrupt queue payload: missing codec tag in {text[:80]!r}"
+        )
+    codec, data = envelope["codec"], envelope.get("data")
+    if codec == "json":
+        return data
+    if codec == "spec":
+        from repro.api.spec import ScenarioSpec
+
+        return ScenarioSpec.from_dict(data)
+    if codec == "pickle":
+        return pickle.loads(base64.b64decode(data))
+    raise DistribError(f"unknown queue payload codec {codec!r}")

@@ -1,0 +1,226 @@
+"""Pluggable sweep backends and the queue-backed client loop.
+
+:func:`repro.experiments.common.sweep` resolves its executor here. A
+:class:`SweepBackend` names one of three backends:
+
+* ``pool`` (default) — the in-process ``ProcessPoolExecutor`` path;
+* ``serial`` — run the points inline (what ``REPRO_SWEEP_WORKERS=1``
+  used to be the only spelling of);
+* ``queue`` — the durable control plane: enqueue the points into a
+  SQLite task store, let ``repro worker`` processes drain them, poll,
+  and aggregate by point index.
+
+Resolution order: an explicit argument to ``sweep()``, then the
+innermost :func:`use_backend` context (how ``registry.run(...,
+backend=...)`` and the ``repro sweep`` verb scope a backend around one
+scenario), then the ``REPRO_SWEEP_BACKEND`` / ``REPRO_SWEEP_QUEUE``
+environment, then the default pool.
+
+The queue client is plantit's submit-poll-collect shape: :func:`queue_sweep`
+enqueues (resuming surviving rows when the same grid was enqueued
+before), optionally spawns local ``repro worker`` subprocesses, polls
+while reaping expired leases, and finally aggregates — byte-identical
+to the serial executor regardless of worker count, interleaving, or
+crash/retry history.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+import subprocess
+import sys
+import time
+import typing
+
+from repro.distrib.broker import DEFAULT_LEASE_TIMEOUT_S, Broker
+from repro.distrib.store import DONE, TaskStore
+from repro.errors import DistribError, SweepConfigError
+from repro.faults.retry import RetryPolicy
+
+#: the sweep executor vocabulary
+BACKENDS = ("serial", "pool", "queue")
+
+#: environment knobs (the CLI flags' ambient cousins)
+BACKEND_ENV = "REPRO_SWEEP_BACKEND"
+QUEUE_ENV = "REPRO_SWEEP_QUEUE"
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepBackend:
+    """One resolved executor choice for :func:`~repro.experiments.common.sweep`."""
+
+    backend: str = "pool"
+    #: queue database path (queue backend only)
+    db: "str | None" = None
+    #: local ``repro worker`` subprocesses the client spawns (0 = rely
+    #: on externally started workers)
+    workers: int = 0
+    #: client poll interval while waiting on the queue
+    poll_s: float = 0.25
+    #: visibility timeout recorded in the sweep row
+    lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S
+    #: attempt cap (clean failures and lease expiries both count)
+    max_attempts: int = 3
+    #: give up waiting after this long (None = wait forever)
+    timeout_s: "float | None" = None
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise SweepConfigError(
+                f"unknown sweep backend {self.backend!r}; "
+                f"choose from {sorted(BACKENDS)}"
+            )
+        if self.workers < 0:
+            raise SweepConfigError(
+                f"workers must be >= 0, got {self.workers}"
+            )
+        if self.max_attempts < 1:
+            raise SweepConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+    def require_db(self) -> str:
+        if self.backend == "queue" and not self.db:
+            raise SweepConfigError(
+                "the queue backend needs a database path: pass --db / "
+                f"SweepBackend(db=...) or set {QUEUE_ENV}"
+            )
+        return typing.cast(str, self.db)
+
+
+#: the use_backend() context stack (innermost wins)
+_STACK: "list[SweepBackend]" = []
+
+
+@contextlib.contextmanager
+def use_backend(backend: "SweepBackend | str", **fields):
+    """Scope a sweep backend over a region::
+
+        with use_backend("serial"):
+            registry.run("serve")           # sweeps run inline
+
+        with use_backend("queue", db="runs/q.db", workers=2):
+            ...
+    """
+    if isinstance(backend, str):
+        backend = SweepBackend(backend=backend, **fields)
+    elif fields:
+        backend = dataclasses.replace(backend, **fields)
+    _STACK.append(backend)
+    try:
+        yield backend
+    finally:
+        _STACK.pop()
+
+
+def current_backend() -> "SweepBackend | None":
+    """The innermost :func:`use_backend` scope, if any."""
+    return _STACK[-1] if _STACK else None
+
+
+def resolve(explicit: "SweepBackend | str | None" = None) -> SweepBackend:
+    """The backend a sweep should use right now (see module docstring
+    for the precedence order)."""
+    if isinstance(explicit, SweepBackend):
+        return explicit
+    if isinstance(explicit, str):
+        return SweepBackend(backend=explicit, db=os.environ.get(QUEUE_ENV))
+    if _STACK:
+        return _STACK[-1]
+    env = os.environ.get(BACKEND_ENV, "").strip()
+    if env:
+        if env not in BACKENDS:
+            raise SweepConfigError(
+                f"{BACKEND_ENV} must be one of {sorted(BACKENDS)}, "
+                f"got {env!r}"
+            )
+        return SweepBackend(backend=env, db=os.environ.get(QUEUE_ENV))
+    return SweepBackend()
+
+
+def spawn_worker(db: str, poll_s: float = 0.25,
+                 lease_timeout_s: "float | None" = None) -> subprocess.Popen:
+    """Start one local ``repro worker`` subprocess over ``db``."""
+    argv = [sys.executable, "-m", "repro.cli", "worker", db,
+            "--poll", str(poll_s)]
+    if lease_timeout_s is not None:
+        argv += ["--lease-timeout", str(lease_timeout_s)]
+    return subprocess.Popen(argv)
+
+
+def queue_sweep(items: typing.Sequence, fn: typing.Callable,
+                config: SweepBackend) -> list:
+    """Run a sweep through the durable queue (see module docstring)."""
+    db = config.require_db()
+    retry = RetryPolicy(max_attempts=config.max_attempts)
+    with TaskStore(db) as store:
+        broker = Broker(store, retry=retry,
+                        lease_timeout_s=config.lease_timeout_s)
+        sweep_id, resumed = broker.submit(items, fn)
+        if resumed:
+            print(f"resuming sweep {sweep_id} from {db} "
+                  f"({broker.counts(sweep_id)[DONE]}/{len(items)} points "
+                  "already done)", file=sys.stderr)
+        elif config.workers == 0:
+            print(f"enqueued sweep {sweep_id} ({len(items)} points) on "
+                  f"{db}; waiting for `repro worker {db}` processes...",
+                  file=sys.stderr)
+        procs = [
+            spawn_worker(db, poll_s=min(config.poll_s, 0.25),
+                         lease_timeout_s=config.lease_timeout_s)
+            for _ in range(config.workers)
+        ]
+        try:
+            _wait(broker, sweep_id, config, procs)
+            results, events = broker.aggregate(sweep_id)
+        finally:
+            _shutdown(procs)
+    from repro.sim import engine as sim_engine
+
+    sim_engine.add_foreign_events(events)
+    return results
+
+
+def _wait(broker: Broker, sweep_id: str, config: SweepBackend,
+          procs: "list[subprocess.Popen]") -> None:
+    """Poll (reaping expired leases) until every point is terminal."""
+    deadline = (time.monotonic() + config.timeout_s
+                if config.timeout_s is not None else None)
+    while True:
+        broker.reap()
+        if broker.finished(sweep_id):
+            return
+        if procs and all(proc.poll() is not None for proc in procs):
+            # Local workers drain-exit only once everything is
+            # terminal; all of them dying early means the sweep cannot
+            # finish on its own (unless external workers exist, in
+            # which case don't spawn local ones). Re-check first: the
+            # last worker may have completed the final point between
+            # the finished() probe above and its own exit.
+            if broker.finished(sweep_id):
+                return
+            raise DistribError(
+                f"all {len(procs)} local worker process(es) exited but "
+                f"sweep {sweep_id!r} is unfinished: "
+                f"{broker.counts(sweep_id)}"
+            )
+        if deadline is not None and time.monotonic() > deadline:
+            raise DistribError(
+                f"timed out after {config.timeout_s:g}s waiting for "
+                f"sweep {sweep_id!r}: {broker.counts(sweep_id)}"
+            )
+        time.sleep(config.poll_s)
+
+
+def _shutdown(procs: "list[subprocess.Popen]") -> None:
+    for proc in procs:
+        if proc.poll() is None:
+            proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+            proc.kill()
+            proc.wait()

@@ -1,0 +1,379 @@
+"""The durable task store: one SQLite row per sweep point.
+
+A point moves through the state machine::
+
+    PENDING ──lease──▶ LEASED ──start──▶ RUNNING ──▶ DONE
+       ▲                 │                  │
+       │   (lease expires: reap)            │ (attempt failed)
+       ├────────────◀────┴──────◀───────────┤
+       │                                    ▼
+       └──────◀── FAILED (awaiting retry)   DEAD (attempts exhausted)
+
+``FAILED`` is "awaiting retry after a failed attempt" — leasable again
+once its backoff gate (``not_before``) passes; ``DONE`` and ``DEAD`` are
+terminal. Attempts count at lease time, so a worker that takes a lease
+and dies (crash, SIGKILL) burns an attempt exactly like a clean failure:
+the reaper returns expired leases to ``PENDING`` until the sweep's
+attempt cap turns a poison point ``DEAD`` instead of letting it
+crash-loop forever.
+
+Every mutation is a single guarded transaction (``BEGIN IMMEDIATE`` +
+``WHERE state = ...``), so N worker processes on one machine — or on a
+shared filesystem — can hammer the same database without double-leasing
+a point; a transition that lost its race reports failure instead of
+silently clobbering another worker's row. All timestamps are caller-
+supplied wall-clock seconds: the store never reads the clock, which is
+what makes lease expiry and backoff unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import typing
+
+from repro.errors import DistribError
+
+#: the point state machine's vocabulary
+PENDING = "PENDING"
+LEASED = "LEASED"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+DEAD = "DEAD"
+
+STATES = (PENDING, LEASED, RUNNING, DONE, FAILED, DEAD)
+#: states a worker may take a lease on (FAILED = awaiting retry)
+LEASABLE = (PENDING, FAILED)
+#: states that end a point's life
+TERMINAL = (DONE, DEAD)
+#: states holding a live lease (subject to expiry reaping)
+IN_FLIGHT = (LEASED, RUNNING)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS sweeps (
+    sweep_id        TEXT PRIMARY KEY,
+    fn              TEXT NOT NULL,
+    num_points      INTEGER NOT NULL,
+    fingerprint     TEXT NOT NULL,
+    retry_json      TEXT NOT NULL,
+    max_attempts    INTEGER NOT NULL,
+    lease_timeout_s REAL NOT NULL,
+    created_at      REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS points (
+    sweep_id       TEXT NOT NULL REFERENCES sweeps(sweep_id),
+    point_index    INTEGER NOT NULL,
+    payload        TEXT NOT NULL,
+    state          TEXT NOT NULL DEFAULT 'PENDING',
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    lease_expiries INTEGER NOT NULL DEFAULT 0,
+    worker_id      TEXT,
+    lease_deadline REAL,
+    not_before     REAL NOT NULL DEFAULT 0,
+    queued_at      REAL NOT NULL DEFAULT 0,
+    started_at     REAL,
+    finished_at    REAL,
+    events         INTEGER NOT NULL DEFAULT 0,
+    result         TEXT,
+    error          TEXT,
+    PRIMARY KEY (sweep_id, point_index)
+);
+CREATE INDEX IF NOT EXISTS idx_points_work
+    ON points(state, not_before, sweep_id, point_index);
+"""
+
+
+class TaskStore:
+    """One SQLite-backed queue database (see module docstring)."""
+
+    def __init__(self, path: "str | os.PathLike"):
+        self.path = os.fspath(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        # Explicit transactions (BEGIN IMMEDIATE) instead of the sqlite3
+        # module's implicit ones: a lease must hold the write lock from
+        # SELECT through UPDATE.
+        self._conn.isolation_level = None
+        self._conn.execute("PRAGMA busy_timeout = 30000")
+        try:
+            # WAL lets readers poll while a worker commits; harmless to
+            # lose (e.g. unsupported filesystem) — the rollback journal
+            # is just as crash-safe, only slower under contention.
+            self._conn.execute("PRAGMA journal_mode = WAL")
+        except sqlite3.Error:  # pragma: no cover - filesystem dependent
+            pass
+        self._conn.executescript(_SCHEMA)
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "TaskStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def _begin(self) -> None:
+        self._conn.execute("BEGIN IMMEDIATE")
+
+    # -- sweep creation / resume ----------------------------------------
+    def create_sweep(
+        self,
+        sweep_id: str,
+        fn: str,
+        payloads: "typing.Sequence[str]",
+        fingerprint: str,
+        retry_json: str,
+        max_attempts: int,
+        lease_timeout_s: float,
+        now: float,
+    ) -> bool:
+        """Insert the sweep and its points; returns True if it resumed.
+
+        Re-enqueueing an existing ``sweep_id`` with the same fingerprint
+        is the resume path: the surviving rows (DONE results included)
+        are kept untouched. A different fingerprint under the same id
+        is a hard error — silently mixing two grids would corrupt both.
+        """
+        self._begin()
+        try:
+            row = self._conn.execute(
+                "SELECT fingerprint, num_points FROM sweeps WHERE sweep_id = ?",
+                (sweep_id,),
+            ).fetchone()
+            if row is not None:
+                if (row["fingerprint"] != fingerprint
+                        or row["num_points"] != len(payloads)):
+                    raise DistribError(
+                        f"sweep {sweep_id!r} already exists in {self.path} "
+                        "with a different grid (fingerprint mismatch); "
+                        "use a fresh database or a different sweep id"
+                    )
+                self._conn.execute("COMMIT")
+                return True
+            self._conn.execute(
+                "INSERT INTO sweeps (sweep_id, fn, num_points, fingerprint,"
+                " retry_json, max_attempts, lease_timeout_s, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (sweep_id, fn, len(payloads), fingerprint, retry_json,
+                 max_attempts, lease_timeout_s, now),
+            )
+            self._conn.executemany(
+                "INSERT INTO points (sweep_id, point_index, payload,"
+                " state, queued_at) VALUES (?, ?, ?, ?, ?)",
+                [(sweep_id, index, payload, PENDING, now)
+                 for index, payload in enumerate(payloads)],
+            )
+            self._conn.execute("COMMIT")
+            return False
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+
+    def sweep_row(self, sweep_id: str) -> dict:
+        row = self._conn.execute(
+            "SELECT * FROM sweeps WHERE sweep_id = ?", (sweep_id,)
+        ).fetchone()
+        if row is None:
+            raise DistribError(f"no sweep {sweep_id!r} in {self.path}")
+        return dict(row)
+
+    # -- leasing ---------------------------------------------------------
+    def lease_next(
+        self,
+        worker_id: str,
+        now: float,
+        lease_timeout_s: "float | None" = None,
+        sweep_id: "str | None" = None,
+    ) -> "dict | None":
+        """Atomically claim the next leasable point, lowest index first.
+
+        Returns the claimed row (attempt count already incremented, the
+        sweep's ``fn``/``retry_json`` joined in, and the point's queue
+        latency computed) or None when nothing is currently leasable.
+        ``lease_timeout_s`` defaults to the sweep's own value.
+        """
+        self._begin()
+        try:
+            query = (
+                "SELECT p.sweep_id, p.point_index, p.payload, p.state,"
+                " p.attempts, p.lease_expiries, p.queued_at,"
+                " s.fn, s.retry_json, s.max_attempts, s.lease_timeout_s"
+                " FROM points p JOIN sweeps s ON p.sweep_id = s.sweep_id"
+                f" WHERE p.state IN ({_sql_states(LEASABLE)})"
+                " AND p.not_before <= ?"
+            )
+            params: list = [now]
+            if sweep_id is not None:
+                query += " AND p.sweep_id = ?"
+                params.append(sweep_id)
+            query += " ORDER BY p.sweep_id, p.point_index LIMIT 1"
+            row = self._conn.execute(query, params).fetchone()
+            if row is None:
+                self._conn.execute("COMMIT")
+                return None
+            timeout = (lease_timeout_s if lease_timeout_s is not None
+                       else row["lease_timeout_s"])
+            updated = self._conn.execute(
+                "UPDATE points SET state = ?, attempts = attempts + 1,"
+                " worker_id = ?, lease_deadline = ?"
+                " WHERE sweep_id = ? AND point_index = ? AND state = ?",
+                (LEASED, worker_id, now + timeout,
+                 row["sweep_id"], row["point_index"], row["state"]),
+            )
+            if updated.rowcount != 1:  # pragma: no cover - single-tx guard
+                raise DistribError(
+                    f"lease race on {row['sweep_id']}#{row['point_index']}"
+                )
+            self._conn.execute("COMMIT")
+            claimed = dict(row)
+            claimed["attempts"] += 1
+            claimed["queue_latency_s"] = max(0.0, now - row["queued_at"])
+            claimed["lease_timeout_s"] = timeout
+            return claimed
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+
+    def mark_running(self, sweep_id: str, point_index: int,
+                     worker_id: str, now: float) -> bool:
+        """LEASED → RUNNING; False when the lease was lost (reaped and
+        retaken by another worker)."""
+        updated = self._conn.execute(
+            "UPDATE points SET state = ?, started_at = ?"
+            " WHERE sweep_id = ? AND point_index = ?"
+            " AND state = ? AND worker_id = ?",
+            (RUNNING, now, sweep_id, point_index, LEASED, worker_id),
+        )
+        return updated.rowcount == 1
+
+    def complete(self, sweep_id: str, point_index: int, worker_id: str,
+                 result: str, events: int, now: float) -> bool:
+        """LEASED/RUNNING → DONE; False when the lease was lost first
+        (another worker owns the point now — first completion wins)."""
+        updated = self._conn.execute(
+            "UPDATE points SET state = ?, result = ?, events = ?,"
+            " finished_at = ?, error = NULL, lease_deadline = NULL"
+            f" WHERE sweep_id = ? AND point_index = ?"
+            f" AND state IN ({_sql_states(IN_FLIGHT)}) AND worker_id = ?",
+            (DONE, result, events, now, sweep_id, point_index, worker_id),
+        )
+        return updated.rowcount == 1
+
+    def fail(self, sweep_id: str, point_index: int, worker_id: str,
+             error: str, now: float, not_before: float,
+             dead: bool) -> bool:
+        """LEASED/RUNNING → FAILED (awaiting retry at ``not_before``) or
+        DEAD (attempts exhausted); False when the lease was lost."""
+        if dead:
+            updated = self._conn.execute(
+                "UPDATE points SET state = ?, error = ?, finished_at = ?,"
+                " lease_deadline = NULL"
+                f" WHERE sweep_id = ? AND point_index = ?"
+                f" AND state IN ({_sql_states(IN_FLIGHT)}) AND worker_id = ?",
+                (DEAD, error, now, sweep_id, point_index, worker_id),
+            )
+        else:
+            updated = self._conn.execute(
+                "UPDATE points SET state = ?, error = ?, not_before = ?,"
+                " queued_at = ?, worker_id = NULL, lease_deadline = NULL"
+                f" WHERE sweep_id = ? AND point_index = ?"
+                f" AND state IN ({_sql_states(IN_FLIGHT)}) AND worker_id = ?",
+                (FAILED, error, not_before, now,
+                 sweep_id, point_index, worker_id),
+            )
+        return updated.rowcount == 1
+
+    # -- reaping ---------------------------------------------------------
+    def reap_expired(self, now: float) -> "tuple[int, int]":
+        """Return expired leases to PENDING; attempts-exhausted ones go
+        DEAD instead. Returns ``(requeued, dead)`` counts.
+
+        A lease expiry is the queue's only signal that a worker died
+        mid-point, so it burns the attempt the lease already counted —
+        the cap in the sweep row is what stops a worker-killing poison
+        point from crash-looping every worker in turn.
+        """
+        self._begin()
+        try:
+            dead = self._conn.execute(
+                "UPDATE points SET state = ?, finished_at = ?,"
+                " lease_expiries = lease_expiries + 1, worker_id = NULL,"
+                " lease_deadline = NULL,"
+                " error = 'lease expired after ' || attempts || ' attempt(s)'"
+                f" WHERE state IN ({_sql_states(IN_FLIGHT)})"
+                " AND lease_deadline < ?"
+                " AND attempts >= (SELECT max_attempts FROM sweeps"
+                "                  WHERE sweeps.sweep_id = points.sweep_id)",
+                (DEAD, now, now),
+            ).rowcount
+            requeued = self._conn.execute(
+                "UPDATE points SET state = ?,"
+                " lease_expiries = lease_expiries + 1, worker_id = NULL,"
+                " lease_deadline = NULL, queued_at = ?"
+                f" WHERE state IN ({_sql_states(IN_FLIGHT)})"
+                " AND lease_deadline < ?",
+                (PENDING, now, now),
+            ).rowcount
+            self._conn.execute("COMMIT")
+            return requeued, dead
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+
+    # -- introspection ---------------------------------------------------
+    def counts(self, sweep_id: "str | None" = None) -> "dict[str, int]":
+        """Point counts per state (every state present, zeros included)."""
+        query = "SELECT state, COUNT(*) AS n FROM points"
+        params: tuple = ()
+        if sweep_id is not None:
+            query += " WHERE sweep_id = ?"
+            params = (sweep_id,)
+        query += " GROUP BY state"
+        counts = {state: 0 for state in STATES}
+        for row in self._conn.execute(query, params):
+            counts[row["state"]] = row["n"]
+        return counts
+
+    def all_terminal(self, sweep_id: "str | None" = None) -> bool:
+        counts = self.counts(sweep_id)
+        return sum(counts[state] for state in STATES) == sum(
+            counts[state] for state in TERMINAL
+        )
+
+    def has_any_sweep(self) -> bool:
+        return self._conn.execute(
+            "SELECT 1 FROM sweeps LIMIT 1"
+        ).fetchone() is not None
+
+    def points(self, sweep_id: str) -> "list[dict]":
+        """Every point row of a sweep, by index (tests/telemetry)."""
+        rows = self._conn.execute(
+            "SELECT * FROM points WHERE sweep_id = ? ORDER BY point_index",
+            (sweep_id,),
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    def results(self, sweep_id: str) -> "list[dict]":
+        """The DONE rows' (index, result, events), by index."""
+        rows = self._conn.execute(
+            "SELECT point_index, result, events FROM points"
+            " WHERE sweep_id = ? AND state = ? ORDER BY point_index",
+            (sweep_id, DONE),
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+
+def _sql_states(states: "typing.Sequence[str]") -> str:
+    """A validated ``IN (...)`` literal list (states are module
+    constants, never user input)."""
+    for state in states:
+        if state not in STATES:  # pragma: no cover - programming error
+            raise DistribError(f"unknown point state {state!r}")
+    return ", ".join(f"'{state}'" for state in states)

@@ -1,0 +1,187 @@
+"""The worker loop: lease, run, report — the ``repro worker`` verb.
+
+A worker is one process in the submit-poll-collect topology: N shells
+on one machine (or N machines over a shared filesystem) each run
+``repro worker <queue.db>`` and drain whatever sweeps the database
+holds. The loop is deliberately boring::
+
+    reap expired leases -> lease next point -> import fn -> run ->
+    complete (or fail with backoff) -> repeat
+
+Workers exit when the store is non-empty and every point is terminal
+(``--keep-alive`` polls forever instead); an empty store means "the
+sweep is still being enqueued", so the worker waits. Nested sweeps
+inside a point run serially — the worker *is* the parallelism, exactly
+like the process-pool path's ``_IN_SWEEP_WORKER`` guard.
+
+Per-point telemetry flows through the PR-7 observability registry
+(:data:`repro.obs.telemetry.PROCESS` by default): attempt and
+completion counters, reaped lease expiries, and a queue-latency gauge
+with its bounded timeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import socket
+import time
+import traceback
+import typing
+import uuid
+
+from repro.distrib.broker import Broker, Lease
+from repro.distrib.codec import resolve_fn
+from repro.distrib.store import TaskStore
+
+
+def default_worker_id() -> str:
+    """host-pid-nonce: unique across machines sharing one database."""
+    return (f"{socket.gethostname()}-{os.getpid()}-"
+            f"{uuid.uuid4().hex[:6]}")
+
+
+@dataclasses.dataclass
+class WorkerStats:
+    """What one worker-loop run did (printed by the CLI verb)."""
+
+    points_done: int = 0
+    points_failed: int = 0
+    attempts: int = 0
+    lease_expiries_reaped: int = 0
+    points_reaped_dead: int = 0
+    lost_leases: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.points_done} point(s) done, "
+            f"{self.points_failed} failed attempt(s), "
+            f"{self.attempts} lease(s) taken, "
+            f"{self.lease_expiries_reaped} expired lease(s) reaped, "
+            f"{self.lost_leases} lost"
+        )
+
+
+class Worker:
+    """One submit-poll-collect worker over a queue database.
+
+    ``clock``/``sleep`` are injectable so tests drive lease expiry and
+    idle polling without wall-clock waits; ``max_points`` bounds the
+    number of completed points (tests use it to script interleavings);
+    ``telemetry`` defaults to the process-wide obs registry.
+    """
+
+    def __init__(
+        self,
+        store: "TaskStore | str",
+        worker_id: "str | None" = None,
+        poll_s: float = 0.5,
+        lease_timeout_s: "float | None" = None,
+        max_points: "int | None" = None,
+        keep_alive: bool = False,
+        sweep_id: "str | None" = None,
+        clock: "typing.Callable[[], float]" = time.time,
+        sleep: "typing.Callable[[float], None]" = time.sleep,
+        telemetry=None,
+    ):
+        self.store = store if isinstance(store, TaskStore) else TaskStore(store)
+        self.worker_id = worker_id or default_worker_id()
+        self.poll_s = poll_s
+        self.max_points = max_points
+        self.keep_alive = keep_alive
+        self.sweep_id = sweep_id
+        self.clock = clock
+        self.sleep = sleep
+        if telemetry is None:
+            from repro.obs.telemetry import PROCESS
+
+            telemetry = PROCESS
+        self.telemetry = telemetry
+        self.broker = Broker(self.store, clock=clock)
+        self._lease_timeout_s = lease_timeout_s
+        self._fn_cache: "dict[str, typing.Callable]" = {}
+
+    # -- the loop --------------------------------------------------------
+    def run(self) -> WorkerStats:
+        """Drain the store (see module docstring for the exit rule)."""
+        stats = WorkerStats()
+        self._enter_worker_mode()
+        while True:
+            requeued, dead = self.broker.reap()
+            if requeued or dead:
+                stats.lease_expiries_reaped += requeued + dead
+                stats.points_reaped_dead += dead
+                self.telemetry.counter("distrib.lease_expiries").add(
+                    requeued + dead
+                )
+            lease = self.broker.lease(
+                self.worker_id, sweep_id=self.sweep_id,
+                lease_timeout_s=self._lease_timeout_s,
+            )
+            if lease is None:
+                if self._drained():
+                    break
+                self.sleep(self.poll_s)
+                continue
+            stats.attempts += 1
+            if self.run_point(lease, stats):
+                if (self.max_points is not None
+                        and stats.points_done >= self.max_points):
+                    break
+        return stats
+
+    def _drained(self) -> bool:
+        """No leasable or in-flight work left anywhere in the store."""
+        if self.keep_alive or not self.store.has_any_sweep():
+            return False
+        return self.store.all_terminal(self.sweep_id)
+
+    # -- one point -------------------------------------------------------
+    def run_point(self, lease: Lease, stats: WorkerStats) -> bool:
+        """Run one leased point to a terminal report; True on DONE."""
+        self.telemetry.counter("distrib.attempts").add()
+        self.telemetry.gauge("distrib.queue_latency_s").set(
+            lease.queue_latency_s, now=self.clock()
+        )
+        if not self.broker.start(lease, self.worker_id):
+            stats.lost_leases += 1
+            self.telemetry.counter("distrib.lost_leases").add()
+            return False
+        from repro.obs.telemetry import PROCESS
+
+        try:
+            fn = self._resolve(lease.fn_ref)
+            with PROCESS.scoped("sim.events_processed") as scope:
+                result = fn(lease.payload)
+        except BaseException as error:
+            detail = "".join(
+                traceback.format_exception_only(type(error), error)
+            ).strip()
+            self.broker.fail(lease, self.worker_id, detail)
+            stats.points_failed += 1
+            self.telemetry.counter("distrib.failures").add()
+            if not isinstance(error, Exception):
+                raise  # KeyboardInterrupt/SystemExit: record, then die
+            return False
+        if self.broker.complete(lease, self.worker_id, result,
+                                events=scope.delta):
+            stats.points_done += 1
+            self.telemetry.counter("distrib.points_done").add()
+            return True
+        stats.lost_leases += 1
+        self.telemetry.counter("distrib.lost_leases").add()
+        return False
+
+    def _resolve(self, ref: str) -> typing.Callable:
+        fn = self._fn_cache.get(ref)
+        if fn is None:
+            fn = self._fn_cache[ref] = resolve_fn(ref)
+        return fn
+
+    @staticmethod
+    def _enter_worker_mode() -> None:
+        """Nested sweeps inside a point stay serial: this worker *is*
+        the parallelism (mirrors the process-pool initializer)."""
+        from repro.experiments import common
+
+        common._IN_SWEEP_WORKER = True

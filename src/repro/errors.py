@@ -108,6 +108,19 @@ class SpecError(ReproError):
     value outside the declarative API's vocabulary."""
 
 
+class SweepConfigError(ReproError):
+    """Invalid sweep-executor configuration: a garbage or non-positive
+    ``REPRO_SWEEP_WORKERS``, an unknown ``REPRO_SWEEP_BACKEND``, or a
+    queue backend selected without a database path."""
+
+
+class DistribError(ReproError):
+    """The distributed sweep control plane was driven incorrectly or hit
+    an unrecoverable condition: an unserializable point function, a
+    fingerprint mismatch on resume, a lost/illegal task transition, or a
+    sweep whose points exhausted their attempts (DEAD)."""
+
+
 class SessionError(ReproError):
     """A :class:`repro.api.session.Session` was driven out of order
     (results before run, submit after run, reconfigure mid-flight)."""

@@ -6,7 +6,6 @@ import concurrent.futures
 import functools
 import os
 import pickle
-import sys
 import typing
 
 from repro.core.middleware import FreeRide, FreeRideResult
@@ -41,21 +40,35 @@ def _sweep_call(fn, item):
 
 
 def sweep_workers() -> int:
-    """Worker count for :func:`sweep`: REPRO_SWEEP_WORKERS or the CPU count."""
+    """Worker count for :func:`sweep`: REPRO_SWEEP_WORKERS or the CPU count.
+
+    Rejects garbage and non-positive values outright — a silently
+    clamped or ignored setting runs the sweep at a parallelism the user
+    did not ask for, which is far harder to notice than an error.
+    """
+    from repro.errors import SweepConfigError
+
     env = os.environ.get("REPRO_SWEEP_WORKERS", "").strip()
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            print(f"warning: ignoring invalid REPRO_SWEEP_WORKERS={env!r}",
-                  file=sys.stderr)
-    return os.cpu_count() or 1
+    if not env:
+        return os.cpu_count() or 1
+    try:
+        workers = int(env)
+    except ValueError:
+        raise SweepConfigError(
+            f"REPRO_SWEEP_WORKERS must be a positive integer, got {env!r}"
+        ) from None
+    if workers < 1:
+        raise SweepConfigError(
+            f"REPRO_SWEEP_WORKERS must be a positive integer, got {workers}"
+        )
+    return workers
 
 
 def sweep(
     items: typing.Iterable,
     fn: typing.Callable,
     max_workers: int | None = None,
+    backend=None,
 ) -> list:
     """Run ``fn(item)`` for every item and return the results in order.
 
@@ -68,19 +81,39 @@ def sweep(
     counters — a default :class:`~repro.core.task_spec.TaskSpec` name
     embeds one and would differ between pool workers and the parent.
 
+    ``backend`` selects the executor: a
+    :class:`~repro.distrib.executor.SweepBackend`, a backend name
+    (``"serial"`` / ``"pool"`` / ``"queue"``), or ``None`` to resolve
+    through the ambient :func:`~repro.distrib.executor.use_backend`
+    context and the ``REPRO_SWEEP_BACKEND`` environment. The queue
+    backend routes the points through the durable SQLite control plane
+    in :mod:`repro.distrib`; its aggregation is byte-identical to the
+    serial and pool paths.
+
     Falls back to running serially when parallelism cannot help or would
     misbehave: a single item, ``max_workers=1`` (or a 1-CPU host), inside
-    a pytest-xdist worker, or nested inside another sweep. ``fn`` and the
-    items must be picklable (module-level functions / ``functools.partial``
+    a pytest-xdist worker, or nested inside another sweep (including a
+    queue worker — the worker *is* the parallelism). ``fn`` and the items
+    must be picklable (module-level functions / ``functools.partial``
     over them); a pickling failure also falls back to serial.
     """
+    from repro.distrib import executor as distrib_executor
+
     items = list(items)
+    if not items:
+        return []
+    if _IN_SWEEP_WORKER:
+        return [fn(item) for item in items]
+    config = distrib_executor.resolve(backend)
+    if config.backend == "serial":
+        return [fn(item) for item in items]
+    if config.backend == "queue":
+        return distrib_executor.queue_sweep(items, fn, config)
     if max_workers is None:
         max_workers = sweep_workers()
     max_workers = min(max_workers, len(items))
     if (
         max_workers <= 1
-        or _IN_SWEEP_WORKER
         or os.environ.get("PYTEST_XDIST_WORKER")
     ):
         return [fn(item) for item in items]

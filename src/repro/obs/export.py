@@ -21,6 +21,8 @@ import dataclasses
 import json
 import typing
 
+from repro.ioutil import atomic_write_text
+
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.tracer import TraceEvent
 
@@ -170,9 +172,7 @@ class TraceResult:
         return trace_jsonl(self.events)
 
     def write_chrome(self, path) -> None:
-        with open(path, "w") as handle:
-            handle.write(self.to_chrome_json())
+        atomic_write_text(path, self.to_chrome_json())
 
     def write_jsonl(self, path) -> None:
-        with open(path, "w") as handle:
-            handle.write(self.to_jsonl())
+        atomic_write_text(path, self.to_jsonl())

@@ -146,3 +146,50 @@ def test_run_with_trace_sugar_also_writes_trace(tmp_path, capsys):
     trace_path = tmp_path / "serve_trace.json"
     assert trace_path.exists()
     assert json.loads(trace_path.read_text())["traceEvents"]
+
+
+def test_sweep_serial_backend_prints_the_table(capsys):
+    assert main(["sweep", "fig1", "--backend", "serial"]) == 0
+    assert "Figure 1(a)" in capsys.readouterr().out
+
+
+def test_sweep_queue_backend_with_local_worker(tmp_path, capsys):
+    db = str(tmp_path / "q.db")
+    assert main([
+        "sweep", "serve", "--backend", "queue", "--db", db,
+        "--workers", "1", "--poll", "0.05", "--epochs", "1",
+        "--set", 'sweep.axes={"arrivals.rate_per_s": [2.0]}',
+        "--export", str(tmp_path / "out"),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "Serve:" in captured.out
+    assert (tmp_path / "out" / "serve.json").exists()
+    # the queue database documents the run: one DONE point
+    import sqlite3
+
+    con = sqlite3.connect(db)
+    states = dict(con.execute(
+        "SELECT state, COUNT(*) FROM points GROUP BY state"
+    ).fetchall())
+    con.close()
+    assert states == {"DONE": 1}
+
+
+def test_worker_exits_cleanly_on_a_terminal_store(tmp_path, capsys):
+    from repro.distrib import Broker
+    from repro.experiments import common
+    from tests.distrib import pointfns
+
+    db = str(tmp_path / "q.db")
+    broker = Broker(db)
+    broker.submit([1, 2], pointfns.double)
+    saved = common._IN_SWEEP_WORKER
+    try:
+        assert main(["worker", db, "--id", "cli-test", "--poll", "0.05"]) == 0
+    finally:
+        # the in-process worker flips the nested-sweep flag for the
+        # whole test process; put it back
+        common._IN_SWEEP_WORKER = saved
+    err = capsys.readouterr().err
+    assert "worker cli-test: 2 point(s) done" in err
+    assert broker.counts()["DONE"] == 2

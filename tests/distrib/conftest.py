@@ -1,0 +1,43 @@
+"""Shared fixtures for the durable-sweep tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.distrib import pointfns
+
+
+@pytest.fixture(autouse=True)
+def _isolate_sweep_state():
+    """In-process Workers set the process-global nested-sweep flag and
+    the flaky() counter persists across tests; restore both."""
+    from repro.experiments import common
+
+    saved = common._IN_SWEEP_WORKER
+    pointfns.CALLS.clear()
+    yield
+    common._IN_SWEEP_WORKER = saved
+    pointfns.CALLS.clear()
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "queue.db")
+
+
+class FakeClock:
+    """A settable wall clock for sleep-free lease-expiry tests."""
+
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()

@@ -1,0 +1,29 @@
+"""Module-level point functions for distrib tests.
+
+Queue point functions ship as ``module:qualname`` references, so the
+functions the tests sweep must live at module level (exactly the
+constraint production experiment points obey).
+"""
+
+from __future__ import annotations
+
+import collections
+
+#: per-value call counter for flaky(); tests reset it between runs
+CALLS: "collections.Counter[object]" = collections.Counter()
+
+
+def double(x):
+    return {"x": x, "twice": 2 * x}
+
+
+def boom(x):
+    raise ValueError(f"boom on {x!r}")
+
+
+def flaky(x):
+    """Fail the first attempt for each value, succeed on the second."""
+    CALLS[x] += 1
+    if CALLS[x] < 2:
+        raise RuntimeError(f"transient failure #{CALLS[x]} on {x!r}")
+    return {"x": x, "attempt": CALLS[x]}

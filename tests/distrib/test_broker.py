@@ -1,0 +1,123 @@
+"""Broker: enqueue/resume semantics, retry policy, aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distrib import Broker, TaskStore
+from repro.distrib.broker import _backoff_rng
+from repro.errors import DistribError
+from repro.faults.retry import RetryPolicy
+from tests.distrib import pointfns
+
+
+@pytest.fixture
+def store(db_path):
+    with TaskStore(db_path) as task_store:
+        yield task_store
+
+
+@pytest.fixture
+def broker(store, clock):
+    return Broker(store, clock=clock)
+
+
+class TestSubmit:
+    def test_sweep_id_is_the_grid_fingerprint(self, broker):
+        sweep_id, resumed = broker.submit([1, 2, 3], pointfns.double)
+        assert not resumed
+        assert len(sweep_id) == 16
+        again, resumed = broker.submit([1, 2, 3], pointfns.double)
+        assert resumed and again == sweep_id
+
+    def test_different_grids_get_different_ids(self, broker):
+        first, _ = broker.submit([1, 2], pointfns.double)
+        second, _ = broker.submit([1, 2, 3], pointfns.double)
+        third, _ = broker.submit([1, 2], pointfns.flaky)
+        assert len({first, second, third}) == 3
+
+    def test_explicit_sweep_id_guards_against_grid_swap(self, broker):
+        broker.submit([1, 2], pointfns.double, sweep_id="mine")
+        with pytest.raises(DistribError, match="fingerprint mismatch"):
+            broker.submit([3, 4], pointfns.double, sweep_id="mine")
+
+    def test_policy_is_recorded_per_sweep(self, store, clock):
+        custom = Broker(store, retry=RetryPolicy(max_attempts=7), clock=clock)
+        sweep_id, _ = custom.submit([1], pointfns.double)
+        assert store.sweep_row(sweep_id)["max_attempts"] == 7
+
+
+class TestLeaseLifecycle:
+    def test_lease_carries_decoded_payload(self, broker):
+        sweep_id, _ = broker.submit(["a", "b"], pointfns.double)
+        lease = broker.lease("w1")
+        assert lease.sweep_id == sweep_id
+        assert lease.point_index == 0
+        assert lease.payload == "a"
+        assert lease.attempts == 1
+        assert lease.fn_ref == "tests.distrib.pointfns:double"
+
+    def test_complete_then_aggregate(self, broker):
+        sweep_id, _ = broker.submit([1, 2], pointfns.double)
+        for _ in range(2):
+            lease = broker.lease("w1")
+            assert broker.start(lease, "w1")
+            assert broker.complete(lease, "w1",
+                                   pointfns.double(lease.payload), events=5)
+        results, events = broker.aggregate(sweep_id)
+        assert results == [{"x": 1, "twice": 2}, {"x": 2, "twice": 4}]
+        assert events == 10
+        assert broker.finished(sweep_id)
+
+    def test_aggregate_refuses_unfinished_sweeps(self, broker):
+        sweep_id, _ = broker.submit([1, 2], pointfns.double)
+        with pytest.raises(DistribError, match="not finished"):
+            broker.aggregate(sweep_id)
+
+    def test_aggregate_names_dead_points(self, broker, clock):
+        sweep_id, _ = broker.submit([1], pointfns.boom)
+        for _ in range(3):  # DEFAULT_RETRY.max_attempts
+            lease = broker.lease("w1")
+            broker.fail(lease, "w1", "boom on 1")
+            clock.advance(60.0)  # past any backoff gate
+        assert broker.counts(sweep_id)["DEAD"] == 1
+        with pytest.raises(DistribError, match=r"1 DEAD point\(s\).*#0.*boom"):
+            broker.aggregate(sweep_id)
+
+
+class TestRetryBackoff:
+    def test_failed_point_is_gated_then_retried(self, broker, clock):
+        broker.submit([1], pointfns.double)
+        lease = broker.lease("w1")
+        assert broker.fail(lease, "w1", "transient")
+        # immediately after the failure the backoff gate holds...
+        assert broker.lease("w1") is None
+        # ...and a RetryPolicy delay later the point leases again.
+        clock.advance(10.0)
+        retry = broker.lease("w1")
+        assert retry is not None and retry.attempts == 2
+
+    def test_backoff_jitter_is_a_pure_hash(self):
+        a = RetryPolicy().delay_s(1, _backoff_rng("s", 0, 1))
+        b = RetryPolicy().delay_s(1, _backoff_rng("s", 0, 1))
+        other = RetryPolicy().delay_s(1, _backoff_rng("s", 1, 1))
+        assert a == b
+        assert a != other
+
+    def test_attempt_cap_marks_dead(self, store, clock):
+        broker = Broker(store, retry=RetryPolicy(max_attempts=2), clock=clock)
+        sweep_id, _ = broker.submit([1], pointfns.boom)
+        for expected_attempt in (1, 2):
+            lease = broker.lease("w1")
+            assert lease.attempts == expected_attempt
+            broker.fail(lease, "w1", "boom")
+            clock.advance(60.0)
+        assert broker.lease("w1") is None
+        assert store.points(sweep_id)[0]["state"] == "DEAD"
+
+    def test_reap_delegates_to_store(self, broker, clock):
+        broker.submit([1], pointfns.double, sweep_id="s")
+        broker.lease("w1", lease_timeout_s=5.0)
+        assert broker.reap() == (0, 0)
+        clock.advance(6.0)
+        assert broker.reap() == (1, 0)

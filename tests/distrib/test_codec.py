@@ -1,0 +1,112 @@
+"""Queue row serialization: fn references and payload envelopes."""
+
+from __future__ import annotations
+
+import functools
+import json
+
+import pytest
+
+from repro.api import registry
+from repro.distrib import codec
+from repro.errors import DistribError
+from tests.distrib import pointfns
+
+
+class TestFnRef:
+    def test_module_level_function_round_trips(self):
+        ref = codec.fn_ref(pointfns.double)
+        assert ref == "tests.distrib.pointfns:double"
+        assert codec.resolve_fn(ref) is pointfns.double
+
+    def test_lambda_is_rejected(self):
+        with pytest.raises(DistribError, match="lambda or locally defined"):
+            codec.fn_ref(lambda x: x)
+
+    def test_local_function_is_rejected(self):
+        def local(x):
+            return x
+
+        with pytest.raises(DistribError, match="lambda or locally defined"):
+            codec.fn_ref(local)
+
+    def test_partial_is_rejected(self):
+        with pytest.raises(DistribError, match="module-level name"):
+            codec.fn_ref(functools.partial(pointfns.double))
+
+    def test_shadowed_name_is_rejected(self, monkeypatch):
+        # A decorator-style wrapper that keeps the original __qualname__
+        # but is not what the module attribute resolves to must not ship:
+        # workers would silently run the unwrapped function.
+        def imposter(x):
+            return x
+
+        imposter.__module__ = pointfns.double.__module__
+        imposter.__qualname__ = pointfns.double.__qualname__
+        with pytest.raises(DistribError, match="does not resolve back"):
+            codec.fn_ref(imposter)
+
+    @pytest.mark.parametrize("ref", ["no-colon", ":qual", "mod:", ""])
+    def test_malformed_reference(self, ref):
+        with pytest.raises(DistribError, match="malformed|module-level"):
+            codec.resolve_fn(ref)
+
+    def test_missing_module(self):
+        with pytest.raises(DistribError, match="cannot import"):
+            codec.resolve_fn("tests.distrib.no_such_module:fn")
+
+    def test_missing_attribute(self):
+        with pytest.raises(DistribError, match="no attribute"):
+            codec.resolve_fn("tests.distrib.pointfns:nope")
+
+    def test_non_callable(self):
+        with pytest.raises(DistribError, match="not callable"):
+            codec.resolve_fn("tests.distrib.pointfns:CALLS")
+
+
+class TestEnvelopes:
+    @pytest.mark.parametrize("value", [
+        None, 0, 1.5, "text", [1, 2, 3], {"a": 1, "b": [True, None]},
+    ])
+    def test_json_safe_values_round_trip(self, value):
+        assert codec.decode(codec.encode_item(value)) == value
+        assert codec.decode(codec.encode_result(value)) == value
+
+    def test_spec_round_trips_losslessly(self):
+        spec = registry.get("serve").spec().override(
+            {"training.epochs": 3, "seed": 9}
+        )
+        decoded = codec.decode(codec.encode_item(spec))
+        assert decoded == spec
+        assert json.loads(codec.encode_item(spec))["codec"] == "spec"
+
+    def test_non_json_values_fall_back_to_pickle(self):
+        value = {(1, 2): "tuple-keyed"}
+        text = codec.encode_item(value)
+        assert json.loads(text)["codec"] == "pickle"
+        assert codec.decode(text) == value
+
+    def test_tuples_pickle_instead_of_degrading_to_lists(self):
+        # json.dumps would happily write (1, 2) as [1, 2]; the decoded
+        # value must compare equal to what was submitted.
+        assert codec.decode(codec.encode_item((1, 2))) == (1, 2)
+
+    def test_item_encoding_is_canonical(self):
+        # Sorted keys: the sweep fingerprint (and thus resume) must not
+        # depend on dict construction order.
+        a = codec.encode_item({"x": 1, "y": 2})
+        b = codec.encode_item({"y": 2, "x": 1})
+        assert a == b
+
+    def test_result_encoding_preserves_insertion_order(self):
+        # Result rows re-serialize byte-identically to the serial
+        # executor's output, and dict key order is part of those bytes.
+        text = codec.encode_result({"z": 1, "a": 2})
+        assert json.dumps(codec.decode(text)) == '{"z": 1, "a": 2}'
+
+    @pytest.mark.parametrize("text", [
+        "not json", "[1, 2]", '{"data": 1}', '{"codec": "wat", "data": 1}',
+    ])
+    def test_corrupt_payloads_raise(self, text):
+        with pytest.raises(DistribError, match="corrupt|unknown"):
+            codec.decode(text)

@@ -1,0 +1,122 @@
+"""The acceptance contract: queue-backed sweeps aggregate byte-identical
+to the serial and pool executors, through crashes and resumes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import registry
+from repro.distrib import Broker, SweepBackend, TaskStore, Worker
+from repro.experiments import common
+from tests.distrib import pointfns
+
+SERVE_OVERRIDES = {
+    "training.epochs": 1,
+    "sweep.axes": {"arrivals.rate_per_s": [2.0, 4.0]},
+}
+
+
+def serialize(result) -> bytes:
+    # The determinism suite's framing: byte-identical means identical
+    # JSON bytes, key order included.
+    return json.dumps(result.data).encode()
+
+
+def drain(db_path, clock, **kwargs):
+    """Run an in-process worker over the database until it drains,
+    then restore the nested-sweep flag so this process can keep acting
+    as a queue client."""
+    saved = common._IN_SWEEP_WORKER
+    try:
+        with TaskStore(db_path) as store:
+            return Worker(store, worker_id="inline", clock=clock,
+                          sleep=clock.advance, **kwargs).run()
+    finally:
+        common._IN_SWEEP_WORKER = saved
+
+
+class TestSimpleSweeps:
+    def test_queue_matches_serial_and_resumes_instantly(
+            self, db_path, clock):
+        items = list(range(6))
+        serial = common.sweep(items, pointfns.double, backend="serial")
+        # Enqueue + drain first, exactly as external workers would...
+        with TaskStore(db_path) as store:
+            Broker(store, clock=clock).submit(items, pointfns.double)
+        drain(db_path, clock)
+        # ...then the client run finds every row DONE and resumes.
+        config = SweepBackend(backend="queue", db=db_path, workers=0,
+                              timeout_s=10.0)
+        queued = common.sweep(items, pointfns.double, backend=config)
+        assert json.dumps(queued) == json.dumps(serial)
+
+    def test_empty_sweep_never_touches_the_queue(self, tmp_path):
+        config = SweepBackend(backend="queue",
+                              db=str(tmp_path / "untouched.db"))
+        assert common.sweep([], pointfns.double, backend=config) == []
+        assert not (tmp_path / "untouched.db").exists()
+
+    def test_queue_results_survive_crash_and_interleaving(
+            self, db_path, clock):
+        # Two workers split the sweep; one "crashes" (a ghost lease that
+        # expires) and the survivor finishes the reaped point. The
+        # aggregate must still equal the serial map, in order.
+        items = [10, 11, 12, 13]
+        with TaskStore(db_path) as store:
+            broker = Broker(store, lease_timeout_s=30.0, clock=clock)
+            sweep_id, _ = broker.submit(items, pointfns.double)
+            broker.lease("ghost")  # crashes holding point 0
+            drain(db_path, clock, max_points=2)  # survivor does 2 points
+            clock.advance(31.0)  # ghost's lease expires mid-sweep
+            drain(db_path, clock)
+            results, _ = broker.aggregate(sweep_id)
+        assert results == [pointfns.double(i) for i in items]
+        assert json.dumps(results) == json.dumps(
+            [pointfns.double(i) for i in items]
+        )
+
+
+class TestServeScenario:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return registry.run("serve", overrides=SERVE_OVERRIDES,
+                            backend="serial")
+
+    def test_pool_matches_serial(self, serial_result):
+        pooled = registry.run("serve", overrides=SERVE_OVERRIDES,
+                              backend="pool")
+        assert serialize(pooled) == serialize(serial_result)
+
+    def test_queue_matches_serial_via_subprocess_worker(
+            self, db_path, serial_result):
+        # The real topology: the client enqueues and a separate `repro
+        # worker` process drains — then a second client run resumes the
+        # fully terminal sweep without any worker at all.
+        config = SweepBackend(backend="queue", db=db_path, workers=1,
+                              poll_s=0.05, timeout_s=120.0)
+        queued = registry.run("serve", overrides=SERVE_OVERRIDES,
+                              backend=config)
+        assert serialize(queued) == serialize(serial_result)
+
+        resumed = registry.run(
+            "serve", overrides=SERVE_OVERRIDES,
+            backend=SweepBackend(backend="queue", db=db_path, workers=0,
+                                 timeout_s=10.0),
+        )
+        assert serialize(resumed) == serialize(serial_result)
+
+    def test_artifact_files_are_byte_identical(self, tmp_path, db_path,
+                                               serial_result):
+        serial_dir = tmp_path / "serial"
+        queue_dir = tmp_path / "queue"
+        serial_result.write_artifacts(str(serial_dir))
+        config = SweepBackend(backend="queue", db=db_path, workers=1,
+                              poll_s=0.05, timeout_s=120.0)
+        queued = registry.run("serve", overrides=SERVE_OVERRIDES,
+                              backend=config)
+        queued.write_artifacts(str(queue_dir))
+        for name in ("serve.json", "serve.csv", "serve.txt"):
+            assert (queue_dir / name).read_bytes() \
+                == (serial_dir / name).read_bytes(), name

@@ -1,0 +1,207 @@
+"""TaskStore: the state machine, guarded transitions, and the reaper."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.distrib.store import (
+    DEAD,
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    RUNNING,
+    TaskStore,
+)
+from repro.errors import DistribError
+
+RETRY_JSON = json.dumps({"max_attempts": 3})
+
+
+def make_sweep(store, sweep_id="s1", n=3, max_attempts=3,
+               lease_timeout_s=60.0, now=1000.0, fingerprint="fp"):
+    return store.create_sweep(
+        sweep_id, "tests.distrib.pointfns:double",
+        [json.dumps({"codec": "json", "data": i}) for i in range(n)],
+        fingerprint, retry_json=RETRY_JSON, max_attempts=max_attempts,
+        lease_timeout_s=lease_timeout_s, now=now,
+    )
+
+
+@pytest.fixture
+def store(db_path):
+    with TaskStore(db_path) as task_store:
+        yield task_store
+
+
+class TestCreateSweep:
+    def test_fresh_sweep_is_all_pending(self, store):
+        assert make_sweep(store, n=3) is False
+        assert store.counts("s1") == {
+            PENDING: 3, LEASED: 0, RUNNING: 0, DONE: 0, FAILED: 0, DEAD: 0,
+        }
+        assert store.sweep_row("s1")["num_points"] == 3
+
+    def test_resubmit_resumes_without_touching_rows(self, store):
+        make_sweep(store)
+        row = store.lease_next("w1", now=1000.0)
+        store.complete("s1", row["point_index"], "w1", "{}", 0, now=1001.0)
+        assert make_sweep(store) is True
+        counts = store.counts("s1")
+        assert counts[DONE] == 1 and counts[PENDING] == 2
+
+    def test_fingerprint_mismatch_is_an_error(self, store):
+        make_sweep(store, fingerprint="fp")
+        with pytest.raises(DistribError, match="fingerprint mismatch"):
+            make_sweep(store, fingerprint="other")
+
+    def test_unknown_sweep_row(self, store):
+        with pytest.raises(DistribError, match="no sweep"):
+            store.sweep_row("nope")
+
+
+class TestLeasing:
+    def test_leases_lowest_index_first_and_counts_attempt(self, store):
+        make_sweep(store)
+        row = store.lease_next("w1", now=1000.0)
+        assert row["point_index"] == 0
+        assert row["attempts"] == 1
+        assert row["fn"] == "tests.distrib.pointfns:double"
+        assert row["lease_timeout_s"] == 60.0
+        assert store.counts("s1")[LEASED] == 1
+
+    def test_concurrent_leases_get_distinct_points(self, store):
+        make_sweep(store, n=2)
+        first = store.lease_next("w1", now=1000.0)
+        second = store.lease_next("w2", now=1000.0)
+        assert {first["point_index"], second["point_index"]} == {0, 1}
+        assert store.lease_next("w3", now=1000.0) is None
+
+    def test_queue_latency_measures_leasable_wait(self, store):
+        make_sweep(store, now=1000.0)
+        row = store.lease_next("w1", now=1007.5)
+        assert row["queue_latency_s"] == pytest.approx(7.5)
+
+    def test_lease_timeout_override(self, store):
+        make_sweep(store)
+        row = store.lease_next("w1", now=1000.0, lease_timeout_s=5.0)
+        assert row["lease_timeout_s"] == 5.0
+        # expires at now + 5, not now + 60
+        assert store.reap_expired(now=1006.0) == (1, 0)
+
+    def test_sweep_pinning(self, store):
+        make_sweep(store, "s1", n=1)
+        make_sweep(store, "s2", n=1)
+        row = store.lease_next("w1", now=1000.0, sweep_id="s2")
+        assert row["sweep_id"] == "s2"
+
+
+class TestTransitions:
+    def test_happy_path(self, store):
+        make_sweep(store, n=1)
+        row = store.lease_next("w1", now=1000.0)
+        assert store.mark_running("s1", 0, "w1", now=1000.1)
+        assert store.complete("s1", 0, "w1", '{"ok": 1}', 42, now=1001.0)
+        point = store.points("s1")[0]
+        assert point["state"] == DONE
+        assert point["result"] == '{"ok": 1}'
+        assert point["events"] == 42
+        assert store.all_terminal("s1")
+        assert row["attempts"] == 1
+
+    def test_wrong_worker_cannot_transition(self, store):
+        make_sweep(store, n=1)
+        store.lease_next("w1", now=1000.0)
+        assert not store.mark_running("s1", 0, "w2", now=1000.1)
+        assert not store.complete("s1", 0, "w2", "{}", 0, now=1000.1)
+        assert not store.fail("s1", 0, "w2", "x", now=1000.1,
+                              not_before=1000.1, dead=False)
+        assert store.points("s1")[0]["state"] == LEASED
+
+    def test_failed_point_waits_for_its_backoff_gate(self, store):
+        make_sweep(store, n=1)
+        store.lease_next("w1", now=1000.0)
+        assert store.fail("s1", 0, "w1", "boom", now=1001.0,
+                          not_before=1031.0, dead=False)
+        point = store.points("s1")[0]
+        assert point["state"] == FAILED
+        assert point["error"] == "boom"
+        assert point["worker_id"] is None
+        assert store.lease_next("w2", now=1030.0) is None
+        retry = store.lease_next("w2", now=1031.0)
+        assert retry["attempts"] == 2
+
+    def test_dead_is_terminal(self, store):
+        make_sweep(store, n=1)
+        store.lease_next("w1", now=1000.0)
+        assert store.fail("s1", 0, "w1", "fatal", now=1001.0,
+                          not_before=1001.0, dead=True)
+        assert store.points("s1")[0]["state"] == DEAD
+        assert store.lease_next("w2", now=9999.0) is None
+        assert store.all_terminal("s1")
+
+    def test_completion_clears_stale_error(self, store):
+        make_sweep(store, n=1)
+        store.lease_next("w1", now=1000.0)
+        store.fail("s1", 0, "w1", "boom", now=1001.0, not_before=1001.0,
+                   dead=False)
+        store.lease_next("w1", now=1002.0)
+        store.complete("s1", 0, "w1", "{}", 0, now=1003.0)
+        assert store.points("s1")[0]["error"] is None
+
+
+class TestReaper:
+    def test_expired_lease_returns_to_pending(self, store):
+        make_sweep(store, n=2, lease_timeout_s=10.0)
+        store.lease_next("w1", now=1000.0)
+        assert store.reap_expired(now=1005.0) == (0, 0)
+        assert store.reap_expired(now=1010.5) == (1, 0)
+        point = store.points("s1")[0]
+        assert point["state"] == PENDING
+        assert point["lease_expiries"] == 1
+        assert point["attempts"] == 1  # the crashed attempt stays burned
+        assert point["worker_id"] is None
+
+    def test_running_leases_expire_too(self, store):
+        make_sweep(store, n=1, lease_timeout_s=10.0)
+        store.lease_next("w1", now=1000.0)
+        store.mark_running("s1", 0, "w1", now=1000.1)
+        assert store.reap_expired(now=1011.0) == (1, 0)
+
+    def test_poison_point_goes_dead_at_the_attempt_cap(self, store):
+        make_sweep(store, n=1, max_attempts=2, lease_timeout_s=10.0)
+        store.lease_next("w1", now=1000.0)
+        assert store.reap_expired(now=1011.0) == (1, 0)
+        store.lease_next("w2", now=1011.0)
+        assert store.reap_expired(now=1022.0) == (0, 1)
+        point = store.points("s1")[0]
+        assert point["state"] == DEAD
+        assert "lease expired after 2 attempt(s)" in point["error"]
+        assert point["lease_expiries"] == 2
+
+    def test_requeued_point_resets_queue_latency(self, store):
+        make_sweep(store, n=1, lease_timeout_s=10.0, now=1000.0)
+        store.lease_next("w1", now=1000.0)
+        store.reap_expired(now=1011.0)
+        row = store.lease_next("w2", now=1012.0)
+        assert row["queue_latency_s"] == pytest.approx(1.0)
+
+
+class TestIntrospection:
+    def test_results_are_ordered_by_index_not_completion(self, store):
+        make_sweep(store, n=3)
+        leases = [store.lease_next(f"w{i}", now=1000.0) for i in range(3)]
+        for row in reversed(leases):  # complete out of order
+            store.complete("s1", row["point_index"],
+                           f"w{row['point_index']}",
+                           json.dumps({"i": row["point_index"]}), 0,
+                           now=2000.0 - row["point_index"])
+        assert [json.loads(r["result"])["i"] for r in store.results("s1")] \
+            == [0, 1, 2]
+
+    def test_has_any_sweep(self, store):
+        assert not store.has_any_sweep()
+        make_sweep(store)
+        assert store.has_any_sweep()

@@ -1,0 +1,117 @@
+"""Backend selection: SweepBackend validation, use_backend scoping,
+environment resolution, and the hardened worker-count parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distrib import SweepBackend, current_backend, use_backend
+from repro.distrib.executor import BACKEND_ENV, QUEUE_ENV, resolve
+from repro.errors import SweepConfigError
+from repro.experiments import common
+from tests.distrib import pointfns
+
+
+class TestSweepBackendValidation:
+    def test_unknown_backend(self):
+        with pytest.raises(SweepConfigError, match="unknown sweep backend"):
+            SweepBackend(backend="threads")
+
+    def test_negative_workers(self):
+        with pytest.raises(SweepConfigError, match="workers"):
+            SweepBackend(workers=-1)
+
+    def test_max_attempts_floor(self):
+        with pytest.raises(SweepConfigError, match="max_attempts"):
+            SweepBackend(max_attempts=0)
+
+    def test_queue_requires_a_db(self):
+        with pytest.raises(SweepConfigError, match="database path"):
+            SweepBackend(backend="queue").require_db()
+        assert SweepBackend(backend="queue", db="q.db").require_db() == "q.db"
+
+
+class TestResolution:
+    def test_default_is_pool(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve().backend == "pool"
+        assert current_backend() is None
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "queue")
+        with use_backend("pool"):
+            assert resolve("serial").backend == "serial"
+            config = SweepBackend(backend="queue", db="x.db")
+            assert resolve(config) is config
+
+    def test_context_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "serial")
+        with use_backend("queue", db="ctx.db") as scoped:
+            assert resolve() is scoped
+            assert resolve().db == "ctx.db"
+        assert resolve().backend == "serial"
+
+    def test_contexts_nest_innermost_wins(self):
+        with use_backend("pool"):
+            with use_backend("serial"):
+                assert resolve().backend == "serial"
+            assert resolve().backend == "pool"
+
+    def test_environment_backend_and_db(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "queue")
+        monkeypatch.setenv(QUEUE_ENV, "env.db")
+        config = resolve()
+        assert config.backend == "queue"
+        assert config.db == "env.db"
+
+    def test_garbage_environment_is_an_error(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "cloud")
+        with pytest.raises(SweepConfigError, match="REPRO_SWEEP_BACKEND"):
+            resolve()
+
+
+class TestSweepWorkersParsing:
+    def test_unset_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert common.sweep_workers() >= 1
+
+    def test_explicit_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", " 4 ")
+        assert common.sweep_workers() == 4
+
+    @pytest.mark.parametrize("value", ["zero", "2.5", "", "-", "1e2"])
+    def test_garbage_is_rejected(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", value)
+        if not value.strip():
+            assert common.sweep_workers() >= 1
+        else:
+            with pytest.raises(SweepConfigError,
+                               match="REPRO_SWEEP_WORKERS"):
+                common.sweep_workers()
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_non_positive_is_rejected(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", value)
+        with pytest.raises(SweepConfigError, match="positive"):
+            common.sweep_workers()
+
+
+class TestSweepDispatch:
+    def test_serial_backend_runs_inline(self):
+        assert common.sweep([1, 2], pointfns.double, backend="serial") \
+            == [pointfns.double(1), pointfns.double(2)]
+
+    def test_ambient_context_reaches_nested_sweeps(self):
+        with use_backend("serial"):
+            assert common.sweep([3], pointfns.double) == [pointfns.double(3)]
+
+    def test_worker_mode_forces_serial_even_under_queue(self, tmp_path,
+                                                        monkeypatch):
+        # Inside a queue worker the worker IS the parallelism: a nested
+        # sweep must run inline, not re-enter the queue.
+        monkeypatch.setattr(common, "_IN_SWEEP_WORKER", True)
+        config = SweepBackend(backend="queue",
+                              db=str(tmp_path / "nested.db"))
+        assert common.sweep([4], pointfns.double, backend=config) \
+            == [pointfns.double(4)]
+        assert not (tmp_path / "nested.db").exists()

@@ -1,0 +1,138 @@
+"""The worker loop: drain, retry, crash-recovery, telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distrib import Broker, TaskStore, Worker
+from repro.errors import DistribError
+from repro.faults.retry import RetryPolicy
+from repro.obs.telemetry import Telemetry
+from tests.distrib import pointfns
+
+
+@pytest.fixture
+def store(db_path):
+    with TaskStore(db_path) as task_store:
+        yield task_store
+
+
+def make_worker(store, clock, **kwargs):
+    kwargs.setdefault("telemetry", Telemetry())
+    kwargs.setdefault("worker_id", "test-worker")
+    return Worker(store, clock=clock, sleep=clock.advance, **kwargs)
+
+
+class TestDrain:
+    def test_drains_the_store_and_exits(self, store, clock):
+        broker = Broker(store, clock=clock)
+        sweep_id, _ = broker.submit([1, 2, 3], pointfns.double)
+        worker = make_worker(store, clock)
+        stats = worker.run()
+        assert stats.points_done == 3
+        assert stats.points_failed == 0
+        results, events = broker.aggregate(sweep_id)
+        assert results == [pointfns.double(i) for i in (1, 2, 3)]
+        assert "3 point(s) done" in stats.summary()
+
+    def test_empty_store_is_not_drained(self, store, clock):
+        # An empty database means "the sweep is still being enqueued":
+        # the worker must wait, not exit.
+        assert not make_worker(store, clock)._drained()
+
+    def test_max_points_bounds_the_run(self, store, clock):
+        broker = Broker(store, clock=clock)
+        broker.submit([1, 2, 3], pointfns.double)
+        stats = make_worker(store, clock, max_points=2).run()
+        assert stats.points_done == 2
+        assert broker.counts()["PENDING"] == 1
+
+    def test_worker_telemetry_reports_through_obs(self, store, clock):
+        broker = Broker(store, clock=clock)
+        broker.submit([5, 6], pointfns.double)
+        telemetry = Telemetry()
+        make_worker(store, clock, telemetry=telemetry).run()
+        snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["distrib.attempts"] == 2
+        assert snapshot["counters"]["distrib.points_done"] == 2
+        assert "distrib.queue_latency_s" in snapshot["gauges"]
+
+    def test_nested_sweeps_inside_a_point_run_serial(self, store, clock):
+        from repro.experiments import common
+
+        broker = Broker(store, clock=clock)
+        broker.submit([1], pointfns.double)
+        make_worker(store, clock).run()
+        assert common._IN_SWEEP_WORKER is True  # reset by the fixture
+
+
+class TestRetries:
+    def test_transient_failure_retries_to_success(self, store, clock):
+        broker = Broker(store, clock=clock)
+        sweep_id, _ = broker.submit([1, 2], pointfns.flaky)
+        telemetry = Telemetry()
+        stats = make_worker(store, clock, telemetry=telemetry).run()
+        assert stats.points_done == 2
+        assert stats.points_failed == 2  # one failed attempt each
+        assert telemetry.snapshot()["counters"]["distrib.failures"] == 2
+        results, _ = broker.aggregate(sweep_id)
+        assert [row["attempt"] for row in results] == [2, 2]
+        assert store.points(sweep_id)[0]["attempts"] == 2
+
+    def test_poison_point_goes_dead_and_aggregate_reports_it(
+            self, store, clock):
+        broker = Broker(store, retry=RetryPolicy(max_attempts=2),
+                        clock=clock)
+        sweep_id, _ = broker.submit([1], pointfns.boom)
+        stats = make_worker(store, clock).run()
+        assert stats.points_done == 0
+        assert stats.points_failed == 2
+        assert store.points(sweep_id)[0]["state"] == "DEAD"
+        with pytest.raises(DistribError, match="DEAD"):
+            broker.aggregate(sweep_id)
+
+    def test_failure_records_the_exception_text(self, store, clock):
+        broker = Broker(store, retry=RetryPolicy(max_attempts=1),
+                        clock=clock)
+        sweep_id, _ = broker.submit([7], pointfns.boom)
+        make_worker(store, clock).run()
+        assert "ValueError: boom on 7" in store.points(sweep_id)[0]["error"]
+
+
+class TestCrashRecovery:
+    def test_reaps_a_dead_workers_lease_and_finishes(self, store, clock):
+        broker = Broker(store, lease_timeout_s=30.0, clock=clock)
+        sweep_id, _ = broker.submit([1, 2], pointfns.double)
+        # A ghost worker takes point 0 and dies without reporting.
+        assert broker.lease("ghost").point_index == 0
+        clock.advance(31.0)  # its lease expires
+        telemetry = Telemetry()
+        stats = make_worker(store, clock, telemetry=telemetry).run()
+        assert stats.points_done == 2
+        assert stats.lease_expiries_reaped == 1
+        assert telemetry.snapshot()["counters"]["distrib.lease_expiries"] == 1
+        point = store.points(sweep_id)[0]
+        assert point["lease_expiries"] == 1
+        assert point["attempts"] == 2  # the ghost's attempt stays burned
+        results, _ = broker.aggregate(sweep_id)
+        assert results == [pointfns.double(1), pointfns.double(2)]
+
+    def test_live_lease_is_not_stolen(self, store, clock):
+        broker = Broker(store, lease_timeout_s=30.0, clock=clock)
+        broker.submit([1], pointfns.double)
+        broker.lease("ghost")
+        worker = make_worker(store, clock)
+        assert worker.broker.reap() == (0, 0)
+        assert worker.broker.lease(worker.worker_id) is None
+
+    def test_lost_lease_completion_is_discarded(self, store, clock):
+        # Worker A leases, stalls past the timeout; the point is reaped
+        # and finished by worker B. A's late completion must lose.
+        broker = Broker(store, lease_timeout_s=30.0, clock=clock)
+        sweep_id, _ = broker.submit([1], pointfns.double)
+        stale = broker.lease("slow")
+        clock.advance(31.0)
+        make_worker(store, clock).run()
+        assert not broker.complete(stale, "slow", {"late": True})
+        results, _ = broker.aggregate(sweep_id)
+        assert results == [pointfns.double(1)]

@@ -1,0 +1,48 @@
+"""Atomic artifact writes: readers never observe a torn file."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ioutil import atomic_write_text
+
+
+def test_writes_the_content(tmp_path):
+    path = tmp_path / "out.json"
+    atomic_write_text(path, '{"a": 1}')
+    assert path.read_text() == '{"a": 1}'
+
+
+def test_replaces_an_existing_file(tmp_path):
+    path = tmp_path / "out.json"
+    path.write_text("old")
+    atomic_write_text(path, "new")
+    assert path.read_text() == "new"
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "content")
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_failed_write_leaves_the_old_file_intact(tmp_path, monkeypatch):
+    path = tmp_path / "out.txt"
+    path.write_text("survivor")
+
+    def explode(fd):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(os, "fsync", explode)
+    with pytest.raises(OSError, match="disk full"):
+        atomic_write_text(path, "torn")
+    assert path.read_text() == "survivor"
+    assert os.listdir(tmp_path) == ["out.txt"]
+
+
+def test_relative_path_without_directory(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    atomic_write_text("bare.txt", "x")
+    assert (tmp_path / "bare.txt").read_text() == "x"
