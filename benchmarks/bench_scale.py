@@ -1,0 +1,92 @@
+"""Benchmark: the serving scale ladder (events/s + peak RSS per tier).
+
+Runs ``python -m repro.serving.scale`` at 10^5, 10^6 and 10^7 offered
+requests — each tier in a **fresh subprocess**, because peak RSS is a
+process-lifetime high-water mark and would otherwise be smeared across
+tiers. The per-tier JSON digests land in ``benchmarks/out/
+scale_ladder.json`` and the rendered table in ``scale_ladder.txt``.
+
+The ladder's point is the RSS column: in streaming metrics mode, memory
+must *not* scale with the request count (constant-memory sketches +
+chunked arrival generation + settled-record dropping), so the 10^6 tier
+is asserted to stay within 1.5x of the 10^5 tier's peak RSS.
+
+Set ``REPRO_SCALE_TIERS`` (comma-separated request counts) to trim the
+ladder — CI smoke runs only the 10^5 tier; the full 10^7 rung takes a
+few minutes and is meant for the reference machine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.sim.engine import add_foreign_events
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_TIERS = (100_000, 1_000_000, 10_000_000)
+
+
+def _tiers() -> tuple[int, ...]:
+    spec = os.environ.get("REPRO_SCALE_TIERS", "").strip()
+    if not spec:
+        return DEFAULT_TIERS
+    return tuple(int(field) for field in spec.replace(",", " ").split())
+
+
+def _run_tier(requests: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")] + env.get("PYTHONPATH", "").split(os.pathsep))
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.serving.scale",
+         "--requests", str(requests), "--json"],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    return json.loads(completed.stdout)
+
+
+def _render(rows: list[dict]) -> str:
+    lines = [
+        "serving scale ladder (streaming metrics, vectorized arrivals)",
+        f"{'requests':>10}  {'events':>10}  {'events/s':>10}  "
+        f"{'peak RSS':>9}  {'wait p99':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['offered']:>10,}  {row['events']:>10,}  "
+            f"{row['events_per_s']:>10,.0f}  "
+            f"{row['peak_rss_bytes'] / 1e6:>7.1f}MB  "
+            f"{row['wait']['p99']:>8.4f}s"
+        )
+    return "\n".join(lines)
+
+
+def test_scale_ladder(record_output, out_dir):
+    rows = [_run_tier(requests) for requests in _tiers()]
+    for row in rows:
+        # The tiers ran in subprocesses; fold their event counts into
+        # this process's total so BENCH_test_scale_ladder.json reports
+        # real ladder throughput instead of zero events.
+        add_foreign_events(row["events"])
+
+    (out_dir / "scale_ladder.json").write_text(
+        json.dumps(rows, indent=2) + "\n")
+    record_output("scale_ladder", _render(rows))
+
+    by_requests = {row["requests"]: row for row in rows}
+    for row in rows:
+        assert row["completed"] > 0.9 * row["requests"]
+    # Flat-RSS contract: 10x the requests must not grow resident memory
+    # beyond measurement noise (subprocesses start from identical state).
+    small = by_requests.get(100_000)
+    for tier in (1_000_000, 10_000_000):
+        big = by_requests.get(tier)
+        if small and big:
+            assert big["peak_rss_bytes"] <= 1.5 * small["peak_rss_bytes"], (
+                f"peak RSS grew {big['peak_rss_bytes'] / small['peak_rss_bytes']:.2f}x "
+                f"from 10^5 to {tier} requests; streaming mode should be flat"
+            )

@@ -68,11 +68,17 @@ def _clear_experiment_caches() -> None:
 
 @pytest.fixture(autouse=True)
 def bench_timing(request, out_dir):
-    """Record wall time and events/sec for every benchmark test.
+    """Record wall time, events/sec and peak RSS for every benchmark.
 
     Event counts cover the engines of this process plus the deltas that
     parallel sweep workers report back through ``experiments.common``.
+    ``peak_rss_bytes`` is the *process-lifetime* high-water mark at the
+    benchmark's end — monotone across a session, so it bounds (rather
+    than isolates) each benchmark's footprint; per-tier isolation is
+    what ``bench_scale``'s fresh subprocesses are for.
     """
+    from repro.serving.scale import peak_rss_bytes
+
     _clear_experiment_caches()
     events_before = sim_engine.total_events_processed()
     start = time.perf_counter()
@@ -85,6 +91,7 @@ def bench_timing(request, out_dir):
         "wall_s": round(wall_s, 6),
         "events": events,
         "events_per_s": round(events / wall_s) if wall_s > 0 else 0,
+        "peak_rss_bytes": peak_rss_bytes(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
     (out_dir / f"BENCH_{name}.json").write_text(

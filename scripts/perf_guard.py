@@ -4,7 +4,10 @@
 Compares the latest ``benchmarks/out/BENCH_*.json`` records (written by
 ``pytest benchmarks``) against the committed ``benchmarks/baseline.json``
 and exits non-zero when any benchmark's wall time regressed by more than
-the tolerance (default 20%).
+the tolerance (default 20%), or its peak RSS by more than the memory
+tolerance (default 30%) — memory is guarded only when both the record
+and the baseline carry ``peak_rss_bytes``, so older baselines keep
+working until refreshed.
 
 Usage::
 
@@ -28,6 +31,11 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 OUT_DIR = REPO / "benchmarks" / "out"
 BASELINE = REPO / "benchmarks" / "baseline.json"
 DEFAULT_TOLERANCE = 0.20
+#: allowed relative peak-RSS growth. RSS is far less machine-variable
+#: than wall time but is a lifetime high-water mark (so it depends on
+#: which benchmarks ran before this one in the session) — 30% absorbs
+#: ordering effects while still catching a leaked record list.
+DEFAULT_RSS_TOLERANCE = 0.30
 
 #: per-benchmark tolerance overrides, where the default is too loose.
 #: bench_serve doubles as the disabled-tracing overhead guard (the
@@ -54,6 +62,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed relative wall-time regression "
                              f"(default {DEFAULT_TOLERANCE:.0%})")
+    parser.add_argument("--rss-tolerance", type=float,
+                        default=DEFAULT_RSS_TOLERANCE,
+                        help="allowed relative peak-RSS growth "
+                             f"(default {DEFAULT_RSS_TOLERANCE:.0%})")
     args = parser.parse_args(argv)
 
     records = load_records()
@@ -63,11 +75,13 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     if args.update:
-        baseline = {
-            name: {"wall_s": record["wall_s"],
-                   "events_per_s": record["events_per_s"]}
-            for name, record in records.items()
-        }
+        baseline = {}
+        for name, record in records.items():
+            entry = {"wall_s": record["wall_s"],
+                     "events_per_s": record["events_per_s"]}
+            if "peak_rss_bytes" in record:
+                entry["peak_rss_bytes"] = record["peak_rss_bytes"]
+            baseline[name] = entry
         BASELINE.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
         print(f"perf_guard: baseline updated with {len(baseline)} benchmarks")
         return 0
@@ -97,6 +111,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  {status:<5} {name}: {record['wall_s']:.2f}s "
               f"vs baseline {reference['wall_s']:.2f}s ({ratio:.2f}x, "
               f"budget {tolerance:.0%})")
+        rss = record.get("peak_rss_bytes")
+        rss_reference = reference.get("peak_rss_bytes")
+        if rss and rss_reference:
+            rss_ratio = rss / rss_reference
+            rss_status = "OK"
+            if rss_ratio > 1.0 + args.rss_tolerance:
+                rss_status = "FAIL"
+                failures.append((f"{name} (rss)", rss_ratio))
+            print(f"  {rss_status:<5} {name} rss: {rss / 1e6:.1f}MB "
+                  f"vs baseline {rss_reference / 1e6:.1f}MB "
+                  f"({rss_ratio:.2f}x, budget {args.rss_tolerance:.0%})")
     for name in sorted(set(baseline) - set(records)):
         print(f"  MISS  {name}: in baseline but not measured")
 

@@ -224,21 +224,19 @@ def _finish_serving(frontend, drain, open_horizon: float,
 
     Returns ``(open_duration_s, metrics, fairness)`` — ``fairness`` is
     the per-tenant accounting when the frontend served tenants, else
-    None.
+    None. The folds go through the frontend, which answers from
+    retained records (default) or from its streaming accumulators
+    (``metrics.mode = streaming``) — identical counter semantics either
+    way.
     """
-    from repro.metrics.fairness import fairness_metrics
-    from repro.metrics.latency import serving_metrics
-
     frontend.close()
     open_duration_s = min(frontend.closed_at, open_horizon)
     drain(settle_s)
     frontend.finalize()
-    metrics = serving_metrics(frontend.records, duration_s=open_duration_s)
+    metrics = frontend.metrics_for(open_duration_s)
     fairness = None
     if frontend.tenants:
-        fairness = fairness_metrics(
-            frontend.records, frontend.tenants, duration_s=open_duration_s,
-        )
+        fairness = frontend.fairness_for(open_duration_s)
     return open_duration_s, metrics, fairness
 
 
@@ -342,6 +340,7 @@ class ServingRunner:
                         else self.spec.policy.discipline),
             queue_capacity=self.spec.policy.queue_capacity,
             tenants=self.spec.tenant_shares(),
+            metrics_mode=self.spec.metrics.mode,
             **_recovery_kwargs(self.spec),
         )
         self.injector = _arm_faults(
@@ -365,6 +364,7 @@ class ServingRunner:
                 self.freeride, self.frontend.records,
                 duration_s=open_duration_s,
                 goodput_rps=metrics.goodput_rps,
+                request_counts=self.frontend.outcome_counts,
             )
         self.trace_result = _finish_trace(
             self.freeride.sim, self.spec, [("train", training.trace)]
@@ -460,6 +460,7 @@ class ClusterRunner:
                 queue_capacity=self.spec.policy.queue_capacity,
                 jobs=self.cluster.num_jobs,
                 tenants=self.spec.tenant_shares(),
+                metrics_mode=self.spec.metrics.mode,
                 **_recovery_kwargs(self.spec),
             )
             self.injector = _arm_faults(
@@ -523,6 +524,7 @@ class ClusterRunner:
                 self.cluster, self.frontend.records,
                 duration_s=open_duration_s,
                 goodput_rps=metrics.goodput_rps,
+                request_counts=self.frontend.outcome_counts,
             )
         self.trace_result = _finish_trace(
             self.cluster.sim, self.spec, self._job_traces(self.result)

@@ -240,6 +240,11 @@ class ArrivalSpec(SpecBase):
     kind: str = "poisson"
     rate_per_s: float = 2.0
     mix: "tuple[MixEntrySpec, ...]" = dataclasses.field(default_factory=default_mix)
+    #: opt into chunked numpy stream generation (same seeds, bit-exact
+    #: template picks, arrival times equal to the scalar reference
+    #: within ulps — see :mod:`repro.serving.arrivals`); the scalar
+    #: default keeps existing scenarios byte-identical
+    vectorized: bool = False
 
     def build(self, seed: int = 0) -> "ArrivalProcess":
         from repro.serving.arrivals import make_arrivals
@@ -247,6 +252,7 @@ class ArrivalSpec(SpecBase):
         return make_arrivals(
             self.kind, self.rate_per_s, seed=seed,
             mix=tuple(entry.to_template() for entry in self.mix),
+            vectorized=self.vectorized,
         )
 
     @classmethod
@@ -375,6 +381,35 @@ class ObsSpec(SpecBase):
         if self.ring_limit < 1:
             raise SpecError(
                 f"ring_limit must be >= 1, got {self.ring_limit}"
+            )
+
+
+#: metrics accounting modes a :class:`MetricsSpec` can name
+METRICS_MODES = ("records", "streaming")
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsSpec(SpecBase):
+    """The scenario's metrics accounting (the ``metrics`` section).
+
+    ``records`` (default) retains every request record and folds them
+    after the run — exact quantiles, byte-identical to every scenario
+    that predates this section. ``streaming`` folds each record into
+    constant-memory accumulators (P² quantile sketches) the moment it
+    turns terminal and then drops it — the scale path for 10^6–10^7
+    request runs, still fully deterministic (serial and pool runs
+    serialize byte-identically) but with approximate tracked quantiles
+    and an empty ``result.records``. Always a section (never None) so
+    ``--set metrics.mode=streaming`` has a path to land on.
+    """
+
+    mode: str = "records"
+
+    def __post_init__(self):
+        if self.mode not in METRICS_MODES:
+            raise SpecError(
+                f"unknown metrics mode {self.mode!r}; "
+                f"choose from {sorted(METRICS_MODES)}"
             )
 
 
@@ -641,6 +676,9 @@ class ScenarioSpec(SpecBase):
     #: observability controls; always a section (never None) so
     #: ``--set obs.trace=true`` has a path to land on
     obs: ObsSpec = dataclasses.field(default_factory=ObsSpec)
+    #: metrics accounting; always a section so ``--set
+    #: metrics.mode=streaming`` has a path to land on
+    metrics: MetricsSpec = dataclasses.field(default_factory=MetricsSpec)
     sweep: "SweepSpec | None" = None
     #: free-form, JSON-safe experiment knobs (durations, method names,
     #: cached derived values such as a precomputed baseline time)
@@ -687,6 +725,12 @@ class ScenarioSpec(SpecBase):
             raise SpecError(
                 f"faults belong to serving/cluster scenarios, not kind "
                 f"{self.kind!r}"
+            )
+        if (self.metrics.mode != "records"
+                and self.kind not in ("serving", "cluster")):
+            raise SpecError(
+                f"streaming metrics belong to serving/cluster scenarios, "
+                f"not kind {self.kind!r}"
             )
 
     # -- config assembly ------------------------------------------------
@@ -785,6 +829,8 @@ class ScenarioSpec(SpecBase):
             data["faults"] = FaultSpec.from_dict(data["faults"])
         if "obs" in data:
             data["obs"] = ObsSpec.from_dict(data["obs"])
+        if "metrics" in data:
+            data["metrics"] = MetricsSpec.from_dict(data["metrics"])
         if data.get("sweep") is not None:
             data["sweep"] = SweepSpec.from_dict(data["sweep"])
         if "params" in data:

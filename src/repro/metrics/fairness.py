@@ -25,7 +25,12 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.metrics.latency import LatencyStats, ServingMetrics, serving_metrics
+from repro.metrics.latency import (
+    LatencyStats,
+    ServingAccumulator,
+    ServingMetrics,
+    serving_metrics,
+)
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serving.frontend import RequestRecord
@@ -168,6 +173,43 @@ def fairness_metrics(
         )
         for name in names
     }
+    return _assemble_fairness(names, weights, per_tenant, duration_s)
+
+
+def fairness_from_accumulators(
+    accumulators: "typing.Mapping[str, ServingAccumulator]",
+    tenants: typing.Sequence = (),
+    duration_s: float = 0.0,
+) -> FairnessMetrics:
+    """Streaming-mode fairness: identical accounting to
+    :func:`fairness_metrics`, but over per-tenant accumulators the
+    frontend fed as requests settled, so no record retention is needed.
+
+    ``accumulators`` must be keyed by tenant name in first-arrival order
+    (the frontend registers tenants at arrival time precisely so that
+    undeclared-tenant ordering matches the records-mode fold).
+    """
+    names = [share.name for share in tenants]
+    weights = {share.name: share.weight for share in tenants}
+    for tenant in accumulators:
+        if tenant not in weights:
+            names.append(tenant)
+            weights[tenant] = 1.0
+    per_tenant = {
+        name: (accumulators[name] if name in accumulators
+               else ServingAccumulator(streaming=True)).metrics(duration_s)
+        for name in names
+    }
+    return _assemble_fairness(names, weights, per_tenant, duration_s)
+
+
+def _assemble_fairness(
+    names: "list[str]",
+    weights: "dict[str, float]",
+    per_tenant: "dict[str, ServingMetrics]",
+    duration_s: float,
+) -> FairnessMetrics:
+    """Shared tail: per-tenant metrics -> usages + fairness indices."""
     goodputs = [per_tenant[name].goodput_rps for name in names]
     total_goodput = sum(goodputs)
     total_weight = sum(weights[name] for name in names)

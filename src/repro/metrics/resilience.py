@@ -26,6 +26,20 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serving.frontend import RequestRecord
 
 
+@dataclasses.dataclass(frozen=True)
+class RequestOutcomeCounts:
+    """Pre-folded request-layer tallies for streaming metrics mode.
+
+    When the frontend drops records as they settle, it keeps these three
+    counters (via :class:`~repro.metrics.latency.ServingAccumulator`) so
+    :func:`resilience_metrics` never needs the records themselves.
+    """
+
+    retries: int = 0
+    failed: int = 0
+    exhausted: int = 0
+
+
 @dataclasses.dataclass
 class ResilienceMetrics:
     """Failure/recovery accounting for one run."""
@@ -65,8 +79,14 @@ def resilience_metrics(
     records: "typing.Iterable[RequestRecord] | None" = None,
     duration_s: float = 0.0,
     goodput_rps: float = 0.0,
+    request_counts: "RequestOutcomeCounts | None" = None,
 ) -> ResilienceMetrics:
-    """Fold a finished run's ledgers into :class:`ResilienceMetrics`."""
+    """Fold a finished run's ledgers into :class:`ResilienceMetrics`.
+
+    ``request_counts`` supplies the request-layer tallies pre-folded
+    (streaming metrics mode, where no records survive the run); it takes
+    precedence over ``records`` when both are given.
+    """
     crashes = restarts = 0
     downtime_s = 0.0
     recovery: list[float] = []
@@ -107,7 +127,11 @@ def resilience_metrics(
         step_failures += runtime.step_failures
 
     retries = failed_requests = exhausted_requests = 0
-    if records is not None:
+    if request_counts is not None:
+        retries = request_counts.retries
+        failed_requests = request_counts.failed
+        exhausted_requests = request_counts.exhausted
+    elif records is not None:
         for record in records:
             retries += max(0, record.attempts - 1)
             if record.outcome == "failed":

@@ -26,8 +26,17 @@ from repro.core.task_spec import TaskProfile, TaskSpec
 from repro.core.profiler import profile_side_task
 from repro.pipeline.config import TrainConfig
 from repro.pipeline.engine import TrainingResult
-from repro.metrics.fairness import FairnessMetrics
-from repro.metrics.latency import ServingMetrics
+from repro.metrics.fairness import (
+    FairnessMetrics,
+    fairness_from_accumulators,
+    fairness_metrics,
+)
+from repro.metrics.latency import (
+    ServingAccumulator,
+    ServingMetrics,
+    serving_metrics,
+)
+from repro.metrics.resilience import RequestOutcomeCounts
 from repro.metrics.resilience import ResilienceMetrics
 from repro.serving import slo as slo_mod
 from repro.serving.arrivals import ArrivalProcess, TaskRequest
@@ -335,9 +344,20 @@ class ServingFrontend:
         tenants: typing.Sequence = (),
         retry: "RetryPolicy | None" = None,
         checkpoint: "CheckpointPolicy | None" = None,
+        metrics_mode: str = "records",
     ):
         if queue_capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {queue_capacity}")
+        if metrics_mode not in ("records", "streaming"):
+            raise ValueError(
+                f"metrics_mode must be 'records' or 'streaming', "
+                f"got {metrics_mode!r}")
+        #: "records" retains every RequestRecord for post-run folds (the
+        #: byte-identical default); "streaming" folds each record into
+        #: constant-memory accumulators the moment it turns terminal and
+        #: then drops it, so memory tracks *live* requests, not history
+        self.metrics_mode = metrics_mode
+        self.streaming = metrics_mode == "streaming"
         self.freeride = freeride
         self.sim = freeride.sim
         self.tenants = tuple(tenants)
@@ -376,25 +396,54 @@ class ServingFrontend:
         # A dedicated named stream, so enabling retries never perturbs
         # any other component's draws.
         self._retry_rng = freeride.rng.stream("serving:retry")
-        self.records = [
-            RequestRecord(
-                request=request,
-                deadline_s=slo_mod.slo_class(request.slo_class)
-                .absolute_deadline(request.arrival_s),
-            )
-            for request in requests
-        ]
+        # Streaming mode keeps only the in-flight records (keyed by
+        # request id, so the close-time leftovers fold in the same order
+        # the records-mode list would) plus the accumulators; the
+        # records list the callers see stays empty by design.
+        if self.streaming:
+            self.records: list[RequestRecord] = []
+            self._live: "dict[int, RequestRecord] | None" = {}
+            self._acc: "ServingAccumulator | None" = (
+                ServingAccumulator(streaming=True))
+            self._tenant_accs: "dict[str, ServingAccumulator] | None" = {}
+        else:
+            self.records = []
+            self._live = None
+            self._acc = None
+            self._tenant_accs = None
         #: one profiling pass per distinct request shape, not per request
         self._profiles: dict[tuple, TaskProfile] = {}
         freeride.manager.terminal_listeners.append(self._on_terminal)
         # Restarted workers mean re-queued retries may fit again.
         freeride.manager.capacity_listeners.append(self._on_capacity)
-        for record in self.records:
-            delay = record.request.arrival_s - self.sim.now
+        self.feed(requests)
+
+    def feed(self, requests: typing.Iterable[TaskRequest]) -> None:
+        """Register requests and schedule their arrival events.
+
+        The constructor feeds the whole pre-generated stream; the scale
+        harness calls this again per chunk (from
+        :meth:`~repro.serving.arrivals.ArrivalProcess.iter_time_chunks`)
+        so only one chunk of not-yet-arrived requests is ever pending —
+        the piece that keeps frontend memory flat at 10^6+ requests.
+        Arrivals must not be in the past; feeding chunk ``k+1`` when
+        chunk ``k``'s last arrival fires satisfies this by construction.
+        """
+        for request in requests:
+            record = RequestRecord(
+                request=request,
+                deadline_s=slo_mod.slo_class(request.slo_class)
+                .absolute_deadline(request.arrival_s),
+            )
+            if self.streaming:
+                self._live[request.request_id] = record
+            else:
+                self.records.append(record)
+            delay = request.arrival_s - self.sim.now
             if delay < 0:
                 raise ValueError(
-                    f"request {record.request.request_id} arrives in the past "
-                    f"({record.request.arrival_s} < {self.sim.now})"
+                    f"request {request.request_id} arrives in the past "
+                    f"({request.arrival_s} < {self.sim.now})"
                 )
             timeout = self.sim.timeout(delay)
             timeout.callbacks.append(
@@ -451,13 +500,33 @@ class ServingFrontend:
                   "failure": failure},
         )
 
+    # -- streaming accounting -------------------------------------------
+    def _fold(self, record: RequestRecord) -> None:
+        """Streaming mode: account a terminal record, then drop it."""
+        if self._live.pop(record.request.request_id, None) is None:
+            return  # already folded
+        self._acc.add(record)
+        self._tenant_accs[record.request.tenant].add(record)
+        if record.spec is not None:
+            self._by_spec.pop(id(record.spec), None)
+            record.spec = None
+
     # -- lifecycle events ----------------------------------------------
     def _on_arrival(self, record: RequestRecord) -> None:
         now = self.sim.now
+        if self.streaming:
+            # Register the tenant at *arrival* so undeclared tenants
+            # keep the records-mode first-seen ordering in the fairness
+            # fold (arrival order is record order).
+            tenant = record.request.tenant
+            if tenant not in self._tenant_accs:
+                self._tenant_accs[tenant] = ServingAccumulator(streaming=True)
         if self.closed_at is not None:
             record.offered = False
             record.rejected_at = now
             record.reject_reason = "service closed"
+            if self.streaming:
+                self._fold(record)
             return
         # Structural bound first: a full queue rejects without consulting
         # the admission policy, so stateful policies (the token bucket)
@@ -469,6 +538,8 @@ class ServingFrontend:
                 f"{self.queue_capacity}; admission={self.admission.name})"
             )
             self._trace_reject(record)
+            if self.streaming:
+                self._fold(record)
             return
         admitted, reason = self.admission.admit(now, record.request,
                                                 len(self.queue))
@@ -476,6 +547,8 @@ class ServingFrontend:
             record.rejected_at = now
             record.reject_reason = reason
             self._trace_reject(record)
+            if self.streaming:
+                self._fold(record)
             return
         record.admitted_at = now
         self.queue.append(record)
@@ -525,6 +598,8 @@ class ServingFrontend:
                     args={"id": record.request.request_id,
                           "attempts": record.attempts},
                 )
+            if self.streaming:
+                self._fold(record)
             return
         if self.closed_at is not None:
             # Teardown stops are not failures; finalize() sorts them out.
@@ -557,6 +632,8 @@ class ServingFrontend:
             )
         else:
             record.outcome = "failed"
+        if self.streaming:
+            self._fold(record)
 
     def _requeue(self, record: RequestRecord) -> None:
         """Put a failed (admitted) request back in line for its retry.
@@ -696,41 +773,85 @@ class ServingFrontend:
                           "failure": "open at teardown"},
                 )
             self._open_service.clear()
+        if self.streaming:
+            # Only in-flight records remain; settle-time folds already
+            # accounted for everything terminal. The dict preserves
+            # request-id order, so leftovers fold in the same order the
+            # records-mode list would visit them.
+            leftovers = list(self._live.values())
+            for record in leftovers:
+                self._finalize_record(record)
+            for record in leftovers:
+                self._fold(record)
+            return
         for record in self.records:
-            if record.spec is None:
-                if record.failure is not None and record.outcome is None:
-                    # Admitted, failed at least once, and its retry never
-                    # found a worker before close: an explicit terminal
-                    # failure, not a silently unserved request.
-                    record.outcome = "failed"
-                continue
-            runtime = self.freeride.runtime_for(record.spec)
-            workload = record.spec.workload
-            record.final_state = runtime.state.value
-            record.steps_done = workload.steps_done
-            record.units_done = workload.units_done
-            for worker in self.freeride.workers:
-                if runtime in worker.all_tasks:
-                    record.stage = worker.stage
-                    break
-            history = runtime.machine.history
-            record.first_progress_at = next(
-                (when for when, state in history
-                 if state is SideTaskState.RUNNING), None,
-            )
-            if workload.is_finished and runtime.failure is None:
-                record.completed_at = next(
-                    (when for when, state in reversed(history)
-                     if state is SideTaskState.STOPPED), None,
-                )
-                if record.outcome is None:
-                    record.outcome = "completed"
-            elif record.outcome is None and runtime.failure is not None:
-                # The attempt died (worker crash, kill, OOM) and was
-                # never settled as a retry: an explicit failure, not a
-                # silently unserved request.
+            self._finalize_record(record)
+
+    def _finalize_record(self, record: RequestRecord) -> None:
+        if record.spec is None:
+            if record.failure is not None and record.outcome is None:
+                # Admitted, failed at least once, and its retry never
+                # found a worker before close: an explicit terminal
+                # failure, not a silently unserved request.
                 record.outcome = "failed"
-                record.failure = runtime.failure
+            return
+        runtime = self.freeride.runtime_for(record.spec)
+        workload = record.spec.workload
+        record.final_state = runtime.state.value
+        record.steps_done = workload.steps_done
+        record.units_done = workload.units_done
+        for worker in self.freeride.workers:
+            if runtime in worker.all_tasks:
+                record.stage = worker.stage
+                break
+        history = runtime.machine.history
+        record.first_progress_at = next(
+            (when for when, state in history
+             if state is SideTaskState.RUNNING), None,
+        )
+        if workload.is_finished and runtime.failure is None:
+            record.completed_at = next(
+                (when for when, state in reversed(history)
+                 if state is SideTaskState.STOPPED), None,
+            )
+            if record.outcome is None:
+                record.outcome = "completed"
+        elif record.outcome is None and runtime.failure is not None:
+            # The attempt died (worker crash, kill, OOM) and was
+            # never settled as a retry: an explicit failure, not a
+            # silently unserved request.
+            record.outcome = "failed"
+            record.failure = runtime.failure
+
+    # -- metrics access -------------------------------------------------
+    def metrics_for(self, duration_s: float) -> ServingMetrics:
+        """The run's aggregate metrics, from whichever mode is active.
+
+        Call after :meth:`finalize`; in streaming mode this reads the
+        accumulators (no records survive), in records mode it folds the
+        retained records exactly as before.
+        """
+        if self.streaming:
+            return self._acc.metrics(duration_s)
+        return serving_metrics(self.records, duration_s)
+
+    def fairness_for(self, duration_s: float) -> FairnessMetrics:
+        """Per-tenant fairness accounting, from whichever mode is active."""
+        if self.streaming:
+            return fairness_from_accumulators(
+                self._tenant_accs, self.tenants, duration_s)
+        return fairness_metrics(self.records, self.tenants, duration_s)
+
+    @property
+    def outcome_counts(self) -> "RequestOutcomeCounts | None":
+        """Pre-folded retry/failure tallies (streaming mode only)."""
+        if not self.streaming:
+            return None
+        return RequestOutcomeCounts(
+            retries=self._acc.retries,
+            failed=self._acc.failed_requests,
+            exhausted=self._acc.exhausted_requests,
+        )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,99 @@
+"""A bucketed ("calendar") event queue for the discrete-event engine.
+
+The global binary heap in :class:`~repro.sim.engine.Engine` pays
+``O(log n)`` per push/pop over the *whole* pending set. Serving runs at
+10^6–10^7 requests keep hundreds of thousands of timeouts pending at
+once, and most of them land within a short horizon of ``now`` — the
+classic calendar-queue regime (Brown 1988). :class:`CalendarQueue`
+splits the pending set into fixed-width time buckets so each push/pop
+only pays ``log`` of one bucket's population plus ``log`` of the number
+of *occupied* buckets.
+
+Ordering is bit-identical to the global heap: items are the engine's
+``(time, seq, event)`` tuples, the bucket index ``int(t / width)`` is
+monotone non-decreasing in ``t`` (IEEE division by a positive constant
+is order-preserving, and all event times are >= 0), so the minimum
+occupied bucket always holds the globally minimum tuple, and within a
+bucket the per-bucket heap applies the exact ``(time, seq)`` tie-break
+the global heap would. The golden event-order tests in
+``tests/sim/test_calqueue.py`` pin this equivalence.
+
+Buckets are created lazily and dropped as they drain; a min-heap of
+bucket indices (with lazy deletion of stale entries) finds the front
+bucket without scanning.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+#: Default bucket width in virtual seconds. Serving timeouts cluster at
+#: the millisecond-to-centisecond scale, so 50 ms keeps buckets small
+#: without creating one bucket per event.
+DEFAULT_BUCKET_WIDTH = 0.05
+
+
+class CalendarQueue:
+    """Min-queue over ``(time, seq, event)`` tuples, bucketed by time.
+
+    Drop-in replacement for the engine's event heap: ``push`` accepts
+    the same tuples ``heappush`` would, ``pop`` returns them in the same
+    total order ``heappop`` would.
+    """
+
+    __slots__ = ("width", "_buckets", "_indices", "_len")
+
+    def __init__(self, bucket_width: float = DEFAULT_BUCKET_WIDTH):
+        if bucket_width <= 0:
+            raise ValueError(f"bucket width must be positive, got {bucket_width}")
+        self.width = bucket_width
+        #: bucket index -> per-bucket heap of (time, seq, event)
+        self._buckets: dict[int, list] = {}
+        #: min-heap of bucket indices; may hold stale entries for
+        #: buckets that drained (skipped lazily in :meth:`_front`)
+        self._indices: list[int] = []
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def push(self, item: tuple) -> None:
+        """Insert one ``(time, seq, event)`` tuple."""
+        index = int(item[0] / self.width)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            self._buckets[index] = bucket = []
+            heappush(self._indices, index)
+        heappush(bucket, item)
+        self._len += 1
+
+    def _front(self) -> list:
+        """The heap of the minimum occupied bucket (stale indices skipped)."""
+        buckets = self._buckets
+        indices = self._indices
+        while indices:
+            bucket = buckets.get(indices[0])
+            if bucket is not None:
+                return bucket
+            heappop(indices)
+        raise IndexError("pop from an empty CalendarQueue")
+
+    def pop(self) -> tuple:
+        """Remove and return the minimum ``(time, seq, event)`` tuple."""
+        bucket = self._front()
+        item = heappop(bucket)
+        if not bucket:
+            # Drop the drained bucket; its index entry goes stale and is
+            # skipped (or reused, if the bucket refills) by _front.
+            del self._buckets[self._indices[0]]
+        self._len -= 1
+        return item
+
+    def peek_time(self) -> float:
+        """Time of the minimum item, or ``inf`` when empty."""
+        if self._len == 0:
+            return float("inf")
+        return self._front()[0][0]

@@ -1,4 +1,4 @@
-"""The discrete-event engine: a virtual clock plus an event heap.
+"""The discrete-event engine: a virtual clock plus an event queue.
 
 The engine processes events in ``(time, sequence)`` order, so simultaneous
 events run in the order they were scheduled — which makes every simulation
@@ -6,17 +6,32 @@ in this library fully deterministic for a given seed.
 
 ``run`` localizes the heap and ``heappop`` instead of dispatching through
 ``step``/``peek`` per event: the drain loop executes once per event and
-its overhead used to dominate end-to-end experiment time.
+its overhead used to dominate end-to-end experiment time. Two further
+drain-loop refinements feed the scale ladder (see PERFORMANCE.md):
+same-instant events are popped in an inner batch so the clock is written
+once per distinct instant, and the ``until``-horizon loop pops first and
+compares the popped time against the horizon (pushing the one
+overshooting event back) instead of peeking ``heap[0][0]`` twice per
+event.
+
+The pending set lives in a plain binary heap by default. Constructing
+``Engine(queue="calendar")`` — or setting ``REPRO_SIM_QUEUE=calendar`` —
+swaps in the bucketed :class:`~repro.sim.calqueue.CalendarQueue`, which
+processes events in exactly the same order (pinned by golden tests) but
+pays ``log`` of one bucket instead of ``log`` of the whole pending set
+per operation.
 """
 
 from __future__ import annotations
 
+import os
 import typing
 from heapq import heappop, heappush
 
 from repro.errors import SimulationError
 from repro.obs.telemetry import PROCESS, Telemetry
 from repro.obs.tracer import NULL_TRACER
+from repro.sim.calqueue import DEFAULT_BUCKET_WIDTH, CalendarQueue
 from repro.sim.events import PROCESSED, SimEvent, Timeout
 from repro.sim.process import Process
 
@@ -44,12 +59,42 @@ def add_foreign_events(count: int) -> None:
     _PROCESS_EVENTS.add(count)
 
 
-class Engine:
-    """Drives a discrete-event simulation in virtual seconds."""
+#: Recognized values for ``Engine(queue=...)`` / ``REPRO_SIM_QUEUE``.
+QUEUE_KINDS = ("heap", "calendar")
 
-    def __init__(self):
+
+class Engine:
+    """Drives a discrete-event simulation in virtual seconds.
+
+    ``queue`` picks the pending-event structure: ``"heap"`` (the
+    default) keeps the classic global binary heap; ``"calendar"`` uses
+    the bucketed :class:`~repro.sim.calqueue.CalendarQueue` with
+    ``bucket_width``-second buckets. ``None`` defers to the
+    ``REPRO_SIM_QUEUE`` environment variable (falling back to the
+    heap), so a whole run can be switched without touching every
+    ``Engine()`` construction site. Event order is identical either
+    way.
+    """
+
+    def __init__(self, queue: str | None = None,
+                 bucket_width: float = DEFAULT_BUCKET_WIDTH):
+        if queue is None:
+            queue = os.environ.get("REPRO_SIM_QUEUE", "heap")
+        if queue not in QUEUE_KINDS:
+            raise SimulationError(
+                f"unknown event queue {queue!r}; expected one of {QUEUE_KINDS}"
+            )
+        self.queue_kind = queue
         self._now: float = 0.0
         self._heap: list[tuple[float, int, SimEvent]] = []
+        if queue == "calendar":
+            self._queue: CalendarQueue | None = CalendarQueue(bucket_width)
+            #: fast-path insert hook; ``None`` means "heappush onto
+            #: ``_heap``" (open-coded by Timeout.__init__ and _schedule)
+            self._push: typing.Callable[[tuple], None] | None = self._queue.push
+        else:
+            self._queue = None
+            self._push = None
         self._sequence = 0
         self._processes_started = 0
         #: events this engine has popped and processed
@@ -86,18 +131,29 @@ class Engine:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
         seq = self._sequence
         self._sequence = seq + 1
-        heappush(self._heap, (self._now + delay, seq, event))
+        item = (self._now + delay, seq, event)
+        if self._push is None:
+            heappush(self._heap, item)
+        else:
+            self._push(item)
 
     # -- execution ---------------------------------------------------------------
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` when the heap is empty."""
+        """Time of the next event, or ``inf`` when the queue is empty."""
+        if self._queue is not None:
+            return self._queue.peek_time()
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event heap")
-        when, _seq, event = heappop(self._heap)
+        if self._queue is not None:
+            if not self._queue:
+                raise SimulationError("step() on an empty event heap")
+            when, _seq, event = self._queue.pop()
+        else:
+            if not self._heap:
+                raise SimulationError("step() on an empty event heap")
+            when, _seq, event = heappop(self._heap)
         if when < self._now:
             raise SimulationError("event heap corrupted: time moved backwards")
         self._now = when
@@ -115,17 +171,27 @@ class Engine:
 
         Scheduling guarantees monotone event times (negative delays are
         rejected at ``_schedule``), so unlike :meth:`step` the drain loops
-        skip the per-event clock check.
+        skip the per-event clock check. Same-instant events are drained
+        in an inner batch (one clock write per distinct instant), and
+        the horizon loop pops first and pushes back the one event that
+        overshoots rather than peeking the front twice per event.
         """
+        if self._queue is not None:
+            return self._run_calendar(until)
         heap = self._heap
         processed = 0
         try:
             if until is None:
                 while heap:
                     item = heappop(heap)
-                    self._now = item[0]
+                    when = item[0]
+                    self._now = when
                     processed += 1
                     item[2]._process()
+                    while heap and heap[0][0] == when:
+                        item = heappop(heap)
+                        processed += 1
+                        item[2]._process()
                 return None
 
             if isinstance(until, SimEvent):
@@ -147,9 +213,65 @@ class Engine:
                 raise SimulationError(
                     f"cannot run until {horizon}; clock is already at {self._now}"
                 )
-            while heap and heap[0][0] <= horizon:
+            while heap:
                 item = heappop(heap)
-                self._now = item[0]
+                when = item[0]
+                if when > horizon:
+                    heappush(heap, item)
+                    break
+                self._now = when
+                processed += 1
+                item[2]._process()
+                while heap and heap[0][0] == when:
+                    item = heappop(heap)
+                    processed += 1
+                    item[2]._process()
+            self._now = horizon
+            return None
+        finally:
+            self._account(processed)
+
+    def _run_calendar(self, until: float | SimEvent | None) -> object:
+        """The :meth:`run` drain loops over a :class:`CalendarQueue`."""
+        queue = self._queue
+        assert queue is not None
+        pop = queue.pop
+        processed = 0
+        try:
+            if until is None:
+                while queue:
+                    item = pop()
+                    self._now = item[0]
+                    processed += 1
+                    item[2]._process()
+                return None
+
+            if isinstance(until, SimEvent):
+                stop_event = until
+                while stop_event._state != PROCESSED:
+                    if not queue:
+                        raise SimulationError(
+                            "simulation ran out of events before "
+                            f"{stop_event!r} was processed"
+                        )
+                    item = pop()
+                    self._now = item[0]
+                    processed += 1
+                    item[2]._process()
+                return stop_event.value
+
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"cannot run until {horizon}; clock is already at {self._now}"
+                )
+            while queue:
+                item = pop()
+                when = item[0]
+                if when > horizon:
+                    queue.push(item)
+                    break
+                self._now = when
                 processed += 1
                 item[2]._process()
             self._now = horizon

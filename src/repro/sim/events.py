@@ -143,7 +143,11 @@ class Timeout(SimEvent):
         self.delay = delay
         seq = engine._sequence
         engine._sequence = seq + 1
-        heappush(engine._heap, (engine._now + delay, seq, self))
+        push = engine._push
+        if push is None:
+            heappush(engine._heap, (engine._now + delay, seq, self))
+        else:
+            push((engine._now + delay, seq, self))
 
     @property
     def name(self) -> str:  # shadows the SimEvent slot; computed lazily

@@ -105,3 +105,64 @@ class TestServingMetrics:
         assert metrics.offered == 0
         assert metrics.rejection_rate == 0.0
         assert metrics.goodput_rps == 0.0
+
+
+class TestTerminalOutcomeAccounting:
+    """Every terminal outcome lands in exactly one aggregate bucket.
+
+    ``serving_metrics`` reads ``record.outcome`` directly (records
+    always have the attribute), so each record must contribute to
+    precisely one of rejected/completed/failed/unserved — and the
+    resilience tallies must count failed/exhausted once each, over all
+    records including never-offered ones.
+    """
+
+    def _with_outcome(self, record, outcome, attempts=1):
+        record.outcome = outcome
+        record.attempts = attempts
+        return record
+
+    def test_each_outcome_counted_exactly_once(self):
+        records = [
+            self._with_outcome(
+                _record(0, 0.0, admitted_at=0.0, assigned_at=0.5,
+                        completed_at=1.0), "completed"),
+            self._with_outcome(
+                _record(1, 0.0, admitted_at=0.0, assigned_at=0.5),
+                "failed", attempts=1),
+            self._with_outcome(
+                _record(2, 0.0, admitted_at=0.0, assigned_at=0.5),
+                "exhausted", attempts=3),
+            self._with_outcome(_record(3, 0.0, rejected_at=0.0), "rejected"),
+            # admitted, never terminal: the leftover/unserved bucket
+            _record(4, 0.0, admitted_at=0.0),
+            # never offered, but carries a failure outcome: excluded
+            # from serving counts, included in resilience tallies
+            self._with_outcome(
+                _record(5, 50.0, offered=False), "failed", attempts=2),
+        ]
+        metrics = serving_metrics(records, duration_s=10.0)
+        assert metrics.offered == 5
+        assert metrics.rejected == 1
+        assert metrics.completed == 1
+        assert metrics.failed == 2          # failed + exhausted
+        assert metrics.unserved == 1
+        # each offered record in exactly one terminal bucket
+        assert (metrics.rejected + metrics.completed + metrics.failed
+                + metrics.unserved) == metrics.offered
+
+    def test_accumulator_resilience_tallies_span_unoffered(self):
+        from repro.metrics.latency import ServingAccumulator
+
+        accumulator = ServingAccumulator()
+        accumulator.add(self._with_outcome(
+            _record(0, 50.0, offered=False), "failed", attempts=2))
+        accumulator.add(self._with_outcome(
+            _record(1, 0.0, admitted_at=0.0, assigned_at=0.5),
+            "exhausted", attempts=3))
+        assert accumulator.retries == 3          # (2-1) + (3-1)
+        assert accumulator.failed_requests == 1
+        assert accumulator.exhausted_requests == 1
+        # the unoffered failure never leaks into serving counts
+        assert accumulator.offered == 1
+        assert accumulator.failed == 1

@@ -1,0 +1,214 @@
+"""Streaming metrics mode: constant-memory accounting, pinned against
+the records-mode reference.
+
+The contract under test:
+
+* every lifecycle/outcome *count* matches records mode exactly (the
+  accumulators fold the same records the list-based fold would, just
+  one at a time);
+* latency means/extremes are exact; the tracked quantiles (p50/p95/p99)
+  come from P² sketches and must sit within a 5% relative error bound
+  of the exact fold on the 10^4-sample reference run;
+* streaming runs are exactly as deterministic as records runs —
+  serial vs process-pool sweeps are byte-identical;
+* ``ServingResult.records`` is empty by design in streaming mode.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import (
+    ArrivalSpec,
+    FaultSpec,
+    MetricsSpec,
+    PolicySpec,
+    ScenarioSpec,
+    SpecError,
+)
+from repro.experiments import common
+from repro.metrics.latency import LatencyStats, StreamingLatencyStats
+
+RATE = 120.0
+
+
+def _spec(mode: str, **extra) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="streaming-test",
+        kind="serving",
+        seed=5,
+        arrivals=ArrivalSpec(kind="poisson", rate_per_s=RATE),
+        metrics=MetricsSpec(mode=mode),
+        **extra,
+    )
+
+
+def _run(spec: ScenarioSpec):
+    with Session(spec) as session:
+        return session.run().results()
+
+
+COUNT_FIELDS = ("offered", "admitted", "rejected", "assigned", "completed",
+                "slo_met", "failed", "unserved", "duration_s",
+                "goodput_rps", "throughput_rps", "rejection_rate")
+
+
+def _counts(metrics) -> dict:
+    return {field: getattr(metrics, field) for field in COUNT_FIELDS}
+
+
+class TestStreamingParity:
+    def test_counts_and_exact_stats_match_records_mode(self):
+        records_result = _run(_spec("records"))
+        streaming_result = _run(_spec("streaming"))
+        assert _counts(records_result.metrics) == \
+            _counts(streaming_result.metrics)
+        for name in ("queueing", "completion"):
+            exact = getattr(records_result.metrics, name)
+            sketch = getattr(streaming_result.metrics, name)
+            assert sketch.count == exact.count
+            assert sketch.mean == pytest.approx(exact.mean, rel=1e-12)
+            assert sketch.max == exact.max
+
+    def test_streaming_drops_records(self):
+        result = _run(_spec("streaming"))
+        assert result.records == []
+        assert _run(_spec("records")).records
+
+    def test_fairness_parity_with_tenants(self):
+        mix = [{"workload": "pagerank", "job_steps": 60,
+                "slo_class": "batch"}]
+
+        def tenant_spec(mode: str) -> ScenarioSpec:
+            return ScenarioSpec.from_dict({
+                "name": "t", "kind": "serving", "seed": 2,
+                "metrics": {"mode": mode},
+                "tenants": [
+                    {"name": "gold", "weight": 3.0, "rate_per_s": 4.0,
+                     "arrival_rate_per_s": 5.0, "mix": mix},
+                    {"name": "silver", "weight": 1.0, "rate_per_s": 4.0,
+                     "arrival_rate_per_s": 5.0, "mix": mix},
+                ],
+                "policy": {"admission": "per_tenant_token_bucket",
+                           "discipline": "weighted"},
+            })
+
+        records_result = _run(tenant_spec("records"))
+        streaming_result = _run(tenant_spec("streaming"))
+        ref = records_result.fairness
+        got = streaming_result.fairness
+        assert [u.name for u in got.tenants] == [u.name for u in ref.tenants]
+        for ref_usage, got_usage in zip(ref.tenants, got.tenants):
+            assert _counts(got_usage.metrics) == _counts(ref_usage.metrics)
+            assert got_usage.share == pytest.approx(ref_usage.share)
+            assert got_usage.target_share == ref_usage.target_share
+        assert got.jain_goodput == pytest.approx(ref.jain_goodput)
+        assert got.max_share_error == pytest.approx(ref.max_share_error)
+
+    def test_resilience_parity_under_faults_and_retries(self):
+        faults = FaultSpec(crash_rate=1.0, step_failure_rate=0.05,
+                           retry_max_attempts=3)
+        records_result = _run(_spec("records", faults=faults))
+        streaming_result = _run(_spec("streaming", faults=faults))
+        ref = records_result.resilience.summary()
+        got = streaming_result.resilience.summary()
+        assert got == ref
+        assert ref["retries"] > 0 or ref["failed_requests"] > 0
+
+
+class TestSketchAccuracy:
+    def test_quantiles_within_bound_on_reference_run(self):
+        """10^4 lognormal samples: tracked quantiles within 5% relative
+        error of the exact interpolated fold (the documented bound)."""
+        rng = random.Random(0)
+        exact = LatencyStats()
+        sketch = StreamingLatencyStats()
+        for _ in range(10_000):
+            sample = rng.lognormvariate(0.0, 1.0)
+            exact.observe(sample)
+            sketch.observe(sample)
+        for q in (0.50, 0.95, 0.99):
+            assert sketch.quantile(q) == \
+                pytest.approx(exact.quantile(q), rel=0.05)
+        assert sketch.count == exact.count
+        assert sketch.mean == pytest.approx(exact.mean, rel=1e-12)
+        assert sketch.quantile(0.0) == exact.quantile(0.0)
+        assert sketch.quantile(1.0) == exact.quantile(1.0)
+
+    def test_untracked_quantile_raises(self):
+        sketch = StreamingLatencyStats()
+        sketch.observe(1.0)
+        with pytest.raises(ValueError, match="only track"):
+            sketch.quantile(0.75)
+
+    def test_exact_below_five_samples(self):
+        exact = LatencyStats()
+        sketch = StreamingLatencyStats()
+        for sample in (3.0, 1.0, 4.0, 1.5):
+            exact.observe(sample)
+            sketch.observe(sample)
+        for q in (0.50, 0.95, 0.99):
+            assert sketch.quantile(q) == exact.quantile(q)
+
+
+def _sweep_point(mode: str) -> dict:
+    result = _run(_spec(mode))
+    return {
+        "mode": mode,
+        "metrics": _counts(result.metrics),
+        "queueing": result.metrics.queueing.summary(),
+        "completion": result.metrics.completion.summary(),
+        "records": len(result.records),
+    }
+
+
+class TestStreamingDeterminism:
+    def test_serial_vs_pool_byte_identical(self):
+        items = ("streaming", "streaming")
+        serial = json.dumps(
+            common.sweep(items, _sweep_point, max_workers=1),
+            sort_keys=True)
+        parallel = json.dumps(
+            common.sweep(items, _sweep_point, max_workers=2),
+            sort_keys=True)
+        assert serial == parallel
+
+    def test_rerun_is_byte_identical(self):
+        first = json.dumps(_sweep_point("streaming"), sort_keys=True)
+        second = json.dumps(_sweep_point("streaming"), sort_keys=True)
+        assert first == second
+
+
+class TestMetricsSpec:
+    def test_defaults_to_records(self):
+        assert ScenarioSpec(name="s", kind="serving").metrics.mode == \
+            "records"
+
+    def test_round_trips_through_dict(self):
+        spec = _spec("streaming")
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone.metrics.mode == "streaming"
+        assert clone == spec
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SpecError, match="metrics.mode"):
+            MetricsSpec(mode="sampled")
+
+    def test_streaming_requires_serving_kind(self):
+        with pytest.raises(SpecError, match="serving"):
+            ScenarioSpec(name="s", kind="pipeline",
+                         metrics=MetricsSpec(mode="streaming"))
+
+    def test_vectorized_arrivals_round_trip(self):
+        spec = ScenarioSpec(
+            name="s", kind="serving",
+            arrivals=ArrivalSpec(kind="poisson", rate_per_s=10.0,
+                                 vectorized=True),
+        )
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone.arrivals.vectorized is True
+        assert clone.arrivals.build().vectorized is True

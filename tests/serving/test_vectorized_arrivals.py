@@ -1,0 +1,141 @@
+"""Vectorized-vs-scalar arrival equivalence, and stream edge cases.
+
+The vectorized generators draw bit-identical uniforms (shared Mersenne
+Twister state via ``RandomStreams.numpy_stream``), so template picks
+are pinned bit-exact; arrival *times* may differ from the scalar path
+in the last ulp (numpy's ``log``/``sin`` vs libm), so times are pinned
+count-exact plus 1e-12-relative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.arrivals import (
+    CHUNK_SIZE,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrivals,
+)
+
+KINDS = ("poisson", "bursty", "diurnal")
+SEEDS = (0, 1, 2)
+
+
+def _pair(kind: str, seed: int, rate: float = 40.0):
+    scalar = make_arrivals(kind, rate, seed=seed)
+    vector = make_arrivals(kind, rate, seed=seed, vectorized=True)
+    return scalar, vector
+
+
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_times_match_scalar_reference(self, kind, seed):
+        scalar, vector = _pair(kind, seed)
+        reference = scalar.arrival_times(30.0)
+        times = vector.arrival_times(30.0)
+        assert len(times) == len(reference)
+        assert np.allclose(times, reference, rtol=1e-12, atol=0.0)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_workload_sequence_is_bit_exact(self, kind, seed):
+        """Template selection shares the scalar uniforms exactly."""
+        scalar, vector = _pair(kind, seed)
+        reference = scalar.generate(30.0)
+        requests = vector.generate(30.0)
+        assert [r.workload for r in requests] == \
+            [r.workload for r in reference]
+        assert [r.slo_class for r in requests] == \
+            [r.slo_class for r in reference]
+        assert [r.request_id for r in requests] == \
+            [r.request_id for r in reference]
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_chunked_iteration_matches_full_list(self, kind):
+        _scalar, vector = _pair(kind, seed=1)
+        full = vector.arrival_times(30.0)
+        chunked = []
+        for chunk in vector.iter_time_chunks(30.0, chunk_size=64):
+            assert chunk.size <= 64
+            chunked.extend(chunk.tolist())
+        assert chunked == full
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_request_chunks_match_generate(self, kind):
+        _scalar, vector = _pair(kind, seed=2)
+        full = vector.generate(30.0)
+        chunked = [request
+                   for chunk in vector.iter_request_chunks(30.0, 128)
+                   for request in chunk]
+        assert chunked == full
+
+    def test_scalar_iter_time_chunks_falls_back_to_slices(self):
+        process = PoissonArrivals(40.0, seed=0)
+        full = process.arrival_times(10.0)
+        chunks = list(process.iter_time_chunks(10.0, chunk_size=32))
+        assert all(isinstance(chunk, np.ndarray) for chunk in chunks)
+        assert [t for chunk in chunks for t in chunk.tolist()] == full
+
+    def test_vectorized_is_idempotent(self):
+        vector = make_arrivals("bursty", 40.0, seed=5, vectorized=True)
+        assert vector.generate(20.0) == vector.generate(20.0)
+
+
+class TestArrivalEdgeCases:
+    def test_zero_rate_poisson_is_rejected(self):
+        with pytest.raises(ValueError, match="rate must be positive"):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError, match="rate must be positive"):
+            make_arrivals("poisson", 0.0, vectorized=True)
+
+    @pytest.mark.parametrize("vectorized", (False, True))
+    def test_zero_horizon_yields_no_requests(self, vectorized):
+        process = make_arrivals("poisson", 10.0, seed=0,
+                                vectorized=vectorized)
+        assert process.generate(0.0) == []
+        assert list(process.iter_time_chunks(0.0)) == []
+        assert list(process.iter_request_chunks(0.0)) == []
+
+    def test_diurnal_thinning_at_peak_keeps_every_candidate(self):
+        """At the rate peak, ``uniform * peak < rate_at(t)`` holds for
+        every uniform in [0, 1) — a candidate arriving exactly at peak
+        rate can never be thinned away."""
+        process = DiurnalArrivals(10.0, period_s=40.0, amplitude=0.5,
+                                  seed=0)
+        peak = process.mean_rate_per_s * (1.0 + process.amplitude)
+        t_peak = process.period_s / 4.0  # sin(2*pi*t/period) == 1
+        assert process.rate_at(t_peak) == pytest.approx(peak)
+        # any uniform < 1.0 keeps the candidate
+        assert 0.999999 * peak < process.rate_at(t_peak) or \
+            process.rate_at(t_peak) == peak
+
+    def test_diurnal_zero_amplitude_matches_constant_peak(self):
+        """amplitude=0 makes thinning vacuous (rate_at == peak
+        everywhere): every candidate is kept, in both paths."""
+        scalar = DiurnalArrivals(8.0, amplitude=0.0, seed=3)
+        vector = DiurnalArrivals(8.0, amplitude=0.0, seed=3,
+                                 vectorized=True)
+        reference = scalar.arrival_times(25.0)
+        assert len(reference) > 0
+        times = vector.arrival_times(25.0)
+        assert len(times) == len(reference)
+        assert np.allclose(times, reference, rtol=1e-12, atol=0.0)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("vectorized", (False, True))
+    def test_horizon_boundary_is_exclusive(self, kind, vectorized):
+        """Arrivals live in [0, horizon): an arrival at exactly
+        ``horizon_s`` must be dropped, not emitted."""
+        process = make_arrivals(kind, 50.0, seed=7, vectorized=vectorized)
+        times = process.arrival_times(12.0)
+        assert times, "expected a non-empty stream at rate 50/s"
+        assert all(0.0 <= t < 12.0 for t in times)
+        # Shrinking the horizon to exactly the last arrival's instant
+        # must exclude that arrival (strict < comparison on both paths).
+        last = times[-1]
+        clipped = process.arrival_times(last)
+        assert clipped == times[:-1] if not vectorized else \
+            len(clipped) == len(times) - 1

@@ -1,0 +1,156 @@
+"""CalendarQueue: ordering identical to the global heap, pinned golden.
+
+The bucketed queue is only legitimate if it is *invisible*: the same
+``(time, seq, event)`` tuples must come out in the same total order a
+single ``heapq`` would produce, so a calendar-queue engine replays any
+scenario byte-for-byte. These tests pin that equivalence directly on
+the structure, on the engine, and on a full serving run digest.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.calqueue import CalendarQueue
+from repro.sim.engine import Engine
+
+
+def _random_items(seed: int, count: int = 2000):
+    rng = random.Random(seed)
+    return [(rng.uniform(0.0, 40.0), seq, object()) for seq in range(count)]
+
+
+class TestCalendarQueueStructure:
+    @pytest.mark.parametrize("seed", (0, 1, 2))
+    @pytest.mark.parametrize("width", (0.05, 1.0, 100.0))
+    def test_pop_order_matches_heap(self, seed, width):
+        items = _random_items(seed)
+        heap = []
+        queue = CalendarQueue(bucket_width=width)
+        for item in items:
+            heapq.heappush(heap, item)
+            queue.push(item)
+        drained = [queue.pop() for _ in range(len(items))]
+        reference = [heapq.heappop(heap) for _ in range(len(drained))]
+        assert drained == reference
+        assert len(queue) == 0 and not queue
+
+    def test_interleaved_push_pop_matches_heap(self):
+        """Buckets drain, go stale, and refill while time advances."""
+        rng = random.Random(3)
+        heap: list = []
+        queue = CalendarQueue(bucket_width=0.5)
+        now = 0.0
+        seq = 0
+        for _ in range(3000):
+            if heap and rng.random() < 0.5:
+                expect = heapq.heappop(heap)
+                got = queue.pop()
+                assert got == expect
+                now = got[0]
+            else:
+                item = (now + rng.uniform(0.0, 2.0), seq, None)
+                seq += 1
+                heapq.heappush(heap, item)
+                queue.push(item)
+        while heap:
+            assert queue.pop() == heapq.heappop(heap)
+
+    def test_ties_break_by_sequence(self):
+        queue = CalendarQueue()
+        queue.push((1.0, 2, "b"))
+        queue.push((1.0, 1, "a"))
+        queue.push((1.0, 3, "c"))
+        assert [queue.pop()[2] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_peek_time(self):
+        queue = CalendarQueue()
+        assert queue.peek_time() == float("inf")
+        queue.push((2.5, 0, None))
+        queue.push((1.25, 1, None))
+        assert queue.peek_time() == 1.25
+        queue.pop()
+        assert queue.peek_time() == 2.5
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CalendarQueue().pop()
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError, match="width"):
+            CalendarQueue(bucket_width=0.0)
+
+
+def _digest(engine: Engine) -> list:
+    """Run a mixed workload on an engine and record the event order."""
+    log: list = []
+
+    def ticker(name, period, count):
+        for index in range(count):
+            yield engine.timeout(period)
+            log.append((round(engine.now, 9), name, index))
+
+    engine.process(ticker("fast", 0.093, 40))
+    engine.process(ticker("slow", 0.31, 12))
+    engine.process(ticker("tied", 0.093, 40))  # same instants as "fast"
+    engine.run(until=5.0)
+    engine.run()
+    return log
+
+
+class TestCalendarEngine:
+    def test_engine_event_order_is_byte_identical(self):
+        reference = _digest(Engine(queue="heap"))
+        calendar = _digest(Engine(queue="calendar"))
+        assert json.dumps(calendar) == json.dumps(reference)
+
+    def test_env_var_selects_queue(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_QUEUE", "calendar")
+        assert Engine().queue_kind == "calendar"
+        monkeypatch.delenv("REPRO_SIM_QUEUE")
+        assert Engine().queue_kind == "heap"
+        # an explicit argument wins over the environment
+        monkeypatch.setenv("REPRO_SIM_QUEUE", "calendar")
+        assert Engine(queue="heap").queue_kind == "heap"
+
+    def test_unknown_queue_kind_rejected(self):
+        with pytest.raises(SimulationError, match="unknown event queue"):
+            Engine(queue="fibheap")
+
+    def test_step_and_peek_on_calendar_engine(self):
+        engine = Engine(queue="calendar")
+        engine.timeout(1.0, value="a")
+        engine.timeout(0.25, value="b")
+        assert engine.peek() == 0.25
+        engine.step()
+        assert engine.now == 0.25
+        assert engine.peek() == 1.0
+        engine.step()
+        assert engine.events_processed == 2
+        with pytest.raises(SimulationError, match="empty"):
+            engine.step()
+
+    def test_run_until_event_on_calendar_engine(self):
+        engine = Engine(queue="calendar")
+        done = engine.timeout(0.5, value=42)
+        engine.timeout(2.0)
+        assert engine.run(until=done) == 42
+        assert engine.now == 0.5
+
+    def test_horizon_pushback_preserves_pending_event(self):
+        """The first over-horizon event is popped, compared, and pushed
+        back; it must still fire on the next run() call."""
+        for queue in ("heap", "calendar"):
+            engine = Engine(queue=queue)
+            fired = []
+            late = engine.timeout(3.0, value="late")
+            late.callbacks.append(lambda ev: fired.append(ev.value))
+            engine.run(until=1.0)
+            assert engine.now == 1.0 and fired == []
+            engine.run()
+            assert fired == ["late"] and engine.now == 3.0
