@@ -34,6 +34,9 @@ class ExperimentDef:
     render: "typing.Callable[[object], str]"
     #: typed-row extractor for CSV/JSON export (None = JSON/txt only)
     rows: "typing.Callable[[object], list] | None" = None
+    #: accepts ``--spec`` files of *any* scenario kind (the ``fuzzcase``
+    #: replayer — most experiments are bound to one kind)
+    any_kind: bool = False
 
 
 REGISTRY: "dict[str, ExperimentDef]" = {}
@@ -46,13 +49,14 @@ def register(
     run_spec: "typing.Callable[[ScenarioSpec], object]",
     render: "typing.Callable[[object], str]",
     rows: "typing.Callable[[object], list] | None" = None,
+    any_kind: bool = False,
 ) -> ExperimentDef:
     """Register one experiment (module import time); returns its def."""
     if name in REGISTRY:
         raise ValueError(f"experiment {name!r} is already registered")
     definition = ExperimentDef(
         name=name, title=title, spec=spec,
-        run_spec=run_spec, render=render, rows=rows,
+        run_spec=run_spec, render=render, rows=rows, any_kind=any_kind,
     )
     REGISTRY[name] = definition
     return definition
@@ -209,7 +213,8 @@ def resolve_scenario(
     is in play, pinning any sweep axis they name.
     """
     definition = get(name)
-    if spec is not None and spec.kind != definition.spec().kind:
+    if (spec is not None and not definition.any_kind
+            and spec.kind != definition.spec().kind):
         raise SpecError(
             f"scenario {name!r} runs {definition.spec().kind!r}-kind specs; "
             f"the supplied spec is {spec.kind!r} (exported from a different "

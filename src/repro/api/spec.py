@@ -29,7 +29,7 @@ from repro.faults.checkpoint import CheckpointPolicy
 from repro.faults.plan import DropWindow, FaultPlan, SlowdownWindow, WorkerCrash
 from repro.faults.plan import build_plan as _build_fault_plan
 from repro.faults.retry import RetryPolicy
-from repro.pipeline.config import TrainConfig, model_config
+from repro.pipeline.config import MODEL_PRESETS, TrainConfig, model_config
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.gpu.cluster import Server
@@ -132,6 +132,38 @@ class TrainingSpec(SpecBase):
     op_jitter: float = calibration.OP_TIME_REL_JITTER
     schedule: str = "1f1b"
 
+    #: the supported pipeline schedules (see :mod:`repro.pipeline.schedule`)
+    SCHEDULES = ("1f1b", "gpipe")
+
+    def __post_init__(self):
+        if isinstance(self.model, str):
+            if self.model not in MODEL_PRESETS:
+                raise SpecError(
+                    f"unknown model preset {self.model!r}; choose from "
+                    f"{sorted(MODEL_PRESETS)} or give a size in billions"
+                )
+        elif not self.model > 0:
+            raise SpecError(
+                f"model size must be positive billions, got {self.model}"
+            )
+        for field, minimum in (("num_stages", 1), ("micro_batches", 1),
+                               ("epochs", 1)):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value < minimum:
+                raise SpecError(
+                    f"training.{field} must be an integer >= {minimum}, "
+                    f"got {value!r}"
+                )
+        if self.op_jitter < 0:
+            raise SpecError(
+                f"training.op_jitter must be >= 0, got {self.op_jitter}"
+            )
+        if self.schedule not in self.SCHEDULES:
+            raise SpecError(
+                f"unknown schedule {self.schedule!r}; "
+                f"choose from {sorted(self.SCHEDULES)}"
+            )
+
     def to_config(self, seed: int = 0) -> TrainConfig:
         return TrainConfig(
             model=model_config(self.model),
@@ -157,6 +189,28 @@ class WorkloadSpec(SpecBase):
     replicate: bool = True
     #: cap on replicated copies (None = every eligible worker)
     copies: "int | None" = None
+
+    def __post_init__(self):
+        from repro.workloads.registry import WORKLOAD_NAMES
+
+        if self.name not in WORKLOAD_NAMES:
+            raise SpecError(
+                f"unknown workload {self.name!r}; "
+                f"choose from {sorted(WORKLOAD_NAMES)}"
+            )
+        if self.batch_size < 1:
+            raise SpecError(
+                f"workload batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.interface not in ("iterative", "imperative"):
+            raise SpecError(
+                f"unknown workload interface {self.interface!r}; "
+                "choose from ['imperative', 'iterative']"
+            )
+        if self.copies is not None and self.copies < 1:
+            raise SpecError(
+                f"workload copies must be >= 1 (or None), got {self.copies}"
+            )
 
     def factory(self):
         from repro.workloads.registry import workload_factory
@@ -200,6 +254,27 @@ class MixEntrySpec(SpecBase):
     batch_size: int = 64
     interface: str = "iterative"
     weight: float = 1.0
+
+    def __post_init__(self):
+        from repro.workloads.registry import WORKLOAD_NAMES
+
+        if self.workload not in WORKLOAD_NAMES:
+            raise SpecError(
+                f"unknown mix workload {self.workload!r}; "
+                f"choose from {sorted(WORKLOAD_NAMES)}"
+            )
+        if self.job_steps < 1:
+            raise SpecError(
+                f"mix job_steps must be >= 1, got {self.job_steps}"
+            )
+        if self.batch_size < 1:
+            raise SpecError(
+                f"mix batch_size must be >= 1, got {self.batch_size}"
+            )
+        if not self.weight > 0:
+            raise SpecError(
+                f"mix weight must be positive, got {self.weight}"
+            )
 
     def to_template(self) -> "RequestTemplate":
         from repro.serving.arrivals import RequestTemplate
@@ -246,6 +321,23 @@ class ArrivalSpec(SpecBase):
     #: default keeps existing scenarios byte-identical
     vectorized: bool = False
 
+    def __post_init__(self):
+        from repro.serving.arrivals import NAMED_ARRIVALS
+
+        if self.kind not in NAMED_ARRIVALS:
+            raise SpecError(
+                f"unknown arrival kind {self.kind!r}; "
+                f"choose from {sorted(NAMED_ARRIVALS)} "
+                "(trace replay is built programmatically)"
+            )
+        if not self.rate_per_s > 0:
+            raise SpecError(
+                f"arrivals.rate_per_s must be positive, "
+                f"got {self.rate_per_s}"
+            )
+        if not self.mix:
+            raise SpecError("arrivals need at least one mix entry")
+
     def build(self, seed: int = 0) -> "ArrivalProcess":
         from repro.serving.arrivals import make_arrivals
 
@@ -291,6 +383,39 @@ class TenantSpec(SpecBase):
     #: this tenant's request-class mix (defaults to the standard mix)
     mix: "tuple[MixEntrySpec, ...]" = dataclasses.field(default_factory=default_mix)
 
+    def __post_init__(self):
+        from repro.serving.arrivals import NAMED_ARRIVALS
+
+        if not self.weight > 0:
+            raise SpecError(
+                f"tenant {self.name!r} weight must be positive, "
+                f"got {self.weight}"
+            )
+        if not self.rate_per_s > 0:
+            raise SpecError(
+                f"tenant {self.name!r} rate_per_s must be positive, "
+                f"got {self.rate_per_s}"
+            )
+        if self.burst < 1:
+            raise SpecError(
+                f"tenant {self.name!r} burst must allow at least one "
+                f"token, got {self.burst}"
+            )
+        if self.arrival_kind not in NAMED_ARRIVALS:
+            raise SpecError(
+                f"tenant {self.name!r} has unknown arrival kind "
+                f"{self.arrival_kind!r}; choose from {sorted(NAMED_ARRIVALS)}"
+            )
+        if not self.arrival_rate_per_s > 0:
+            raise SpecError(
+                f"tenant {self.name!r} arrival_rate_per_s must be "
+                f"positive, got {self.arrival_rate_per_s}"
+            )
+        if not self.mix:
+            raise SpecError(
+                f"tenant {self.name!r} needs at least one mix entry"
+            )
+
     def share(self):
         """The runtime descriptor the fairness mechanisms consume."""
         from repro.tenancy.tenants import TenantShare
@@ -335,6 +460,23 @@ class PolicySpec(SpecBase):
     grace_period_s: "float | None" = None
     #: manager RPC latency (None = calibrated default)
     rpc_latency_s: "float | None" = None
+
+    def __post_init__(self):
+        if self.queue_capacity < 1:
+            raise SpecError(
+                f"policy.queue_capacity must be >= 1, "
+                f"got {self.queue_capacity}"
+            )
+        if self.grace_period_s is not None and not self.grace_period_s > 0:
+            raise SpecError(
+                f"policy.grace_period_s must be positive (or None), "
+                f"got {self.grace_period_s}"
+            )
+        if self.rpc_latency_s is not None and self.rpc_latency_s < 0:
+            raise SpecError(
+                f"policy.rpc_latency_s must be >= 0 (or None), "
+                f"got {self.rpc_latency_s}"
+            )
 
     def assignment_policy(self):
         from repro.core.policies import NAMED_POLICIES
@@ -601,6 +743,57 @@ class SweepSpec(SpecBase):
         return cls(**data)
 
 
+def _coerce_leaf(current, value, full: str):
+    """Coerce an override leaf toward the type of the value it replaces.
+
+    ``--set`` values arrive JSON-parsed-or-raw-string, so ``--set
+    obs.trace=True`` hands the spec the *string* ``"True"`` and ``--set
+    arrivals.rate_per_s=2`` hands a float knob the *int* ``2``. Rather
+    than silently storing a truthy string in a bool field (round-trips,
+    but lies about its type), bool/float/int leaves coerce compatible
+    values and reject nonsense with a :class:`SpecError`. Non-scalar
+    leaves (whole-section replacement, params keys, None) pass through
+    untouched.
+    """
+    if isinstance(current, bool):
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("true", "yes", "on", "1"):
+                return True
+            if lowered in ("false", "no", "off", "0"):
+                return False
+        raise SpecError(
+            f"cannot override {full!r}: expected a boolean "
+            f"(true/false), got {value!r}"
+        )
+    if isinstance(value, bool):
+        return value
+    if isinstance(current, float):
+        if isinstance(value, int):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                raise SpecError(
+                    f"cannot override {full!r}: expected a number, "
+                    f"got {value!r}"
+                ) from None
+    if isinstance(current, int) and isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            raise SpecError(
+                f"cannot override {full!r}: expected an integer, "
+                f"got {value!r}"
+            ) from None
+    return value
+
+
 def _set_path(node, path: "list[str]", value, full: str) -> None:
     """Set ``value`` at a dotted ``path`` inside JSON-shaped ``node``."""
     head, rest = path[0], path[1:]
@@ -619,7 +812,7 @@ def _set_path(node, path: "list[str]", value, full: str) -> None:
         if rest:
             _set_path(node[index], rest, value, full)
         else:
-            node[index] = value
+            node[index] = _coerce_leaf(node[index], value, full)
         return
     if not isinstance(node, dict):
         raise SpecError(
@@ -634,7 +827,7 @@ def _set_path(node, path: "list[str]", value, full: str) -> None:
             )
         _set_path(node[head], rest, value, full)
     else:
-        node[head] = value
+        node[head] = _coerce_leaf(node.get(head), value, full)
 
 
 @dataclasses.dataclass(frozen=True)

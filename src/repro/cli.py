@@ -242,7 +242,58 @@ def main(argv: "list[str] | None" = None) -> int:
     worker_parser.add_argument("--sweep-id", default=None,
                                help="only lease points of this sweep")
 
+    fuzz_parser = commands.add_parser(
+        "fuzz", help="draw seeded random scenarios, run each one, and "
+                     "check every global invariant plus the equivalence "
+                     "frames (pool/streaming/traced/calendar/roundtrip); "
+                     "failures are shrunk to minimal repro specs")
+    fuzz_parser.add_argument("--seed", type=int, default=0,
+                             help="base seed; case i uses seed+i "
+                                  "(default: 0)")
+    fuzz_parser.add_argument("--count", type=int, default=50, metavar="N",
+                             help="number of fuzz cases (default: 50)")
+    fuzz_parser.add_argument("--kind", action="append", default=None,
+                             choices=("batch", "serving", "cluster",
+                                      "pipeline"),
+                             help="restrict drawn scenario kinds "
+                                  "(repeatable; default: all)")
+    fuzz_parser.add_argument("--corpus", metavar="DIR",
+                             default="artifacts/fuzz-corpus",
+                             help="where shrunk failing specs are written "
+                                  "(default: artifacts/fuzz-corpus)")
+    fuzz_parser.add_argument("--frames", type=int, default=None,
+                             metavar="N",
+                             help="equivalence frames per case, rotated "
+                                  "across cases (default: all applicable)")
+    fuzz_parser.add_argument("--no-shrink", action="store_true",
+                             help="report failures without minimizing "
+                                  "them")
+
     args = parser.parse_args(argv)
+
+    if args.command == "fuzz":
+        from repro.fuzz import FUZZ_KINDS, fuzz_many
+
+        def progress(index: int, case) -> None:
+            if (index + 1) % 25 == 0:
+                print(f"fuzz: {index + 1}/{args.count} cases...",
+                      file=sys.stderr)
+
+        try:
+            report = fuzz_many(
+                args.seed,
+                args.count,
+                kinds=tuple(args.kind) if args.kind else FUZZ_KINDS,
+                corpus_dir=args.corpus,
+                frame_budget=args.frames,
+                shrink_failures=not args.no_shrink,
+                progress=progress,
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0 if report.ok else 1
 
     if args.command == "worker":
         from repro.distrib import Worker

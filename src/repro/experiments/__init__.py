@@ -24,6 +24,7 @@ from repro.experiments import (  # noqa: F401  (registration side effect)
     fig7,
     fig8,
     fig9,
+    fuzzcase,
     resilience,
     serve,
     table1,
@@ -32,5 +33,5 @@ from repro.experiments import (  # noqa: F401  (registration side effect)
 
 __all__ = [
     "ablations", "cluster", "common", "fairness", "fig1", "fig2", "fig7",
-    "fig8", "fig9", "resilience", "serve", "table1", "table2",
+    "fig8", "fig9", "fuzzcase", "resilience", "serve", "table1", "table2",
 ]

@@ -1,0 +1,78 @@
+"""``fuzzcase`` — replay one fuzz-corpus spec under the full check suite.
+
+The fuzzer writes every shrunk failure to a corpus file whose
+``"scenario"`` key holds the minimized spec; this experiment is the
+replay side of that loop::
+
+    repro run fuzzcase --spec artifacts/fuzz-corpus/case-81.json
+
+runs the spec through a fresh session, checks every registered
+invariant, re-runs it under every applicable equivalence frame, and
+renders the verdict. It is registered ``any_kind`` — corpus specs can
+be batch, serving, cluster, or pipeline, and all of them replay through
+the same harness (every other experiment is bound to one spec kind).
+
+The default spec is a small healthy serving scenario, so a bare
+``repro run fuzzcase`` doubles as a one-case smoke test of the whole
+invariant + frame machinery.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.api import registry
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.api.spec import ScenarioSpec
+
+
+def _spec() -> "ScenarioSpec":
+    from repro.api.spec import ArrivalSpec, ScenarioSpec, TrainingSpec
+
+    return ScenarioSpec(
+        name="fuzzcase",
+        kind="serving",
+        training=TrainingSpec(epochs=1),
+        arrivals=ArrivalSpec(rate_per_s=2.0),
+        params={"horizon_s": 3.0},
+    )
+
+
+def run_spec(spec: "ScenarioSpec") -> dict:
+    from repro.fuzz import run_case
+
+    case = run_case(spec)
+    return {
+        "kind": spec.kind,
+        "name": spec.name,
+        "ok": case.ok,
+        "frames": list(case.frames_run),
+        "violations": [str(violation) for violation in case.violations],
+        "frame_mismatches": [str(mismatch) for mismatch in case.mismatches],
+        "error": case.error,
+        "digest": case.digest,
+    }
+
+
+def render(data: dict) -> str:
+    lines = [
+        f"fuzzcase {data['name']} [{data['kind']}]: "
+        f"{'OK' if data['ok'] else 'FAILED'}",
+        "frames checked: " + (", ".join(data["frames"]) or "none"),
+    ]
+    lines += [f"  {line}" for line in data["violations"]]
+    lines += [f"  {line}" for line in data["frame_mismatches"]]
+    if data["error"]:
+        lines.append(f"  exception: {data['error']}")
+    return "\n".join(lines)
+
+
+registry.register(
+    "fuzzcase",
+    "replay one fuzz spec under every invariant and equivalence frame",
+    spec=_spec,
+    run_spec=run_spec,
+    render=render,
+    any_kind=True,
+)

@@ -1,0 +1,244 @@
+"""Greedy spec shrinker: bisect a failing scenario toward a minimal repro.
+
+Given a spec for which ``predicate(spec)`` is True (True = "still
+fails"), :func:`shrink` searches for a smaller spec that still fails by
+repeatedly trying *moves* and keeping any that preserve the failure:
+
+1. **Section resets** — replace a whole top-level section (faults,
+   tenants, policy, metrics, obs, arrivals, ...) with the value a
+   minimal same-kind baseline scenario carries. One accepted reset can
+   delete a dozen knobs at once.
+2. **List shortening** — drop one element of any spec tuple (workloads,
+   tenants, jobs, arrival/tenant mixes).
+3. **Leaf resets** — walk the remaining nested dicts and try restoring
+   each differing leaf (``training.epochs``, ``faults.crash_rate``,
+   ...) to the baseline value individually.
+
+Moves that produce an *invalid* spec (SpecError) are skipped, so the
+result is always constructible; moves are retried to a fixpoint under
+an evaluation budget (each evaluation is one full scenario run when the
+predicate wraps the harness). The search is deterministic: move order
+is a pure function of the spec dict.
+"""
+
+from __future__ import annotations
+
+import json
+import typing
+
+from repro.api.spec import ScenarioSpec
+from repro.errors import SpecError
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    Predicate = typing.Callable[[ScenarioSpec], bool]
+
+
+def baseline_spec(spec: ScenarioSpec) -> ScenarioSpec:
+    """The minimal valid scenario of the same kind, the shrink target."""
+    from repro.api.spec import ArrivalSpec, TrainingSpec, WorkloadSpec
+
+    training = TrainingSpec(epochs=1)
+    if spec.kind == "serving":
+        return ScenarioSpec(
+            name=spec.name, kind="serving", training=training,
+            arrivals=ArrivalSpec(rate_per_s=2.0),
+            params={"horizon_s": 2.0},
+        )
+    if spec.kind == "cluster":
+        return ScenarioSpec(
+            name=spec.name, kind="cluster", training=training, jobs=2,
+            workloads=(WorkloadSpec(name="pagerank"),),
+        )
+    if spec.kind == "pipeline":
+        return ScenarioSpec(name=spec.name, kind="pipeline",
+                            training=training)
+    return ScenarioSpec(
+        name=spec.name, kind="batch", training=training,
+        workloads=(WorkloadSpec(name="pagerank"),),
+    )
+
+
+def _leaf_paths(node, prefix=""):
+    """Dotted paths of every scalar leaf under a JSON-safe tree."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            yield from _leaf_paths(
+                node[key], f"{prefix}.{key}" if prefix else str(key))
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            yield from _leaf_paths(
+                item, f"{prefix}.{index}" if prefix else str(index))
+    else:
+        yield prefix, node
+
+
+def _get_path(tree, path: str):
+    node = tree
+    for part in path.split("."):
+        if isinstance(node, list):
+            index = int(part)
+            if index >= len(node):
+                return _MISSING
+            node = node[index]
+        elif isinstance(node, dict):
+            if part not in node:
+                return _MISSING
+            node = node[part]
+        else:
+            return _MISSING
+    return node
+
+
+def _set_leaf(tree, path: str, value):
+    parts = path.split(".")
+    node = tree
+    for part in parts[:-1]:
+        node = node[int(part)] if isinstance(node, list) else node[part]
+    last = parts[-1]
+    if isinstance(node, list):
+        node[int(last)] = value
+    else:
+        node[last] = value
+
+
+_MISSING = object()
+
+
+def _cost(current: dict, base: dict) -> "tuple[int, int]":
+    """Shrink progress metric, lexicographic: (total leaves, leaves
+    differing from the baseline). Every accepted move must strictly
+    decrease it, which makes the greedy loop terminate — without this, a
+    section-reset that *restores* baseline list entries and a list-drop
+    that removes them again can oscillate forever. Leaf count dominates
+    so deleting an optional section always beats resetting knobs inside
+    it; the diff term then pulls the survivors toward default values."""
+    ours = dict(_leaf_paths(current))
+    theirs = dict(_leaf_paths(base))
+    differing = sum(
+        1 for path in set(ours) | set(theirs)
+        if ours.get(path, _MISSING) != theirs.get(path, _MISSING)
+    )
+    return len(ours), differing
+
+
+def _moves(current: dict, base: dict, leaf_base: "dict | None" = None):
+    """Candidate shrinking moves for one iteration, biggest first.
+
+    Each move is ``(description, transform)`` where ``transform`` maps a
+    deep-copied spec dict to the shrunk candidate dict.
+    """
+    moves = []
+
+    def reset_section(key, value):
+        def apply(data):
+            data[key] = value
+            return data
+        return apply
+
+    def drop_item(path, index):
+        def apply(data):
+            node = _get_path(data, path)
+            del node[index]
+            return data
+        return apply
+
+    def reset_leaf(path, value):
+        def apply(data):
+            _set_leaf(data, path, value)
+            return data
+        return apply
+
+    # 1. whole-section resets (skip identity/name/kind)
+    for key in sorted(set(current) | set(base)):
+        if key in ("name", "kind"):
+            continue
+        ours, theirs = current.get(key), base.get(key)
+        if ours != theirs:
+            moves.append((f"reset {key}", reset_section(key, theirs)))
+
+    # 2. shorten every list with > 1 element (drop from the tail first
+    #    so earlier indices — often referenced by name — survive)
+    def find_lists(node, prefix=""):
+        if isinstance(node, dict):
+            for key in sorted(node):
+                find_lists(node[key],
+                           f"{prefix}.{key}" if prefix else str(key))
+        elif isinstance(node, list):
+            if len(node) > 1:
+                for index in reversed(range(len(node))):
+                    moves.append((f"drop {prefix}[{index}]",
+                                  drop_item(prefix, index)))
+            for index, item in enumerate(node):
+                find_lists(item, f"{prefix}.{index}" if prefix else str(index))
+
+    find_lists(current)
+
+    # 3. individual leaf resets toward the (enriched) baseline
+    targets = base if leaf_base is None else leaf_base
+    for path, value in _leaf_paths(current):
+        head = path.split(".")[0]
+        if head in ("name", "kind"):
+            continue
+        target = _get_path(targets, path)
+        if target is not _MISSING and target != value:
+            moves.append((f"reset {path}", reset_leaf(path, target)))
+
+    return moves
+
+
+def shrink(
+    spec: ScenarioSpec,
+    predicate: "Predicate",
+    max_evals: int = 200,
+) -> ScenarioSpec:
+    """The smallest spec (under the move set) still failing ``predicate``.
+
+    ``predicate(spec) -> True`` means the failure reproduces. The input
+    spec must itself fail; each accepted move is re-derived from the
+    shrunk spec until no move helps or ``max_evals`` predicate
+    evaluations have been spent. Deterministic for a deterministic
+    predicate.
+    """
+    if not predicate(spec):
+        raise ValueError("shrink() needs a spec that fails the predicate")
+    base = baseline_spec(spec).to_dict()
+    current = spec.to_dict()
+    # When the failing spec keeps a section the baseline lacks entirely
+    # (faults, arrivals, ...), give the leaf resets a target anyway: the
+    # section's *default-constructed* values. "reset faults" deletes the
+    # whole section; these let crash_rate/recovery/... shrink toward
+    # their defaults when the section itself must survive.
+    leaf_base = json.loads(json.dumps(base))
+    for key, value in current.items():
+        if isinstance(value, dict) and base.get(key) is None:
+            probe = json.loads(json.dumps(base))
+            probe[key] = {}
+            try:
+                leaf_base[key] = ScenarioSpec.from_dict(probe).to_dict()[key]
+            except SpecError:
+                continue
+    cost = _cost(current, leaf_base)
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for _, transform in _moves(current, base, leaf_base):
+            if evals >= max_evals:
+                break
+            candidate = transform(json.loads(json.dumps(current)))
+            if candidate == current:
+                continue
+            try:
+                candidate_spec = ScenarioSpec.from_dict(candidate)
+            except SpecError:
+                continue
+            candidate_dict = candidate_spec.to_dict()
+            candidate_cost = _cost(candidate_dict, leaf_base)
+            if candidate_cost >= cost:
+                continue  # not actually smaller; skip without an eval
+            evals += 1
+            if predicate(candidate_spec):
+                current, cost = candidate_dict, candidate_cost
+                progress = True
+                break  # re-derive moves against the smaller spec
+    return ScenarioSpec.from_dict(current)

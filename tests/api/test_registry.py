@@ -13,6 +13,7 @@ from repro.api.spec import ScenarioSpec
 ALL_SCENARIOS = (
     "fig1", "fig2", "table1", "table2", "fig7", "fig8", "fig9",
     "ablations", "serve", "cluster", "fairness", "resilience",
+    "fuzzcase",
 )
 
 

@@ -1,0 +1,120 @@
+"""Satellite: ``ScenarioSpec.override`` edge cases the generator leans
+on — nested tuple fields and ``--set``-string coercion on typed knobs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.spec import (
+    ArrivalSpec,
+    MixEntrySpec,
+    ScenarioSpec,
+    TenantSpec,
+    TrainingSpec,
+    WorkloadSpec,
+)
+from repro.errors import SpecError
+
+
+def _batch_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        kind="batch", training=TrainingSpec(epochs=1),
+        workloads=(WorkloadSpec(name="pagerank"),
+                   WorkloadSpec(name="resnet18", batch_size=64)),
+    )
+
+
+def _serving_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        kind="serving", training=TrainingSpec(epochs=1),
+        arrivals=ArrivalSpec(
+            rate_per_s=2.0,
+            mix=(MixEntrySpec(workload="pagerank", job_steps=2),
+                 MixEntrySpec(workload="resnet18", job_steps=3)),
+        ),
+    )
+
+
+# -- nested tuple fields ------------------------------------------------
+
+def test_override_indexes_into_workloads():
+    spec = _batch_spec().override({"workloads.1.batch_size": 128})
+    assert spec.workloads[1].batch_size == 128
+    assert spec.workloads[0].batch_size == (
+        _batch_spec().workloads[0].batch_size)
+
+
+def test_override_indexes_into_arrival_mix():
+    spec = _serving_spec().override({"arrivals.mix.0.weight": 5.0,
+                                     "arrivals.mix.1.job_steps": 7})
+    assert spec.arrivals.mix[0].weight == 5.0
+    assert spec.arrivals.mix[1].job_steps == 7
+
+
+def test_override_indexes_into_tenants():
+    spec = ScenarioSpec(
+        kind="serving", training=TrainingSpec(epochs=1),
+        tenants=(TenantSpec(name="a"), TenantSpec(name="b")),
+    ).override({"tenants.1.weight": 4.0})
+    assert spec.tenants[1].weight == 4.0
+    assert spec.tenants[0].weight == 1.0
+
+
+def test_override_out_of_range_index_is_actionable():
+    with pytest.raises(SpecError, match="workloads.5"):
+        _batch_spec().override({"workloads.5.batch_size": 32})
+
+
+def test_override_non_numeric_index_is_actionable():
+    with pytest.raises(SpecError, match="workloads.first"):
+        _batch_spec().override({"workloads.first.batch_size": 32})
+
+
+# -- string coercion on typed knobs (--set strings) ---------------------
+
+def test_bool_knob_accepts_set_strings():
+    for text, value in (("true", True), ("yes", True), ("on", True),
+                        ("1", True), ("false", False), ("no", False),
+                        ("off", False), ("0", False), ("TRUE", True)):
+        assert ScenarioSpec().override(
+            {"obs.trace": text}).obs.trace is value
+
+
+def test_bool_knob_rejects_garbage_strings():
+    with pytest.raises(SpecError, match="boolean"):
+        ScenarioSpec().override({"obs.trace": "maybe"})
+
+
+def test_float_knob_accepts_numeric_strings_and_ints():
+    spec = _serving_spec()
+    assert spec.override(
+        {"arrivals.rate_per_s": "3.5"}).arrivals.rate_per_s == 3.5
+    overridden = spec.override({"arrivals.rate_per_s": 4})
+    assert overridden.arrivals.rate_per_s == 4.0
+    assert isinstance(overridden.arrivals.rate_per_s, float)
+
+
+def test_float_knob_rejects_garbage_strings():
+    with pytest.raises(SpecError, match="rate_per_s"):
+        _serving_spec().override({"arrivals.rate_per_s": "fast"})
+
+
+def test_int_knob_accepts_numeric_strings():
+    assert ScenarioSpec().override(
+        {"training.epochs": "4"}).training.epochs == 4
+
+
+def test_int_knob_rejects_garbage_strings():
+    with pytest.raises(SpecError, match="epochs"):
+        ScenarioSpec().override({"training.epochs": "many"})
+
+
+def test_coercion_applies_inside_tuple_entries():
+    spec = _serving_spec().override({"arrivals.mix.0.weight": "2.5"})
+    assert spec.arrivals.mix[0].weight == 2.5
+
+
+def test_validation_still_runs_after_coercion():
+    # coercion gets the string onto the knob; range checks still apply
+    with pytest.raises(SpecError, match="epochs"):
+        ScenarioSpec().override({"training.epochs": "0"})

@@ -1,0 +1,92 @@
+"""The shrinker, on synthetic failing predicates: minimal output,
+termination, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import draw_spec, shrink
+from repro.fuzz.shrink import baseline_spec
+
+
+def _fault_spec():
+    for seed in range(400):
+        spec = draw_spec(seed)
+        if (spec.kind == "serving" and spec.tenants
+                and spec.faults is not None and spec.faults.crash_rate > 0):
+            return spec
+    raise AssertionError("no tenant+fault serving draw in 400 seeds")
+
+
+def test_shrink_requires_a_failing_spec():
+    with pytest.raises(ValueError, match="fails the predicate"):
+        shrink(draw_spec(0), lambda spec: False)
+
+
+def test_shrink_drops_everything_an_always_true_predicate_allows():
+    spec = _fault_spec()
+    small = shrink(spec, lambda s: s.kind == spec.kind, max_evals=200)
+    assert small.faults is None
+    assert not small.tenants
+
+
+def test_shrink_keeps_exactly_what_the_predicate_needs():
+    spec = _fault_spec()
+    predicate = (
+        lambda s: s.faults is not None and s.faults.crash_rate > 0)
+    small = shrink(spec, predicate, max_evals=200)
+    assert predicate(small)
+    assert not small.tenants  # irrelevant section removed
+    # within the surviving section, unrelated knobs reset to defaults
+    defaults = type(small.faults)().to_dict()
+    non_default = {
+        key for key, value in small.faults.to_dict().items()
+        if value != defaults[key]
+    }
+    assert non_default == {"crash_rate"}
+
+
+def test_shrink_preserves_list_cardinality_constraints():
+    spec = _fault_spec()
+    predicate = (
+        lambda s: not isinstance(s.tenants, int) and len(s.tenants) >= 2)
+    small = shrink(spec, predicate, max_evals=200)
+    assert len(small.tenants) == 2
+
+
+def test_shrink_is_deterministic():
+    spec = _fault_spec()
+    predicate = lambda s: s.faults is not None
+    first = shrink(spec, predicate, max_evals=150)
+    second = shrink(spec, predicate, max_evals=150)
+    assert first.to_json() == second.to_json()
+
+
+def test_shrink_respects_the_eval_budget():
+    spec = _fault_spec()
+    calls = []
+
+    def predicate(candidate):
+        calls.append(candidate)
+        return candidate.faults is not None
+
+    shrink(spec, predicate, max_evals=10)
+    # input check + at most max_evals move evaluations
+    assert len(calls) <= 11
+
+
+def test_shrink_result_is_always_constructible():
+    for seed in (1, 5, 8):
+        spec = draw_spec(seed)
+        small = shrink(spec, lambda s: True, max_evals=120)
+        # constructing from the dict re-runs all validation
+        type(small).from_dict(small.to_dict())
+
+
+def test_baseline_spec_matches_kind_and_is_minimal():
+    for seed in range(30):
+        spec = draw_spec(seed)
+        base = baseline_spec(spec)
+        assert base.kind == spec.kind
+        assert base.faults is None
+        assert not base.tenants

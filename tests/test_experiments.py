@@ -18,6 +18,7 @@ def test_registry_contains_all_artifacts():
     assert set(registry.names()) == {
         "fig1", "fig2", "table1", "table2", "fig7", "fig8", "fig9",
         "ablations", "serve", "cluster", "fairness", "resilience",
+        "fuzzcase",
     }
 
 
